@@ -1,0 +1,142 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! 1. `ablation_azuma` — Remark 2: the Hoeffding constant 8ε/Δ² vs the
+//!    Azuma baseline's 4ε/Δ² on the same synthesized RepRSM class. The
+//!    *runtime* is near-identical (same LPs); the point is the bound
+//!    quality, printed once per run.
+//! 2. `ablation_ser` — Theorem C.1's granularity trade-off: Ser iteration
+//!    budget vs runtime (each iteration costs two Farkas LPs) and vs the
+//!    achieved `8εω` objective.
+//! 3. `ablation_barrier` — the interior-point μ schedule of the convex
+//!    solver: larger μ takes fewer, harder centering steps.
+//! 4. `ablation_jensen` — the Jensen strengthening (one LP) vs the full
+//!    convex program on the same lower-bound instance, measuring what the
+//!    strengthening buys in runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qava_convex::SolverOptions;
+use qava_core::explinsyn::synthesize_upper_bound_with;
+use qava_core::explowsyn::synthesize_lower_bound;
+use qava_core::hoeffding::{synthesize_reprsm_bound_with, BoundKind};
+use qava_core::suite::{m1dwalk_rows, race_rows, rdwalk_rows};
+
+fn ablation_azuma(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/azuma_vs_hoeffding");
+    group.sample_size(10);
+    let b = &race_rows()[0];
+    let pts = b.compile();
+    for kind in [BoundKind::Hoeffding, BoundKind::Azuma] {
+        let r = synthesize_reprsm_bound_with(&pts, kind, 70).unwrap();
+        println!("[ablation_azuma] {kind:?}: bound {}", r.bound);
+        group.bench_with_input(
+            BenchmarkId::new("race", format!("{kind:?}")),
+            &kind,
+            |bench, &kind| bench.iter(|| synthesize_reprsm_bound_with(&pts, kind, 70).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_ser(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/ser_granularity");
+    group.sample_size(10);
+    let b = &rdwalk_rows()[0];
+    let pts = b.compile();
+    for iters in [5usize, 10, 20, 40, 70] {
+        let r = synthesize_reprsm_bound_with(&pts, BoundKind::Hoeffding, iters).unwrap();
+        println!(
+            "[ablation_ser] {iters} iterations: {} LP solves, ln bound {:.4}",
+            r.lp_solves,
+            r.bound.ln()
+        );
+        group.bench_with_input(BenchmarkId::new("rdwalk", iters), &iters, |bench, &iters| {
+            bench.iter(|| synthesize_reprsm_bound_with(&pts, BoundKind::Hoeffding, iters).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn ablation_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/barrier_mu");
+    group.sample_size(10);
+    let b = &race_rows()[0];
+    let pts = b.compile();
+    for mu in [2.0f64, 5.0, 20.0, 50.0] {
+        let opts = SolverOptions { mu, ..SolverOptions::default() };
+        let r = synthesize_upper_bound_with(&pts, &opts).unwrap();
+        println!(
+            "[ablation_barrier] mu = {mu}: {} Newton iterations, ln bound {:.4}",
+            r.newton_iterations,
+            r.bound.ln()
+        );
+        group.bench_with_input(
+            BenchmarkId::new("race", format!("mu{mu}")),
+            &opts,
+            |bench, opts| bench.iter(|| synthesize_upper_bound_with(&pts, opts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn ablation_jensen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/jensen_vs_convex");
+    group.sample_size(10);
+    let b = &m1dwalk_rows()[0];
+    let pts = b.compile();
+    let lo = synthesize_lower_bound(&pts).unwrap();
+    println!("[ablation_jensen] Jensen LP lower bound: {:.6}", lo.bound.to_f64());
+    group.bench_function("m1dwalk/jensen_lp", |bench| {
+        bench.iter(|| synthesize_lower_bound(&pts).unwrap())
+    });
+    // The upper-bound convex program on the same PTS gives the runtime
+    // scale of a full barrier solve for comparison.
+    group.bench_function("m1dwalk/barrier_reference", |bench| {
+        bench.iter(|| {
+            synthesize_upper_bound_with(&pts, &SolverOptions::default()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn ablation_quadratic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/quadratic_vs_affine");
+    group.sample_size(10);
+    // The driftless-deadline walk: no affine RepRSM exists; the quadratic
+    // class certifies a nontrivial bound. Measures the LP-size cost of the
+    // Handelman encoding against the affine Farkas one on the same PTS.
+    let src = r"
+        x := 0; t := 0;
+        while x >= -4 and x <= 4 and t <= 60
+            invariant x >= -5 and x <= 5 and t >= 0 and t <= 61 {
+            if prob(0.5) { x, t := x + 1, t + 1; } else { x, t := x - 1, t + 1; }
+        }
+        assert t <= 60;
+    ";
+    let pts = qava_lang::compile(src, &std::collections::BTreeMap::new()).unwrap();
+    let quad =
+        qava_core::polyrsm::synthesize_quadratic_bound(&pts, BoundKind::Hoeffding, 20).unwrap();
+    println!(
+        "[ablation_quadratic] quadratic bound {} ({} LPs); affine: no RepRSM",
+        quad.bound, quad.lp_solves
+    );
+    group.bench_function("driftless/affine_reports_none", |bench| {
+        bench.iter(|| synthesize_reprsm_bound_with(&pts, BoundKind::Hoeffding, 20))
+    });
+    group.bench_function("driftless/quadratic_certifies", |bench| {
+        bench.iter(|| {
+            qava_core::polyrsm::synthesize_quadratic_bound(&pts, BoundKind::Hoeffding, 20)
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    ablation_azuma,
+    ablation_ser,
+    ablation_barrier,
+    ablation_jensen,
+    ablation_quadratic
+);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table 1 / Concentration (Coupon, Prspeed, Rdwalk): synthesis runtime
+//! per row for both upper-bound algorithms.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qava_core::explinsyn::synthesize_upper_bound;
+use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
+use qava_core::suite::{coupon_rows, prspeed_rows, rdwalk_rows};
+
+fn bench_concentration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/concentration");
+    group.sample_size(10);
+    for b in coupon_rows()
+        .into_iter()
+        .chain(prspeed_rows())
+        .chain(rdwalk_rows())
+    {
+        let pts = b.compile();
+        group.bench_with_input(
+            BenchmarkId::new("hoeffding", format!("{} {}", b.name, b.label)),
+            &pts,
+            |bench, pts| {
+                bench.iter(|| synthesize_reprsm_bound(pts, BoundKind::Hoeffding).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explinsyn", format!("{} {}", b.name, b.label)),
+            &pts,
+            |bench, pts| bench.iter(|| synthesize_upper_bound(pts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concentration);
+criterion_main!(benches);

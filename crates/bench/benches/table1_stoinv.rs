@@ -1,0 +1,37 @@
+//! Table 1 / StoInv (1DWalk, 2DWalk, 3DWalk, Race): synthesis runtime per
+//! row for both upper-bound algorithms. 3DWalk is the paper's hardest
+//! instance (its evaluation reports the maximum 1.72 s for ExpLinSyn).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qava_core::explinsyn::synthesize_upper_bound;
+use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
+use qava_core::suite::{race_rows, walk1d_rows, walk2d_rows, walk3d_rows};
+
+fn bench_stoinv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/stoinv");
+    group.sample_size(10);
+    for b in walk1d_rows()
+        .into_iter()
+        .chain(walk2d_rows())
+        .chain(walk3d_rows())
+        .chain(race_rows())
+    {
+        let pts = b.compile();
+        group.bench_with_input(
+            BenchmarkId::new("hoeffding", format!("{} {}", b.name, b.label)),
+            &pts,
+            |bench, pts| {
+                bench.iter(|| synthesize_reprsm_bound(pts, BoundKind::Hoeffding).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("explinsyn", format!("{} {}", b.name, b.label)),
+            &pts,
+            |bench, pts| bench.iter(|| synthesize_upper_bound(pts).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stoinv);
+criterion_main!(benches);

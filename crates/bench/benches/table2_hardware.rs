@@ -1,0 +1,34 @@
+//! Table 2 / Hardware (M1DWalk, Newton, Ref): ExpLowSyn runtime per row,
+//! plus the almost-sure-termination certification (RSM synthesis) the
+//! lower bounds rely on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qava_core::explowsyn::synthesize_lower_bound;
+use qava_core::rsm::prove_almost_sure_termination;
+use qava_core::suite::table2;
+
+fn bench_hardware(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/hardware");
+    group.sample_size(10);
+    for b in table2() {
+        let pts = b.compile();
+        group.bench_with_input(
+            BenchmarkId::new("explowsyn", format!("{} {}", b.name, b.label)),
+            &pts,
+            |bench, pts| bench.iter(|| synthesize_lower_bound(pts).unwrap()),
+        );
+        // Ref's nested loops exceed the single-template RSM prover; the
+        // paper, too, certifies termination per benchmark by hand.
+        if b.name != "Ref" {
+            group.bench_with_input(
+                BenchmarkId::new("rsm_certificate", format!("{} {}", b.name, b.label)),
+                &pts,
+                |bench, pts| bench.iter(|| prove_almost_sure_termination(pts).unwrap()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hardware);
+criterion_main!(benches);

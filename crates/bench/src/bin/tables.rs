@@ -1,0 +1,214 @@
+//! Regenerates the paper's evaluation tables.
+//!
+//! ```text
+//! tables            # Tables 1 and 2 (numeric bounds, timings, ratios)
+//! tables --table1   # upper bounds only
+//! tables --table2   # lower bounds only
+//! tables --symbolic # Tables 3–5 (symbolic templates)
+//! tables --check    # Monte-Carlo sanity: lower ≤ empirical ≤ upper
+//! ```
+//!
+//! Bounds are reported in the paper's `m.me±EE` notation, timings in
+//! seconds, and the last column is the paper's ratio
+//! `previous / ours` (Table 1) or `(1 − previous) / (1 − ours)` (Table 2),
+//! as orders of magnitude when large.
+
+use qava_core::explinsyn::synthesize_upper_bound;
+use qava_core::explowsyn::synthesize_lower_bound;
+use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
+use qava_core::logprob::LogProb;
+use qava_core::suite::{table1, table2, Benchmark};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let all = args.is_empty();
+    let has = |f: &str| args.iter().any(|a| a == f);
+
+    if all || has("--table1") {
+        print_table1();
+    }
+    if all || has("--table2") {
+        print_table2();
+    }
+    if has("--symbolic") {
+        print_symbolic();
+    }
+    if has("--check") {
+        monte_carlo_check();
+    }
+}
+
+/// `1.52e-7`-style scientific formatting straight from log-space, so that
+/// 3DWalk's 1e-3230 prints without underflowing.
+fn fmt_log(p: Option<LogProb>) -> String {
+    match p {
+        None => "—".to_string(),
+        Some(p) => {
+            let l10 = p.log10();
+            if l10.is_infinite() && l10 < 0.0 {
+                return "0".to_string();
+            }
+            let e = l10.floor();
+            let m = 10f64.powf(l10 - e);
+            format!("{m:.2}e{e:+.0}")
+        }
+    }
+}
+
+/// Orders-of-magnitude ratio column.
+fn fmt_ratio(ours: LogProb, previous: Option<LogProb>, lower: bool) -> String {
+    let Some(prev) = previous else { return "no result".to_string() };
+    let r10 = if lower {
+        // (1 − previous) / (1 − ours) for Table 2.
+        let a = (1.0 - prev.to_f64()).max(f64::MIN_POSITIVE);
+        let b = (1.0 - ours.to_f64()).max(f64::MIN_POSITIVE);
+        (a / b).log10()
+    } else {
+        prev.log10() - ours.log10()
+    };
+    if r10.abs() < 3.0 {
+        format!("{:.2}", 10f64.powf(r10))
+    } else {
+        format!("1e{r10:+.0}")
+    }
+}
+
+fn print_table1() {
+    println!("== Table 1: upper bounds on assertion-violation probability ==");
+    println!(
+        "{:<14} {:<22} {:>10} {:>7}  {:>10} {:>7}  {:>10}  {:>9}",
+        "benchmark", "row", "§5.1", "t(s)", "§5.2", "t(s)", "previous", "ratio"
+    );
+    let mut current = "";
+    for b in table1() {
+        if b.name != current {
+            current = b.name;
+            println!("-- {} ({})", b.name, b.category);
+        }
+        let pts = b.compile();
+
+        let t0 = Instant::now();
+        let hoeff = synthesize_reprsm_bound(&pts, BoundKind::Hoeffding).ok();
+        let t_h = t0.elapsed().as_secs_f64();
+
+        let t0 = Instant::now();
+        let exp = synthesize_upper_bound(&pts).ok();
+        let t_e = t0.elapsed().as_secs_f64();
+
+        let ratio = exp
+            .as_ref()
+            .map(|r| fmt_ratio(r.bound, b.paper.previous, false))
+            .unwrap_or_else(|| "—".to_string());
+        println!(
+            "{:<14} {:<22} {:>10} {:>7.2}  {:>10} {:>7.2}  {:>10}  {:>9}",
+            b.name,
+            b.label,
+            fmt_log(hoeff.as_ref().map(|r| r.bound)),
+            t_h,
+            fmt_log(exp.as_ref().map(|r| r.bound)),
+            t_e,
+            fmt_log(b.paper.previous),
+            ratio,
+        );
+    }
+    println!();
+}
+
+fn print_table2() {
+    println!("== Table 2: lower bounds on assertion-violation probability ==");
+    println!(
+        "{:<14} {:<14} {:>12} {:>7}  {:>12}  {:>9}",
+        "benchmark", "row", "§6 lower", "t(s)", "previous", "ratio"
+    );
+    let mut current = "";
+    for b in table2() {
+        if b.name != current {
+            current = b.name;
+            println!("-- {} ({})", b.name, b.category);
+        }
+        let pts = b.compile();
+        let t0 = Instant::now();
+        let low = synthesize_lower_bound(&pts).ok();
+        let t_l = t0.elapsed().as_secs_f64();
+        let (bound_str, ratio) = match &low {
+            Some(r) => (
+                format!("{:.6}", r.bound.to_f64()),
+                fmt_ratio(r.bound, b.paper.previous, true),
+            ),
+            None => ("failed".to_string(), "—".to_string()),
+        };
+        println!(
+            "{:<14} {:<14} {:>12} {:>7.2}  {:>12}  {:>9}",
+            b.name,
+            b.label,
+            bound_str,
+            t_l,
+            b.paper.previous.map(|p| format!("{:.6}", p.to_f64())).unwrap_or("—".into()),
+            ratio,
+        );
+    }
+    println!();
+}
+
+fn symbolic_rows(b: &Benchmark, what: &str) {
+    let pts = b.compile();
+    let tmpl = match what {
+        "hoeffding" => synthesize_reprsm_bound(&pts, BoundKind::Hoeffding)
+            .ok()
+            .map(|r| (format!("exp(8·{:.3}·η)", r.epsilon), r.template)),
+        "explinsyn" => synthesize_upper_bound(&pts)
+            .ok()
+            .map(|r| ("exp".to_string(), r.template)),
+        "explowsyn" => synthesize_lower_bound(&pts)
+            .ok()
+            .map(|r| ("exp".to_string(), r.template)),
+        _ => unreachable!("symbolic_rows caller bug"),
+    };
+    match tmpl {
+        Some((prefix, t)) if !t.per_location.is_empty() => {
+            println!("{:<12} {:<22} {prefix}({})", b.name, b.label, t.exponent_string(0));
+        }
+        _ => println!("{:<12} {:<22} —", b.name, b.label),
+    }
+}
+
+fn print_symbolic() {
+    println!("== Table 3: symbolic Hoeffding bounds (§5.1) ==");
+    for b in table1() {
+        symbolic_rows(&b, "hoeffding");
+    }
+    println!();
+    println!("== Table 4: symbolic ExpLinSyn bounds (§5.2) ==");
+    for b in table1() {
+        symbolic_rows(&b, "explinsyn");
+    }
+    println!();
+    println!("== Table 5: symbolic ExpLowSyn bounds (§6) ==");
+    for b in table2() {
+        symbolic_rows(&b, "explowsyn");
+    }
+    println!();
+}
+
+fn monte_carlo_check() {
+    println!("== Monte-Carlo sanity: certified lower ≤ empirical ≤ certified upper ==");
+    let mut sim = qava_sim::Simulator::new(0xC0FFEE);
+    for b in table1().into_iter().chain(table2()) {
+        let pts = b.compile();
+        let est = sim.estimate_violation(&pts, 20_000, 100_000);
+        let upper = synthesize_upper_bound(&pts).ok().map(|r| r.bound);
+        let lower = synthesize_lower_bound(&pts).ok().map(|r| r.bound);
+        let ok_upper = upper.map_or(true, |u| est.lower_ci() <= u.to_f64() + 1e-9);
+        let ok_lower = lower.map_or(true, |l| l.to_f64() <= est.upper_ci() + 1e-9);
+        println!(
+            "{:<12} {:<22} empirical {:.5}  upper {:>10}  lower {:>10}  {}",
+            b.name,
+            b.label,
+            est.probability,
+            fmt_log(upper),
+            fmt_log(lower),
+            if ok_upper && ok_lower { "OK" } else { "VIOLATED" },
+        );
+    }
+}

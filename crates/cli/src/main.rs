@@ -1,0 +1,309 @@
+//! `qava` — analyze a probabilistic program from the command line.
+//!
+//! ```text
+//! qava <program.qava> [--upper] [--lower] [--hoeffding] [--azuma]
+//!                     [--simulate N] [--symbolic] [--param name=value]...
+//! ```
+//!
+//! With no mode flags, runs every applicable analysis. Exit code 0 on
+//! success, 1 on usage errors, 2 on compile errors, 3 when a requested
+//! analysis fails.
+
+use qava_core::explinsyn::synthesize_upper_bound;
+use qava_core::explowsyn::synthesize_lower_bound;
+use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
+use qava_core::rsm::prove_almost_sure_termination;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: qava <program.qava> [options]
+
+modes (default: all applicable):
+  --upper          complete exponential upper bound (ExpLinSyn, §5.2)
+  --hoeffding      RepRSM + Hoeffding upper bound (§5.1)
+  --azuma          RepRSM + Azuma baseline (POPL'17, for comparison)
+  --lower          exponential lower bound (ExpLowSyn, §6); requires
+                   almost-sure termination, which is certified first
+  --quadratic      also try quadratic exponents (Remarks 3/5, Handelman)
+  --simulate N     seeded Monte-Carlo estimate over N trials
+
+output:
+  --dump-pts       print the compiled transition system
+  --symbolic       also print the synthesized exponential templates
+  --param k=v      override a `param` declaration (repeatable)
+  --seed S         Monte-Carlo seed (default 0)
+";
+
+struct Options {
+    path: String,
+    upper: bool,
+    hoeffding: bool,
+    azuma: bool,
+    lower: bool,
+    quadratic: bool,
+    simulate: Option<usize>,
+    symbolic: bool,
+    dump_pts: bool,
+    seed: u64,
+    params: BTreeMap<String, f64>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        path: String::new(),
+        upper: false,
+        hoeffding: false,
+        azuma: false,
+        lower: false,
+        quadratic: false,
+        simulate: None,
+        symbolic: false,
+        dump_pts: false,
+        seed: 0,
+        params: BTreeMap::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--upper" => opts.upper = true,
+            "--hoeffding" => opts.hoeffding = true,
+            "--azuma" => opts.azuma = true,
+            "--lower" => opts.lower = true,
+            "--quadratic" => opts.quadratic = true,
+            "--symbolic" => opts.symbolic = true,
+            "--dump-pts" => opts.dump_pts = true,
+            "--simulate" => {
+                let n = it.next().ok_or("--simulate needs a trial count")?;
+                opts.simulate =
+                    Some(n.parse().map_err(|_| format!("bad trial count `{n}`"))?);
+            }
+            "--seed" => {
+                let s = it.next().ok_or("--seed needs a value")?;
+                opts.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            "--param" => {
+                let kv = it.next().ok_or("--param needs name=value")?;
+                let (k, v) = kv.split_once('=').ok_or_else(|| {
+                    format!("bad --param `{kv}` (expected name=value)")
+                })?;
+                let value: f64 =
+                    v.parse().map_err(|_| format!("bad parameter value `{v}`"))?;
+                opts.params.insert(k.to_string(), value);
+            }
+            "--help" | "-h" => return Err(String::new()),
+            _ if a.starts_with('-') => return Err(format!("unknown flag `{a}`")),
+            _ if opts.path.is_empty() => opts.path = a.clone(),
+            _ => return Err(format!("unexpected argument `{a}`")),
+        }
+    }
+    if opts.path.is_empty() {
+        return Err("no program file given".to_string());
+    }
+    if !(opts.upper || opts.hoeffding || opts.azuma || opts.lower || opts.simulate.is_some()) {
+        opts.upper = true;
+        opts.hoeffding = true;
+        opts.lower = true;
+    }
+    Ok(opts)
+}
+
+fn print_template(kind: &str, t: &qava_core::template::SolvedTemplate) {
+    for (i, (loc, _, _)) in t.per_location.iter().enumerate() {
+        println!("  {kind} template at {loc}: exp({})", t.exponent_string(i));
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            if !msg.is_empty() {
+                eprintln!("error: {msg}\n");
+            }
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+
+    let source = match std::fs::read_to_string(&opts.path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read `{}`: {e}", opts.path);
+            return ExitCode::from(1);
+        }
+    };
+    let pts = match qava_lang::compile(&source, &opts.params) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("compile error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!(
+        "{}: {} variables, {} live locations, {} transitions",
+        opts.path,
+        pts.num_vars(),
+        pts.live_locations().count(),
+        pts.transitions().len()
+    );
+
+    if opts.dump_pts {
+        print!("{pts}");
+    }
+
+    let mut failures = 0u32;
+
+    if opts.upper {
+        match synthesize_upper_bound(&pts) {
+            Ok(r) => {
+                if r.floored {
+                    println!("upper bound (§5.2, complete): ≈ 0 (objective floored)");
+                } else {
+                    println!("upper bound (§5.2, complete): {}", r.bound);
+                }
+                if opts.symbolic && !r.floored {
+                    print_template("§5.2", &r.template);
+                }
+            }
+            Err(e) => {
+                println!("upper bound (§5.2, complete): failed — {e}");
+                failures += 1;
+            }
+        }
+    }
+    for (flag, kind, label) in [
+        (opts.hoeffding, BoundKind::Hoeffding, "§5.1, Hoeffding"),
+        (opts.azuma, BoundKind::Azuma, "POPL'17, Azuma"),
+    ] {
+        if !flag {
+            continue;
+        }
+        match synthesize_reprsm_bound(&pts, kind) {
+            Ok(r) => {
+                println!("upper bound ({label}): {} (ε = {:.4}, {} LPs)", r.bound, r.epsilon, r.lp_solves);
+                if opts.symbolic {
+                    print_template(label, &r.template);
+                }
+            }
+            Err(e) => {
+                println!("upper bound ({label}): failed — {e}");
+                failures += 1;
+            }
+        }
+    }
+    if opts.lower {
+        match prove_almost_sure_termination(&pts) {
+            Ok(cert) => {
+                println!(
+                    "almost-sure termination: certified (expected steps ≤ {:.1})",
+                    cert.initial_rank
+                );
+                match synthesize_lower_bound(&pts) {
+                    Ok(r) => {
+                        println!("lower bound (§6): {:.6}", r.bound.to_f64());
+                        if opts.symbolic {
+                            print_template("§6", &r.template);
+                        }
+                    }
+                    Err(e) => {
+                        println!("lower bound (§6): failed — {e}");
+                        failures += 1;
+                    }
+                }
+            }
+            Err(e) => {
+                println!(
+                    "lower bound (§6): skipped — cannot certify a.s. termination ({e})"
+                );
+                failures += 1;
+            }
+        }
+    }
+    if opts.quadratic {
+        match qava_core::polyrsm::synthesize_quadratic_bound(
+            &pts,
+            BoundKind::Hoeffding,
+            qava_core::hoeffding::DEFAULT_SER_ITERATIONS,
+        ) {
+            Ok(r) => println!(
+                "upper bound (Remark 3, quadratic RepRSM): {} (ε = {:.4}, {} LPs)",
+                r.bound, r.epsilon, r.lp_solves
+            ),
+            Err(e) => {
+                println!("upper bound (Remark 3, quadratic RepRSM): failed — {e}");
+                failures += 1;
+            }
+        }
+        match qava_core::polylow::synthesize_quadratic_lower_bound(&pts) {
+            Ok(r) => println!(
+                "lower bound (Remark 5, quadratic): {:.6} (needs a.s. termination)",
+                r.bound.to_f64()
+            ),
+            Err(e) => {
+                println!("lower bound (Remark 5, quadratic): failed — {e}");
+                failures += 1;
+            }
+        }
+    }
+    if let Some(trials) = opts.simulate {
+        let est = qava_sim::Simulator::new(opts.seed).estimate_violation(&pts, trials, 1_000_000);
+        println!(
+            "simulation: {:.6} over {} trials (99% CI ± {:.2e}, {} timeouts)",
+            est.probability, est.trials, est.ci_half_width, est.timeouts
+        );
+    }
+
+    if failures > 0 {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_modes_enabled() {
+        let o = parse_args(&args(&["p.qava"])).unwrap();
+        assert!(o.upper && o.hoeffding && o.lower);
+        assert!(!o.azuma);
+    }
+
+    #[test]
+    fn explicit_mode_disables_defaults() {
+        let o = parse_args(&args(&["p.qava", "--upper"])).unwrap();
+        assert!(o.upper && !o.hoeffding && !o.lower);
+    }
+
+    #[test]
+    fn params_parse() {
+        let o = parse_args(&args(&["p.qava", "--param", "n=3.5", "--param", "p=1e-7"])).unwrap();
+        assert_eq!(o.params["n"], 3.5);
+        assert_eq!(o.params["p"], 1e-7);
+    }
+
+    #[test]
+    fn bad_flag_rejected() {
+        assert!(parse_args(&args(&["p.qava", "--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn missing_file_rejected() {
+        assert!(parse_args(&args(&["--upper"])).is_err());
+    }
+
+    #[test]
+    fn simulate_takes_count() {
+        let o = parse_args(&args(&["p.qava", "--simulate", "1000", "--seed", "9"])).unwrap();
+        assert_eq!(o.simulate, Some(1000));
+        assert_eq!(o.seed, 9);
+    }
+}

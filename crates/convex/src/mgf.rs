@@ -1,0 +1,219 @@
+//! Moment-generating function of the uniform distribution, with the first
+//! two derivatives of its logarithm — everything the barrier solver needs
+//! to treat `E[exp(t·r)]`, `r ~ U[a,b]`, as a smooth log-convex factor.
+//!
+//! With `s = (b−a)·t`,
+//!
+//! ```text
+//! φ(t)      = (e^{bt} − e^{at}) / ((b−a)·t)
+//! log φ(t)  = a·t + h(s),           h(s) = ln((e^s − 1)/s)
+//! ```
+//!
+//! `h`, `h'`, `h''` are computed with series expansions near `s = 0` and
+//! asymptotics for `|s| > 500` so the factor stays finite and smooth over the
+//! whole real line.
+
+/// The MGF of `U[a, b]` as a differentiable object.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UniformMgf {
+    a: f64,
+    b: f64,
+}
+
+impl UniformMgf {
+    /// Creates the MGF of `U[a, b]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `a < b`.
+    pub fn new(a: f64, b: f64) -> Self {
+        assert!(a < b, "uniform support must satisfy a < b");
+        UniformMgf { a, b }
+    }
+
+    /// Lower endpoint of the support.
+    pub fn lower(&self) -> f64 {
+        self.a
+    }
+
+    /// Upper endpoint of the support.
+    pub fn upper(&self) -> f64 {
+        self.b
+    }
+
+    /// `φ(t) = E[e^{t·r}]`.
+    pub fn value(&self, t: f64) -> f64 {
+        self.log_value(t).exp()
+    }
+
+    /// `log φ(t)`.
+    pub fn log_value(&self, t: f64) -> f64 {
+        let s = (self.b - self.a) * t;
+        self.a * t + h(s)
+    }
+
+    /// `d/dt log φ(t)` — the tilted mean.
+    pub fn dlog(&self, t: f64) -> f64 {
+        let w = self.b - self.a;
+        self.a + w * dh(w * t)
+    }
+
+    /// `d²/dt² log φ(t)` — the tilted variance (always ≥ 0).
+    pub fn d2log(&self, t: f64) -> f64 {
+        let w = self.b - self.a;
+        w * w * d2h(w * t)
+    }
+}
+
+/// `h(s) = ln((e^s − 1)/s)`, continuous at 0 with `h(0) = 0`.
+fn h(s: f64) -> f64 {
+    if s.abs() < 1e-5 {
+        // h(s) = s/2 + s²/24 − s⁴/2880 + …
+        s / 2.0 + s * s / 24.0
+    } else if s > 500.0 {
+        s - s.ln()
+    } else if s < -500.0 {
+        -(-s).ln()
+    } else {
+        (s.exp_m1() / s).ln()
+    }
+}
+
+/// `h'(s) = e^s/(e^s − 1) − 1/s`, `h'(0) = 1/2`.
+fn dh(s: f64) -> f64 {
+    if s.abs() < 1e-5 {
+        0.5 + s / 12.0
+    } else if s > 500.0 {
+        1.0 - 1.0 / s
+    } else if s < -500.0 {
+        -1.0 / s
+    } else {
+        let em1 = s.exp_m1();
+        (em1 + 1.0) / em1 - 1.0 / s
+    }
+}
+
+/// `h''(s) = 1/s² − e^s/(e^s − 1)²`, `h''(0) = 1/12`, always in `(0, 1/12]`.
+fn d2h(s: f64) -> f64 {
+    if s.abs() < 1e-4 {
+        1.0 / 12.0 - s * s / 240.0
+    } else if s.abs() > 500.0 {
+        1.0 / (s * s)
+    } else {
+        let em1 = s.exp_m1();
+        (1.0 / (s * s) - (em1 + 1.0) / (em1 * em1)).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_mgf(a: f64, b: f64, t: f64) -> f64 {
+        // Simpson integration of e^{t r}/(b-a) over [a, b].
+        let n = 20_000;
+        let hstep = (b - a) / n as f64;
+        let mut acc = 0.0;
+        for i in 0..=n {
+            let r = a + i as f64 * hstep;
+            let w = if i == 0 || i == n {
+                1.0
+            } else if i % 2 == 1 {
+                4.0
+            } else {
+                2.0
+            };
+            acc += w * (t * r).exp();
+        }
+        acc * hstep / 3.0 / (b - a)
+    }
+
+    #[test]
+    fn value_matches_numeric_integration() {
+        for &(a, b) in &[(0.0, 1.0), (-1.0, 2.0), (-0.5, 0.5)] {
+            let m = UniformMgf::new(a, b);
+            for &t in &[-3.0, -0.7, -1e-7, 0.0, 1e-7, 0.4, 2.5] {
+                let exact = m.value(t);
+                let numeric = numeric_mgf(a, b, t);
+                assert!(
+                    (exact - numeric).abs() / numeric < 1e-6,
+                    "mgf mismatch a={a} b={b} t={t}: {exact} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn value_at_zero_is_one() {
+        let m = UniformMgf::new(-2.0, 5.0);
+        assert!((m.value(0.0) - 1.0).abs() < 1e-12);
+        assert!(m.log_value(0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dlog_is_mean_at_zero() {
+        let m = UniformMgf::new(1.0, 3.0);
+        assert!((m.dlog(0.0) - 2.0).abs() < 1e-9, "tilted mean at t=0 is E[r]");
+    }
+
+    #[test]
+    fn d2log_is_variance_at_zero() {
+        let m = UniformMgf::new(0.0, 1.0);
+        // Var(U[0,1]) = 1/12.
+        assert!((m.d2log(0.0) - 1.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let m = UniformMgf::new(-1.0, 2.0);
+        for &t in &[-4.0f64, -1.0, -1e-3, 1e-3, 0.5, 3.0, 20.0] {
+            let eps = 1e-6 * (1.0 + t.abs());
+            let fd1 = (m.log_value(t + eps) - m.log_value(t - eps)) / (2.0 * eps);
+            assert!(
+                (m.dlog(t) - fd1).abs() < 1e-5 * (1.0 + fd1.abs()),
+                "dlog mismatch at t={t}: {} vs {}",
+                m.dlog(t),
+                fd1
+            );
+            let fd2 = (m.dlog(t + eps) - m.dlog(t - eps)) / (2.0 * eps);
+            assert!(
+                (m.d2log(t) - fd2).abs() < 1e-4 * (1.0 + fd2.abs()),
+                "d2log mismatch at t={t}: {} vs {}",
+                m.d2log(t),
+                fd2
+            );
+        }
+    }
+
+    #[test]
+    fn extreme_arguments_stay_finite() {
+        let m = UniformMgf::new(0.0, 1.0);
+        for &t in &[-1e6, -700.0, 700.0, 1e6] {
+            assert!(m.log_value(t).is_finite());
+            assert!(m.dlog(t).is_finite());
+            assert!(m.d2log(t).is_finite());
+            assert!(m.d2log(t) >= 0.0, "curvature must stay non-negative");
+        }
+    }
+
+    #[test]
+    fn curvature_positive_everywhere() {
+        let m = UniformMgf::new(-0.3, 0.7);
+        for i in -100..=100 {
+            let t = i as f64 * 0.5;
+            assert!(m.d2log(t) >= 0.0, "negative curvature at {t}");
+        }
+    }
+
+    #[test]
+    fn tilted_mean_within_support() {
+        // d/dt log φ is the mean of the exponentially tilted distribution,
+        // so it must lie inside [a, b].
+        let m = UniformMgf::new(-2.0, 3.0);
+        for i in -40..=40 {
+            let t = i as f64;
+            let mu = m.dlog(t);
+            assert!((-2.0..=3.0).contains(&mu), "tilted mean {mu} escaped at t={t}");
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Property tests for the interior-point solver: on random feasible
+//! exp-sum programs the returned point must be feasible and must dominate a
+//! cloud of random feasible probes.
+
+use proptest::prelude::*;
+use qava_convex::{ConvexProblem, ExpSumConstraint, ExpTerm, SolverOptions};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// Random problem (plus its objective vector) that is feasible by
+/// construction: constraints evaluate to 1/2 at the origin, and a box keeps
+/// every objective bounded.
+fn random_problem() -> impl Strategy<Value = (ConvexProblem, Vec<f64>)> {
+    (1usize..4, 1usize..4, any::<u64>()).prop_map(|(dim, ncons, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut p = ConvexProblem::new(dim);
+        let objective: Vec<f64> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        p.set_objective(objective.clone());
+        for _ in 0..ncons {
+            let nterms = rng.gen_range(1..4);
+            let weights: Vec<f64> = (0..nterms).map(|_| rng.gen_range(0.1..1.0)).collect();
+            let total: f64 = weights.iter().sum();
+            let terms = weights
+                .into_iter()
+                .map(|w| {
+                    let lin: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+                    ExpTerm::exp_affine(w / total / 2.0, lin, 0.0)
+                })
+                .collect();
+            p.add_constraint(ExpSumConstraint::new(terms));
+        }
+        for j in 0..dim {
+            let mut row = vec![0.0; dim];
+            row[j] = 1.0;
+            p.add_constraint(ExpSumConstraint::linear(row.clone(), 3.0));
+            let mut neg = vec![0.0; dim];
+            neg[j] = -1.0;
+            p.add_constraint(ExpSumConstraint::linear(neg, 3.0));
+        }
+        (p, objective)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn optimum_feasible_and_dominant((p, c) in random_problem(), probe_seed in any::<u64>()) {
+        let sol = p.solve(&SolverOptions::default()).expect("origin-feasible by construction");
+        prop_assert!(p.is_feasible(&sol.x, 1e-6), "solver returned infeasible point");
+        prop_assert!(!sol.floored, "boxed problem cannot be unbounded");
+
+        let n = sol.x.len();
+        let mut rng = StdRng::seed_from_u64(probe_seed);
+        for _ in 0..60 {
+            let probe: Vec<f64> = (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            if p.is_feasible(&probe, 0.0) {
+                let probe_obj: f64 = probe.iter().zip(&c).map(|(x, cj)| x * cj).sum();
+                prop_assert!(sol.objective <= probe_obj + 1e-5,
+                    "probe {probe:?} (obj {probe_obj}) beats optimum {}", sol.objective);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic((p, _) in random_problem()) {
+        let a = p.solve(&SolverOptions::default()).unwrap();
+        let b = p.solve(&SolverOptions::default()).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-9);
+    }
+}

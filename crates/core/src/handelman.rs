@@ -1,0 +1,247 @@
+//! Handelman's Positivstellensatz as a constraint compiler.
+//!
+//! Remarks 3 and 5 of the paper extend the synthesis algorithms to
+//! polynomial exponents "through Positivstellensätze and semidefinite
+//! programming". SDP support in pure Rust is immature, so we use the
+//! LP-flavoured member of the Positivstellensatz family instead:
+//! **Handelman's theorem** — a polynomial strictly positive on a compact
+//! polyhedron `P = {v | g₁ ≥ 0, …, g_m ≥ 0}` lies in the cone of products
+//! `Π g_i^{α_i}` with non-negative coefficients. (This is also the route
+//! taken by several RSM-synthesis tools in the literature when SDPs are
+//! unavailable; it is sound for arbitrary polyhedra and complete on
+//! compact ones in the limit of the product degree.)
+//!
+//! [`encode_poly_nonneg`] emits, into an [`LpBuilder`], the constraint
+//!
+//! ```text
+//! ∀v ∈ P:   p(v) ≥ 0
+//! ```
+//!
+//! for a polynomial `p` whose coefficients are affine in the template
+//! unknowns, by introducing one non-negative multiplier `λ_α` per product
+//! of constraints up to a degree cap and matching coefficients monomial by
+//! monomial:
+//!
+//! ```text
+//! p  =  Σ_{|α| ≤ D} λ_α · Π_i g_i^{α_i}        (λ_α ≥ 0)
+//! ```
+//!
+//! Both sides are linear in `(unknowns, λ)`, so the matching rows are LP
+//! rows. Degree-0 (`λ_∅ · 1`) is always included, which subsumes the
+//! trivial "p is a non-negative constant" certificate.
+
+use crate::poly::{CPoly, Monomial, UPoly};
+use crate::template::UCoef;
+use qava_lp::{Cmp, LinExpr, LpBuilder, VarId};
+use qava_polyhedra::Polyhedron;
+use std::collections::BTreeSet;
+
+/// Builds the constraint products `Π g_i^{α_i}` with `|α| ≤ degree` for
+/// the polyhedron's rows `g_i(v) = rhs_i − c_i·v ≥ 0` (closure semantics:
+/// strictness is dropped, which is sound for nonnegativity certificates).
+pub fn constraint_products(poly: &Polyhedron, degree: u32) -> Vec<CPoly> {
+    let n = poly.dim();
+    let gs: Vec<CPoly> = poly
+        .constraints()
+        .iter()
+        .map(|h| {
+            let negc: Vec<f64> = h.coeffs.iter().map(|c| -c).collect();
+            CPoly::affine(&negc, h.rhs)
+        })
+        .collect();
+    // Breadth-first closure under multiplication, deduplicated by the
+    // exponent multiset to avoid an exponential blowup of identical
+    // products.
+    let mut out = vec![CPoly::constant(n, 1.0)];
+    let mut seen: BTreeSet<Vec<u32>> = BTreeSet::new();
+    let mut frontier: Vec<(Vec<u32>, CPoly)> = vec![(vec![0; gs.len()], out[0].clone())];
+    seen.insert(vec![0; gs.len()]);
+    for _ in 0..degree {
+        let mut next = Vec::new();
+        for (alpha, prod) in &frontier {
+            for (i, g) in gs.iter().enumerate() {
+                let mut a2 = alpha.clone();
+                a2[i] += 1;
+                if seen.insert(a2.clone()) {
+                    let p2 = prod.mul(g);
+                    out.push(p2.clone());
+                    next.push((a2, p2));
+                }
+            }
+        }
+        frontier = next;
+    }
+    out
+}
+
+/// Emits `∀v ∈ closure(region): p(v) ≥ 0` via a Handelman certificate of
+/// the given product degree. `unknowns[i]` must be the LP variable of
+/// template unknown `i`.
+///
+/// Soundness holds for any region and degree; completeness improves with
+/// the degree and requires compactness. Degree 2 suffices for every use in
+/// this crate (quadratic templates over conjunctions of affine
+/// constraints).
+pub fn encode_poly_nonneg(
+    lp: &mut LpBuilder,
+    unknowns: &[VarId],
+    region: &Polyhedron,
+    p: &UPoly,
+    degree: u32,
+) {
+    let products = constraint_products(region, degree);
+    let lambdas: Vec<VarId> = (0..products.len())
+        .map(|i| lp.add_var_nonneg(format!("handelman_l{i}")))
+        .collect();
+
+    // Collect every monomial present on either side.
+    let mut monomials: BTreeSet<Monomial> = p.monomials().cloned().collect();
+    for prod in &products {
+        for (m, _) in prod.iter() {
+            monomials.insert(m.clone());
+        }
+    }
+
+    // Coefficient matching: p_μ(x) − Σ_α λ_α·prod_α[μ] = 0.
+    for m in &monomials {
+        let mut e = LinExpr::new();
+        let p_mu = p
+            .iter()
+            .find(|(mm, _)| *mm == m)
+            .map(|(_, c)| c.clone())
+            .unwrap_or_else(|| UCoef::zero(p.n_unknowns()));
+        for (idx, &coef) in p_mu.lin.iter().enumerate() {
+            if coef != 0.0 {
+                e = e.term(unknowns[idx], coef);
+            }
+        }
+        for (prod, &lambda) in products.iter().zip(&lambdas) {
+            if let Some((_, c)) = prod.iter().find(|(mm, _)| *mm == m) {
+                if c != 0.0 {
+                    e = e.term(lambda, -c);
+                }
+            }
+        }
+        lp.constrain(e, Cmp::Eq, -p_mu.constant);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qava_lp::LpError;
+    use qava_polyhedra::Halfspace;
+
+    /// Probe: is there a value of the single unknown `x0` making
+    /// `p(v; x0) ≥ 0` on the region certifiable at the given degree, while
+    /// optimizing `x0`?
+    fn probe(
+        region: &Polyhedron,
+        build: impl Fn(usize) -> UPoly,
+        degree: u32,
+        maximize: bool,
+    ) -> Result<f64, LpError> {
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var("x0");
+        let p = build(1);
+        encode_poly_nonneg(&mut lp, &[x], region, &p, degree);
+        if maximize {
+            lp.maximize(LinExpr::var(x, 1.0));
+        } else {
+            lp.minimize(LinExpr::var(x, 1.0));
+        }
+        lp.solve().map(|s| s.value(x))
+    }
+
+    fn interval(lo: f64, hi: f64) -> Polyhedron {
+        Polyhedron::from_constraints(
+            1,
+            vec![Halfspace::le(vec![1.0], hi), Halfspace::ge(vec![1.0], lo)],
+        )
+    }
+
+    #[test]
+    fn product_count_and_degrees() {
+        // Two constraints, degree 2: 1, g1, g2, g1², g1g2, g2² = 6 products.
+        let prods = constraint_products(&interval(0.0, 1.0), 2);
+        assert_eq!(prods.len(), 6);
+        assert!(prods.iter().all(|p| p.degree() <= 2));
+    }
+
+    #[test]
+    fn affine_bound_recovered() {
+        // ∀v ∈ [0, 5]: x − v ≥ 0 ⇔ x ≥ 5 (degree 1 suffices — this is
+        // Farkas as a special case of Handelman).
+        let x_min = probe(
+            &interval(0.0, 5.0),
+            |nu| {
+                let mut p = UPoly::zero(1, nu);
+                p.add_unknown_term(vec![0], 0, 1.0);
+                let mut minus_one = UCoef::zero(nu);
+                minus_one.constant = -1.0;
+                p.add_term(vec![1], &minus_one);
+                p
+            },
+            1,
+            false,
+        )
+        .unwrap();
+        assert!((x_min - 5.0).abs() < 1e-7, "got {x_min}");
+    }
+
+    #[test]
+    fn quadratic_bound_needs_degree_two() {
+        // ∀v ∈ [−1, 1]: x − v² ≥ 0 ⇔ x ≥ 1. The certificate needs the
+        // product (1−v)(1+v) = 1 − v², i.e. degree 2.
+        let build = |nu: usize| {
+            let mut p = UPoly::zero(1, nu);
+            p.add_unknown_term(vec![0], 0, 1.0);
+            let mut minus_one = UCoef::zero(nu);
+            minus_one.constant = -1.0;
+            p.add_term(vec![2], &minus_one);
+            p
+        };
+        let x_min = probe(&interval(-1.0, 1.0), build, 2, false).unwrap();
+        assert!((x_min - 1.0).abs() < 1e-7, "got {x_min}");
+        // Degree 1 cannot certify any x: v² has no degree-1 certificate.
+        assert_eq!(probe(&interval(-1.0, 1.0), build, 1, false).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn negativity_detected_infeasible() {
+        // ∀v ∈ [0, 1]: −1 − 0·x ≥ 0 has no certificate at any degree.
+        let r = probe(
+            &interval(0.0, 1.0),
+            |nu| {
+                let mut p = UPoly::zero(1, nu);
+                let mut c = UCoef::zero(nu);
+                c.constant = -1.0;
+                p.add_term(vec![0], &c);
+                p
+            },
+            3,
+            false,
+        );
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn sound_on_unbounded_regions() {
+        // ∀v ≥ 0: x·v ≥ 0 certifiable for x ≥ 0 via λ·g with g = v; and
+        // maximizing −x… i.e. minimizing x stays at 0 (x < 0 has no
+        // certificate, matching the true implication which fails there).
+        let region = Polyhedron::from_constraints(1, vec![Halfspace::ge(vec![1.0], 0.0)]);
+        let x_min = probe(
+            &region,
+            |nu| {
+                let mut p = UPoly::zero(1, nu);
+                p.add_unknown_term(vec![1], 0, 1.0);
+                p
+            },
+            2,
+            false,
+        )
+        .unwrap();
+        assert!(x_min.abs() < 1e-9, "got {x_min}");
+    }
+}

@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+
+//! # qava-core — quantitative assertion-violation analysis
+//!
+//! A from-scratch Rust reproduction of *"Quantitative Analysis of Assertion
+//! Violations in Probabilistic Programs"* (PLDI 2021): given an affine
+//! probabilistic transition system and affine invariants, derive certified
+//! **upper and lower bounds** on the probability that execution reaches the
+//! assertion-violation location.
+//!
+//! ## The three algorithms
+//!
+//! | Module | Paper | Certifies | Method |
+//! |---|---|---|---|
+//! | [`hoeffding`] | §5.1 | upper bound | RepRSM + Hoeffding's lemma, Farkas LPs, Ser ternary search (plus the POPL'17 Azuma baseline) |
+//! | [`explinsyn`] | §5.2 | upper bound, **complete** for affine exponents | Minkowski decomposition, quantifier elimination, convex programming |
+//! | [`explowsyn`] | §6 | lower bound (under a.s. termination) | Jensen strengthening + Farkas LP |
+//!
+//! ## Supporting theory and tooling
+//!
+//! * [`fixpoint`] — executable Theorems 4.3/4.4: value iteration from `⊥`
+//!   and `⊤` brackets the true violation probability on finite instances;
+//! * [`rsm`] — ranking-supermartingale certificates for the almost-sure
+//!   termination side condition;
+//! * [`invariants`] — sound invariant propagation onto intermediate control
+//!   locations;
+//! * [`verify`] — independent numerical re-checking of synthesized pre/post
+//!   fixed-points;
+//! * [`suite`] — all twelve benchmark programs of the paper's evaluation
+//!   (§7, Figures 1–12) with their parameters and the published numbers;
+//! * [`logprob`] — log-domain probabilities (bounds reach `1e-3230`).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use qava_core::explinsyn;
+//!
+//! // Fig. 1: the tortoise-hare race. Upper-bound the hare's win probability.
+//! let src = r"
+//!     x := 40; y := 0;
+//!     while x <= 99 and y <= 99 invariant x <= 100 and y <= 101 {
+//!         if prob(0.5) { x, y := x + 1, y + 2; } else { x := x + 1; }
+//!     }
+//!     assert x >= 100;
+//! ";
+//! let pts = qava_lang::compile(src, &Default::default())?;
+//! let upper = explinsyn::synthesize_upper_bound(&pts)?;
+//! assert!(upper.bound.ln() < -15.0); // ≈ 1.5e-7, §3.1 of the paper
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod canonical;
+pub mod explinsyn;
+pub mod explowsyn;
+pub mod farkas;
+pub mod handelman;
+pub mod fixpoint;
+pub mod hoeffding;
+pub mod invariants;
+pub mod logprob;
+pub mod poly;
+pub mod polylow;
+pub mod polyrsm;
+pub mod rsm;
+pub mod suite;
+pub mod template;
+pub mod verify;
+
+pub use explinsyn::{synthesize_upper_bound, ExpLinSynResult};
+pub use explowsyn::{synthesize_lower_bound, ExpLowSynResult};
+pub use hoeffding::{synthesize_reprsm_bound, BoundKind, RepRsmResult};
+pub use logprob::LogProb;
+pub use polylow::{synthesize_quadratic_lower_bound, PolyLowResult};
+pub use polyrsm::{synthesize_quadratic_bound, PolyRsmResult};
+pub use rsm::{prove_almost_sure_termination, RsmCertificate};

@@ -1,0 +1,123 @@
+//! Log-domain probabilities.
+//!
+//! The paper's bounds reach values like `1e-3230` (Table 1, 3DWalk), far
+//! below `f64::MIN_POSITIVE`, so every bound in `qava` is carried as a
+//! natural-log value and only exponentiated for display when representable.
+
+/// A probability stored as its natural logarithm.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct LogProb(f64);
+
+impl LogProb {
+    /// Probability 1 (`ln 1 = 0`).
+    pub const ONE: LogProb = LogProb(0.0);
+
+    /// Probability 0 (`ln 0 = −∞`).
+    pub const ZERO: LogProb = LogProb(f64::NEG_INFINITY);
+
+    /// Wraps a natural-log value.
+    pub fn from_ln(ln: f64) -> Self {
+        LogProb(ln)
+    }
+
+    /// Converts from a linear-domain probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p < 0`.
+    pub fn from_prob(p: f64) -> Self {
+        assert!(p >= 0.0, "probabilities cannot be negative");
+        LogProb(p.ln())
+    }
+
+    /// The natural log.
+    pub fn ln(self) -> f64 {
+        self.0
+    }
+
+    /// The base-10 log, convenient for order-of-magnitude reporting.
+    pub fn log10(self) -> f64 {
+        self.0 / std::f64::consts::LN_10
+    }
+
+    /// The linear-domain value; underflows to 0 below ~1e-308.
+    pub fn to_f64(self) -> f64 {
+        self.0.exp()
+    }
+
+    /// Clamps to `[0, 1]` in the log domain (bounds above 1 are reported
+    /// as the trivial bound 1).
+    #[must_use]
+    pub fn clamp_to_unit(self) -> Self {
+        LogProb(self.0.min(0.0))
+    }
+
+    /// Ratio `self / other` in orders of magnitude (base 10) — the
+    /// "Ratio" column of the paper's Table 1.
+    pub fn ratio_log10(self, other: LogProb) -> f64 {
+        self.log10() - other.log10()
+    }
+}
+
+impl std::fmt::Display for LogProb {
+    /// Formats as a scientific-notation probability, falling back to
+    /// `10^…` notation below the f64 range.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 == f64::NEG_INFINITY {
+            return write!(f, "0");
+        }
+        if self.0 > -690.0 {
+            write!(f, "{:.3e}", self.0.exp())
+        } else {
+            let l10 = self.log10();
+            let exp = l10.floor();
+            let mantissa = 10f64.powf(l10 - exp);
+            write!(f, "{mantissa:.2}e{exp:.0}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let p = LogProb::from_prob(0.25);
+        assert!((p.to_f64() - 0.25).abs() < 1e-15);
+        assert!((p.log10() - (-0.602)).abs() < 1e-3);
+    }
+
+    #[test]
+    fn deep_underflow_displays() {
+        let p = LogProb::from_ln(-7437.0); // ~1e-3230, the 3DWalk scale
+        let s = p.to_string();
+        assert!(s.contains("e-3230"), "got {s}");
+        assert_eq!(p.to_f64(), 0.0, "linear domain underflows as expected");
+    }
+
+    #[test]
+    fn clamp() {
+        assert_eq!(LogProb::from_ln(3.0).clamp_to_unit(), LogProb::ONE);
+        assert_eq!(LogProb::from_ln(-1.0).clamp_to_unit(), LogProb::from_ln(-1.0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(LogProb::from_prob(0.1) < LogProb::from_prob(0.2));
+        assert!(LogProb::ZERO < LogProb::from_prob(1e-300));
+    }
+
+    #[test]
+    fn zero_and_one_display() {
+        assert_eq!(LogProb::ZERO.to_string(), "0");
+        assert_eq!(LogProb::ONE.to_string(), "1.000e0");
+    }
+
+    #[test]
+    fn ratio_in_orders_of_magnitude() {
+        let paper = LogProb::from_prob(1e-4);
+        let ours = LogProb::from_ln(-7437.0);
+        assert!(paper.ratio_log10(ours) > 3000.0, "thousands of orders of magnitude");
+    }
+}

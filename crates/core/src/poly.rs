@@ -1,0 +1,267 @@
+//! Sparse multivariate polynomials, in two coefficient flavours:
+//!
+//! * [`CPoly`] — constant `f64` coefficients. Products of invariant
+//!   constraints in the Handelman encoding are of this kind.
+//! * [`UPoly`] — coefficients that are *affine forms over the template
+//!   unknowns* ([`UCoef`]). Templates with polynomial exponents (Remark 3
+//!   and 5 of the paper) and everything derived from them linearly —
+//!   expectations, differences — are of this kind. Crucially, a `UPoly`
+//!   times a `CPoly` is again a `UPoly`, which keeps all constraint
+//!   generation linear in the unknowns.
+//!
+//! Monomials are exponent vectors over the program variables; both types
+//! keep a sorted map so that coefficient matching (the heart of the
+//! Handelman LP) is deterministic.
+
+use crate::template::UCoef;
+use std::collections::BTreeMap;
+
+/// A monomial: one exponent per program variable.
+pub type Monomial = Vec<u32>;
+
+/// A polynomial with constant coefficients.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CPoly {
+    nvars: usize,
+    terms: BTreeMap<Monomial, f64>,
+}
+
+impl CPoly {
+    /// The zero polynomial over `nvars` variables.
+    pub fn zero(nvars: usize) -> Self {
+        CPoly { nvars, terms: BTreeMap::new() }
+    }
+
+    /// The constant polynomial `k`.
+    pub fn constant(nvars: usize, k: f64) -> Self {
+        let mut p = CPoly::zero(nvars);
+        p.add_term(vec![0; nvars], k);
+        p
+    }
+
+    /// The affine polynomial `coeffs·v + k`.
+    pub fn affine(coeffs: &[f64], k: f64) -> Self {
+        let nvars = coeffs.len();
+        let mut p = CPoly::constant(nvars, k);
+        for (i, &c) in coeffs.iter().enumerate() {
+            if c != 0.0 {
+                let mut m = vec![0; nvars];
+                m[i] = 1;
+                p.add_term(m, c);
+            }
+        }
+        p
+    }
+
+    /// Number of program variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Adds `k · μ`, dropping the term if it cancels to zero.
+    pub fn add_term(&mut self, monomial: Monomial, k: f64) {
+        debug_assert_eq!(monomial.len(), self.nvars);
+        let entry = self.terms.entry(monomial).or_insert(0.0);
+        *entry += k;
+        if *entry == 0.0 {
+            let key: Vec<u32> = self
+                .terms
+                .iter()
+                .find(|(_, &v)| v == 0.0)
+                .map(|(k, _)| k.clone())
+                .expect("just inserted");
+            self.terms.remove(&key);
+        }
+    }
+
+    /// Adds `scale · other` in place.
+    pub fn add_scaled(&mut self, other: &CPoly, scale: f64) {
+        for (m, &c) in &other.terms {
+            self.add_term(m.clone(), scale * c);
+        }
+    }
+
+    /// The product `self · other`.
+    #[must_use]
+    pub fn mul(&self, other: &CPoly) -> CPoly {
+        let mut out = CPoly::zero(self.nvars);
+        for (ma, &ca) in &self.terms {
+            for (mb, &cb) in &other.terms {
+                let m: Monomial = ma.iter().zip(mb).map(|(a, b)| a + b).collect();
+                out.add_term(m, ca * cb);
+            }
+        }
+        out
+    }
+
+    /// Total degree (0 for the zero polynomial).
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(|m| m.iter().sum()).max().unwrap_or(0)
+    }
+
+    /// Evaluates at a point.
+    pub fn eval(&self, v: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, &c)| c * eval_monomial(m, v))
+            .sum()
+    }
+
+    /// Iterates `(monomial, coefficient)` pairs in monomial order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, f64)> {
+        self.terms.iter().map(|(m, &c)| (m, c))
+    }
+}
+
+fn eval_monomial(m: &[u32], v: &[f64]) -> f64 {
+    m.iter()
+        .zip(v)
+        .map(|(&e, &x)| x.powi(e as i32))
+        .product()
+}
+
+/// A polynomial whose coefficients are affine forms over the template
+/// unknowns.
+#[derive(Debug, Clone)]
+pub struct UPoly {
+    nvars: usize,
+    n_unknowns: usize,
+    terms: BTreeMap<Monomial, UCoef>,
+}
+
+impl UPoly {
+    /// The zero polynomial over `nvars` program variables and `n_unknowns`
+    /// template unknowns.
+    pub fn zero(nvars: usize, n_unknowns: usize) -> Self {
+        UPoly { nvars, n_unknowns, terms: BTreeMap::new() }
+    }
+
+    /// Number of program variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// Number of template unknowns.
+    pub fn n_unknowns(&self) -> usize {
+        self.n_unknowns
+    }
+
+    /// Adds `coef · μ`.
+    pub fn add_term(&mut self, monomial: Monomial, coef: &UCoef) {
+        debug_assert_eq!(monomial.len(), self.nvars);
+        self.terms
+            .entry(monomial)
+            .or_insert_with(|| UCoef::zero(self.n_unknowns))
+            .add_scaled(coef, 1.0);
+    }
+
+    /// Adds `scale · unknown_idx · μ` (a pure-unknown coefficient).
+    pub fn add_unknown_term(&mut self, monomial: Monomial, unknown_idx: usize, scale: f64) {
+        let mut u = UCoef::zero(self.n_unknowns);
+        u.add_unknown(unknown_idx, scale);
+        self.add_term(monomial, &u);
+    }
+
+    /// Adds `scale · other` in place.
+    pub fn add_scaled(&mut self, other: &UPoly, scale: f64) {
+        for (m, c) in &other.terms {
+            self.terms
+                .entry(m.clone())
+                .or_insert_with(|| UCoef::zero(self.n_unknowns))
+                .add_scaled(c, scale);
+        }
+    }
+
+    /// Adds `u · p` where `u` is an unknown-affine coefficient and `p` a
+    /// constant polynomial — the linear-in-unknowns product that template
+    /// expectation expansion needs.
+    pub fn add_ucoef_times_cpoly(&mut self, u: &UCoef, p: &CPoly) {
+        for (m, c) in p.iter() {
+            let mut scaled = UCoef::zero(self.n_unknowns);
+            scaled.add_scaled(u, c);
+            self.add_term(m.clone(), &scaled);
+        }
+    }
+
+    /// Total degree.
+    pub fn degree(&self) -> u32 {
+        self.terms.keys().map(|m| m.iter().sum()).max().unwrap_or(0)
+    }
+
+    /// Evaluates the polynomial at `(v, x)`: program point and unknown
+    /// assignment.
+    pub fn eval(&self, v: &[f64], x: &[f64]) -> f64 {
+        self.terms
+            .iter()
+            .map(|(m, c)| c.eval(x) * eval_monomial(m, v))
+            .sum()
+    }
+
+    /// Iterates `(monomial, coefficient)` pairs in monomial order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &UCoef)> {
+        self.terms.iter()
+    }
+
+    /// The set of monomials with a (possibly) nonzero coefficient.
+    pub fn monomials(&self) -> impl Iterator<Item = &Monomial> {
+        self.terms.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cpoly_product_expands() {
+        // (x + 1)(x − 1) = x² − 1 over one variable.
+        let a = CPoly::affine(&[1.0], 1.0);
+        let b = CPoly::affine(&[1.0], -1.0);
+        let p = a.mul(&b);
+        assert_eq!(p.degree(), 2);
+        assert_eq!(p.eval(&[3.0]), 8.0);
+        assert_eq!(p.eval(&[0.0]), -1.0);
+    }
+
+    #[test]
+    fn cpoly_cancellation_removes_terms() {
+        let mut p = CPoly::affine(&[2.0, 0.0], 0.0);
+        p.add_scaled(&CPoly::affine(&[-2.0, 0.0], 0.0), 1.0);
+        assert_eq!(p, CPoly::zero(2));
+        assert_eq!(p.degree(), 0);
+    }
+
+    #[test]
+    fn upoly_linear_in_unknowns() {
+        // p = u0·x² + (2u1 − 1)·y over 2 vars, 2 unknowns.
+        let mut p = UPoly::zero(2, 2);
+        p.add_unknown_term(vec![2, 0], 0, 1.0);
+        let mut c = UCoef::zero(2);
+        c.add_unknown(1, 2.0);
+        c.constant = -1.0;
+        p.add_term(vec![0, 1], &c);
+        // At v = (3, 5), x = (u0, u1) = (1, 4): 9 + (8 − 1)·5 = 44.
+        assert_eq!(p.eval(&[3.0, 5.0], &[1.0, 4.0]), 44.0);
+        assert_eq!(p.degree(), 2);
+    }
+
+    #[test]
+    fn ucoef_times_cpoly_distributes() {
+        // u0 · (x + 2) = u0·x + 2u0.
+        let mut p = UPoly::zero(1, 1);
+        let mut u = UCoef::zero(1);
+        u.add_unknown(0, 1.0);
+        p.add_ucoef_times_cpoly(&u, &CPoly::affine(&[1.0], 2.0));
+        assert_eq!(p.eval(&[5.0], &[3.0]), 3.0 * 7.0);
+    }
+
+    #[test]
+    fn monomial_evaluation() {
+        let p = {
+            let mut p = CPoly::zero(3);
+            p.add_term(vec![1, 2, 0], 4.0); // 4·x·y²
+            p
+        };
+        assert_eq!(p.eval(&[2.0, 3.0, 9.0]), 72.0);
+    }
+}

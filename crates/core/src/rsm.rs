@@ -1,0 +1,208 @@
+//! Almost-sure termination certificates via linear ranking
+//! supermartingales (RSMs).
+//!
+//! The lower-bound theory (Theorem 4.4, §6) assumes the PTS terminates
+//! almost surely. The paper proves this side condition manually, noting it
+//! can be automated with ranking-supermartingale synthesis [6, 11]; this
+//! module *is* that automation for the affine/linear case: synthesize
+//! `η(ℓ, v) = a_ℓ·v + b_ℓ` with
+//!
+//! * `η ≥ 0` on `I(ℓ)` for every live location, and
+//! * expected decrease by at least 1 along every transition (absorbing
+//!   destinations count as rank 0),
+//!
+//! via Farkas' lemma and one LP. A feasible solution certifies positive
+//! almost-sure termination (finite expected time), which implies the
+//! almost-sure termination ExpLowSyn needs.
+
+use crate::farkas::{encode_implication, encode_nonnegativity};
+use crate::template::{SolvedTemplate, TemplateSpace, UCoef};
+use qava_lp::{LpBuilder, LpError, VarId};
+use qava_pts::Pts;
+
+/// A successfully synthesized ranking supermartingale.
+#[derive(Debug, Clone)]
+pub struct RsmCertificate {
+    /// The ranking function per live location.
+    pub template: SolvedTemplate,
+    /// `η(ℓ_init, v_init)` — an upper bound on the expected termination
+    /// time in transition steps.
+    pub initial_rank: f64,
+}
+
+/// Errors from [`prove_almost_sure_termination`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RsmError {
+    /// No linear RSM exists — termination may still hold, but this prover
+    /// cannot certify it.
+    NoLinearRsm,
+    /// LP failure.
+    Lp(LpError),
+}
+
+impl std::fmt::Display for RsmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RsmError::NoLinearRsm => write!(f, "no linear ranking supermartingale exists"),
+            RsmError::Lp(e) => write!(f, "LP failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RsmError {}
+
+/// Attempts to certify positive almost-sure termination.
+///
+/// # Errors
+///
+/// See [`RsmError`].
+pub fn prove_almost_sure_termination(pts: &Pts) -> Result<RsmCertificate, RsmError> {
+    let space = TemplateSpace::new(pts, false);
+    let n = space.len();
+    let nvars = pts.num_vars();
+    let mut lp = LpBuilder::new();
+    let unknowns: Vec<VarId> = (0..n).map(|i| lp.add_var(format!("u{i}"))).collect();
+
+    // Non-negativity on every live location's invariant.
+    for l in pts.live_locations() {
+        let c: Vec<UCoef> = (0..nvars)
+            .map(|k| {
+                let mut u = UCoef::zero(n);
+                u.add_unknown(space.a_index(l, k), 1.0);
+                u
+            })
+            .collect();
+        let mut d = UCoef::zero(n);
+        d.add_unknown(space.b_index(l), 1.0);
+        encode_nonnegativity(&mut lp, &unknowns, pts.invariant(l), &c, &d);
+    }
+
+    // Expected decrease ≥ 1 along every transition with satisfiable Ψ.
+    for t in pts.transitions() {
+        let psi = pts.invariant(t.src).intersection(&t.guard);
+        if psi.is_empty() {
+            continue;
+        }
+        // Σ_j p_j·E[η(dst_j)] − η(src) ≤ −1, absorbing dsts contribute 0.
+        let mut c: Vec<UCoef> = (0..nvars).map(|_| UCoef::zero(n)).collect();
+        let mut d = UCoef::constant(n, -1.0);
+        for (k, ck) in c.iter_mut().enumerate() {
+            ck.add_unknown(space.a_index(t.src, k), -1.0);
+        }
+        d.add_unknown(space.b_index(t.src), 1.0);
+        for fork in &t.forks {
+            if pts.is_absorbing(fork.dest) {
+                continue;
+            }
+            let q = fork.update.matrix();
+            for k in 0..nvars {
+                for m in 0..nvars {
+                    if q[(m, k)] != 0.0 {
+                        c[k].add_unknown(space.a_index(fork.dest, m), fork.prob * q[(m, k)]);
+                    }
+                }
+            }
+            let mut mean_offset = fork.update.offset().to_vec();
+            for site in fork.update.samples() {
+                let mu = site.dist.mean();
+                for (m, &cm) in site.coeffs.iter().enumerate() {
+                    mean_offset[m] += mu * cm;
+                }
+            }
+            for (m, &em) in mean_offset.iter().enumerate() {
+                if em != 0.0 {
+                    d.add_unknown(space.a_index(fork.dest, m), -fork.prob * em);
+                }
+            }
+            d.add_unknown(space.b_index(fork.dest), -fork.prob);
+        }
+        encode_implication(&mut lp, &unknowns, &psi, &c, &d);
+    }
+
+    // Any feasible solution certifies; minimize the initial rank to report
+    // a tight expected-time bound.
+    let init = pts.initial_state();
+    let eta_init = space.eta_at(init.loc, &init.vals);
+    let mut obj = qava_lp::LinExpr::new();
+    for (i, &coef) in eta_init.lin.iter().enumerate() {
+        if coef != 0.0 {
+            obj = obj.term(unknowns[i], coef);
+        }
+    }
+    lp.minimize(obj);
+    match lp.solve() {
+        Ok(sol) => {
+            let x: Vec<f64> = unknowns.iter().map(|&v| sol.value(v)).collect();
+            Ok(RsmCertificate {
+                template: SolvedTemplate::from_solution(pts, &space, &x),
+                initial_rank: sol.objective,
+            })
+        }
+        Err(LpError::Infeasible) => Err(RsmError::NoLinearRsm),
+        Err(e) => Err(RsmError::Lp(e)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn bounded_loop_certified() {
+        let src = r"
+            x := 0;
+            while x <= 9 invariant x <= 10 { x := x + 1; }
+            assert false;
+        ";
+        let pts = qava_lang::compile(src, &BTreeMap::new()).unwrap();
+        let cert = prove_almost_sure_termination(&pts).unwrap();
+        assert!(cert.initial_rank >= 10.0, "at least 10 steps needed");
+        assert!(cert.initial_rank <= 60.0, "rank {} too loose", cert.initial_rank);
+    }
+
+    #[test]
+    fn positive_drift_walk_certified() {
+        let src = r"
+            x := 0;
+            while x <= 99 invariant x <= 100 {
+                if prob(0.75) { x := x + 1; } else { x := x - 1; }
+            }
+            assert false;
+        ";
+        let pts = qava_lang::compile(src, &BTreeMap::new()).unwrap();
+        prove_almost_sure_termination(&pts).expect("drift +1/2 walk terminates a.s.");
+    }
+
+    #[test]
+    fn symmetric_walk_has_no_linear_rsm() {
+        // The fair unbounded walk terminates a.s. but not in finite expected
+        // time — no RSM can exist.
+        let src = r"
+            x := 10;
+            while x >= 1 {
+                if prob(0.5) { x := x + 1; } else { x := x - 1; }
+            }
+            assert false;
+        ";
+        let pts = qava_lang::compile(src, &BTreeMap::new()).unwrap();
+        assert_eq!(
+            prove_almost_sure_termination(&pts).unwrap_err(),
+            RsmError::NoLinearRsm
+        );
+    }
+
+    #[test]
+    fn nonterminating_loop_rejected() {
+        let src = r"
+            x := 0;
+            while x >= 0 invariant x >= 0 { x := x + 1; }
+            assert false;
+        ";
+        let pts = qava_lang::compile(src, &BTreeMap::new()).unwrap();
+        assert_eq!(
+            prove_almost_sure_termination(&pts).unwrap_err(),
+            RsmError::NoLinearRsm
+        );
+    }
+}

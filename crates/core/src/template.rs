@@ -1,0 +1,286 @@
+//! Template machinery shared by all three synthesis algorithms.
+//!
+//! Every algorithm sets up an affine template `η(ℓ, v) = a_ℓ·v + b_ℓ` per
+//! location with unknown coefficients (Step 1 of each algorithm in the
+//! paper). [`TemplateSpace`] allocates a dense unknown vector holding all
+//! `a_ℓ`/`b_ℓ` plus any algorithm-specific extras (`ε`, `β`, `ω`, `M`), and
+//! [`UCoef`] is an affine form over those unknowns used when generating
+//! constraints.
+
+use qava_pts::{LocId, Pts};
+
+/// A dense affine form `lin · x + constant` over the template unknowns `x`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UCoef {
+    /// Coefficients, one per unknown.
+    pub lin: Vec<f64>,
+    /// Constant offset.
+    pub constant: f64,
+}
+
+impl UCoef {
+    /// The zero form over `n` unknowns.
+    pub fn zero(n: usize) -> Self {
+        UCoef { lin: vec![0.0; n], constant: 0.0 }
+    }
+
+    /// A constant form.
+    pub fn constant(n: usize, value: f64) -> Self {
+        UCoef { lin: vec![0.0; n], constant: value }
+    }
+
+    /// Adds `scale · x_idx`.
+    pub fn add_unknown(&mut self, idx: usize, scale: f64) {
+        self.lin[idx] += scale;
+    }
+
+    /// Adds `scale · other` in place.
+    pub fn add_scaled(&mut self, other: &UCoef, scale: f64) {
+        for (a, b) in self.lin.iter_mut().zip(&other.lin) {
+            *a += scale * b;
+        }
+        self.constant += scale * other.constant;
+    }
+
+    /// Returns `-self`.
+    #[must_use]
+    pub fn negated(&self) -> UCoef {
+        UCoef { lin: self.lin.iter().map(|c| -c).collect(), constant: -self.constant }
+    }
+
+    /// Evaluates against a concrete unknown assignment.
+    pub fn eval(&self, x: &[f64]) -> f64 {
+        self.constant + self.lin.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+    }
+
+    /// `true` when every coefficient and the constant are zero.
+    pub fn is_zero(&self) -> bool {
+        self.constant == 0.0 && self.lin.iter().all(|&c| c == 0.0)
+    }
+}
+
+/// Allocation of template unknowns for a PTS.
+#[derive(Debug, Clone)]
+pub struct TemplateSpace {
+    /// Per-location offset into the unknown vector (`None` = no template).
+    offsets: Vec<Option<usize>>,
+    nvars: usize,
+    len: usize,
+    extra_names: Vec<String>,
+}
+
+impl TemplateSpace {
+    /// Allocates `a_ℓ ∈ ℝ^n, b_ℓ ∈ ℝ` for every live location, and also for
+    /// `ℓ_t`/`ℓ_f` when `include_absorbing` (RepRSM synthesis templates η on
+    /// all locations; the exponential syntheses fix `θ(ℓ_t) = 0, θ(ℓ_f) = 1`
+    /// instead).
+    pub fn new(pts: &Pts, include_absorbing: bool) -> Self {
+        let nvars = pts.num_vars();
+        let mut offsets = vec![None; pts.num_locations()];
+        let mut len = 0usize;
+        for l in 0..pts.num_locations() {
+            let live = l >= 2;
+            if live || include_absorbing {
+                offsets[l] = Some(len);
+                len += nvars + 1;
+            }
+        }
+        TemplateSpace { offsets, nvars, len, extra_names: Vec::new() }
+    }
+
+    /// Appends an algorithm-specific scalar unknown (`ε`, `ω`, `M`, …) and
+    /// returns its index.
+    pub fn add_extra(&mut self, name: impl Into<String>) -> usize {
+        self.extra_names.push(name.into());
+        self.len += 1;
+        self.len - 1
+    }
+
+    /// Total number of unknowns.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no unknowns were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of program variables.
+    pub fn nvars(&self) -> usize {
+        self.nvars
+    }
+
+    /// `true` when the location carries a template.
+    pub fn has_template(&self, l: LocId) -> bool {
+        self.offsets[l.index()].is_some()
+    }
+
+    /// Index of the coefficient `a_ℓ[var]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location has no template.
+    pub fn a_index(&self, l: LocId, var: usize) -> usize {
+        debug_assert!(var < self.nvars);
+        self.offsets[l.index()].expect("location has no template") + var
+    }
+
+    /// Index of the offset unknown `b_ℓ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location has no template.
+    pub fn b_index(&self, l: LocId) -> usize {
+        self.offsets[l.index()].expect("location has no template") + self.nvars
+    }
+
+    /// The affine form `a_ℓ · point + b_ℓ` (e.g. `η(ℓ_init, v_init)`).
+    pub fn eta_at(&self, l: LocId, point: &[f64]) -> UCoef {
+        let mut u = UCoef::zero(self.len);
+        for (k, &p) in point.iter().enumerate() {
+            u.add_unknown(self.a_index(l, k), p);
+        }
+        u.add_unknown(self.b_index(l), 1.0);
+        u
+    }
+
+    /// Extracts the synthesized affine template of a location from a solved
+    /// unknown vector as `(a, b)`.
+    pub fn extract(&self, l: LocId, x: &[f64]) -> (Vec<f64>, f64) {
+        let a = (0..self.nvars).map(|k| x[self.a_index(l, k)]).collect();
+        (a, x[self.b_index(l)])
+    }
+}
+
+/// A solved template, pretty-printable in the style of the paper's
+/// symbolic Tables 3–5 (`exp(−1.18·x + 0.85·y + 31.79)`).
+#[derive(Debug, Clone)]
+pub struct SolvedTemplate {
+    /// `(location name, a coefficients, b)` triples for live locations.
+    pub per_location: Vec<(String, Vec<f64>, f64)>,
+    /// Program-variable names, aligned with the coefficient vectors.
+    pub var_names: Vec<String>,
+}
+
+impl SolvedTemplate {
+    /// Builds the solved template for every live location.
+    pub fn from_solution(pts: &Pts, space: &TemplateSpace, x: &[f64]) -> Self {
+        let var_names = (0..pts.num_vars())
+            .map(|k| pts.var_name(qava_pts::VarId::from_index(k)).to_string())
+            .collect();
+        let per_location = pts
+            .live_locations()
+            .filter(|&l| space.has_template(l))
+            .map(|l| {
+                let (a, b) = space.extract(l, x);
+                (pts.loc_name(l).to_string(), a, b)
+            })
+            .collect();
+        SolvedTemplate { per_location, var_names }
+    }
+
+    /// Formats one location's exponent as `c1·x + c2·y + b`.
+    pub fn exponent_string(&self, loc_index: usize) -> String {
+        let (_, a, b) = &self.per_location[loc_index];
+        let mut s = String::new();
+        for (coef, name) in a.iter().zip(&self.var_names) {
+            if coef.abs() > 1e-12 {
+                if s.is_empty() {
+                    s.push_str(&format!("{coef:.4}·{name}"));
+                } else if *coef < 0.0 {
+                    s.push_str(&format!(" - {:.4}·{name}", -coef));
+                } else {
+                    s.push_str(&format!(" + {coef:.4}·{name}"));
+                }
+            }
+        }
+        if s.is_empty() {
+            format!("{b:.4}")
+        } else if *b < 0.0 {
+            format!("{s} - {:.4}", -b)
+        } else {
+            format!("{s} + {b:.4}")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qava_pts::{AffineUpdate, Fork, PtsBuilder};
+    use qava_polyhedra::Polyhedron;
+
+    fn tiny_pts() -> Pts {
+        let mut b = PtsBuilder::new();
+        b.add_var("x");
+        b.add_var("y");
+        let head = b.add_location("head");
+        b.set_initial(head, vec![1.0, 2.0]);
+        b.add_transition(
+            head,
+            Polyhedron::universe(2),
+            vec![Fork::new(b.terminal_location(), 1.0, AffineUpdate::identity(2))],
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn allocation_live_only() {
+        let pts = tiny_pts();
+        let space = TemplateSpace::new(&pts, false);
+        assert_eq!(space.len(), 3, "a_x, a_y, b for the single live location");
+        assert!(!space.has_template(pts.terminal_location()));
+        assert!(space.has_template(pts.loc_by_name("head").unwrap()));
+    }
+
+    #[test]
+    fn allocation_with_absorbing() {
+        let pts = tiny_pts();
+        let space = TemplateSpace::new(&pts, true);
+        assert_eq!(space.len(), 9, "three locations x three unknowns");
+        assert!(space.has_template(pts.failure_location()));
+    }
+
+    #[test]
+    fn eta_at_evaluates() {
+        let pts = tiny_pts();
+        let mut space = TemplateSpace::new(&pts, false);
+        let head = pts.loc_by_name("head").unwrap();
+        let eta = space.eta_at(head, &[1.0, 2.0]);
+        // With a = (3, 4), b = 5: η = 3 + 8 + 5 = 16.
+        let mut x = vec![0.0; space.len()];
+        x[space.a_index(head, 0)] = 3.0;
+        x[space.a_index(head, 1)] = 4.0;
+        x[space.b_index(head)] = 5.0;
+        assert_eq!(eta.eval(&x), 16.0);
+        let extra = space.add_extra("epsilon");
+        assert_eq!(extra, 3);
+        assert_eq!(space.len(), 4);
+    }
+
+    #[test]
+    fn ucoef_arithmetic() {
+        let mut u = UCoef::zero(2);
+        u.add_unknown(0, 2.0);
+        u.add_unknown(1, -1.0);
+        let mut v = UCoef::constant(2, 3.0);
+        v.add_scaled(&u, 0.5);
+        assert_eq!(v.eval(&[4.0, 2.0]), 3.0 + 0.5 * (8.0 - 2.0));
+        assert_eq!(u.negated().eval(&[1.0, 1.0]), -1.0);
+        assert!(UCoef::zero(3).is_zero());
+        assert!(!u.is_zero());
+    }
+
+    #[test]
+    fn exponent_string_formats() {
+        let t = SolvedTemplate {
+            per_location: vec![("head".into(), vec![-1.18, 0.85], 31.79)],
+            var_names: vec!["x".into(), "y".into()],
+        };
+        let s = t.exponent_string(0);
+        assert!(s.contains("-1.1800·x"), "{s}");
+        assert!(s.contains("+ 0.8500·y"), "{s}");
+        assert!(s.contains("31.79"), "{s}");
+    }
+}

@@ -1,0 +1,297 @@
+//! Abstract syntax of the `qava` surface language, plus a pretty-printer.
+//!
+//! The language is a close transcription of the paper's program notation:
+//! simultaneous assignments, `if prob(p)`, `switch` over probabilistic arms,
+//! `while` with optional `invariant` annotations, `assert`, and `exit`.
+
+use crate::token::Span;
+
+/// A whole program: declarations followed by statements.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// `param` declarations (overridable constants).
+    pub params: Vec<ParamDecl>,
+    /// `sample` declarations (sampling variables with distributions).
+    pub samples: Vec<SampleDecl>,
+    /// The statement sequence.
+    pub body: Vec<Stmt>,
+}
+
+/// `param NAME = constexpr;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// Default value expression (over earlier params and literals).
+    pub value: Expr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// `sample NAME ~ dist;`
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleDecl {
+    /// Sampling-variable name.
+    pub name: String,
+    /// The declared distribution.
+    pub dist: DistExpr,
+    /// Source location.
+    pub span: Span,
+}
+
+/// Distribution syntax.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DistExpr {
+    /// `uniform(lo, hi)`
+    Uniform(Expr, Expr),
+    /// `discrete(v1: p1, v2: p2, …)`
+    Discrete(Vec<(Expr, Expr)>),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// Simultaneous assignment `x, y := e1, e2;`.
+    Assign {
+        /// Assigned variable names.
+        targets: Vec<String>,
+        /// Right-hand sides, evaluated against the *old* valuation.
+        values: Vec<Expr>,
+        /// Source location.
+        span: Span,
+    },
+    /// `if prob(p) { … } else { … }` — the `else` may be empty.
+    IfProb {
+        /// Branch probability (constant expression).
+        prob: Expr,
+        /// Taken with probability `prob`.
+        then_branch: Vec<Stmt>,
+        /// Taken with probability `1 − prob`.
+        else_branch: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// Deterministic `if cond { … } else { … }`.
+    IfCond {
+        /// Branch condition.
+        cond: Cond,
+        /// Then branch.
+        then_branch: Vec<Stmt>,
+        /// Else branch.
+        else_branch: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `switch { prob(p1): { … } prob(p2): { … } … }`.
+    Switch {
+        /// The probabilistic arms; probabilities must sum to 1.
+        arms: Vec<(Expr, Vec<Stmt>)>,
+        /// Source location.
+        span: Span,
+    },
+    /// `while cond invariant inv { … }`.
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Optional loop-head invariant annotation.
+        invariant: Option<Cond>,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// Source location.
+        span: Span,
+    },
+    /// `assert cond;` — violation jumps to `ℓ_f`.
+    Assert {
+        /// Asserted condition.
+        cond: Cond,
+        /// Source location.
+        span: Span,
+    },
+    /// `exit;` — jump straight to `ℓ_t`.
+    Exit {
+        /// Source location.
+        span: Span,
+    },
+    /// `skip;`
+    Skip {
+        /// Source location.
+        span: Span,
+    },
+}
+
+/// Conditions: `true`, `false`, or a conjunction of comparisons.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    /// Always true.
+    True,
+    /// Always false.
+    False,
+    /// `c1 and c2 and …`
+    Conj(Vec<Comparison>),
+}
+
+/// A single comparison between affine expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comparison {
+    /// Left operand.
+    pub lhs: Expr,
+    /// Relational operator.
+    pub op: RelOp,
+    /// Right operand.
+    pub rhs: Expr,
+}
+
+/// Relational operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    /// `<=`
+    Le,
+    /// `>=`
+    Ge,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `==`
+    Eq,
+}
+
+impl std::fmt::Display for RelOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            RelOp::Le => "<=",
+            RelOp::Ge => ">=",
+            RelOp::Lt => "<",
+            RelOp::Gt => ">",
+            RelOp::Eq => "==",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Arithmetic expressions (affinity over program variables is checked at
+/// lowering time, not in the grammar).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Numeric literal.
+    Num(f64),
+    /// Variable, parameter or sampling-variable reference.
+    Ref(String, Span),
+    /// Unary negation.
+    Neg(Box<Expr>),
+    /// Addition.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// The span of the leftmost reference inside this expression, if any —
+    /// used to point error messages somewhere useful.
+    pub fn some_span(&self) -> Option<Span> {
+        match self {
+            Expr::Num(_) => None,
+            Expr::Ref(_, s) => Some(*s),
+            Expr::Neg(e) => e.some_span(),
+            Expr::Add(a, b) | Expr::Sub(a, b) | Expr::Mul(a, b) | Expr::Div(a, b) => {
+                a.some_span().or_else(|| b.some_span())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Num(v) => write!(f, "{v}"),
+            Expr::Ref(n, _) => write!(f, "{n}"),
+            Expr::Neg(e) => write!(f, "-({e})"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+        }
+    }
+}
+
+impl std::fmt::Display for Cond {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Cond::True => write!(f, "true"),
+            Cond::False => write!(f, "false"),
+            Cond::Conj(cs) => {
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " and ")?;
+                    }
+                    write!(f, "{} {} {}", c.lhs, c.op, c.rhs)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Pretty-prints a statement sequence with `indent` levels of two spaces.
+pub fn pretty(stmts: &[Stmt], indent: usize) -> String {
+    let mut out = String::new();
+    let pad = "  ".repeat(indent);
+    for s in stmts {
+        match s {
+            Stmt::Assign { targets, values, .. } => {
+                let t = targets.join(", ");
+                let v = values.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+                out.push_str(&format!("{pad}{t} := {v};\n"));
+            }
+            Stmt::IfProb { prob, then_branch, else_branch, .. } => {
+                out.push_str(&format!("{pad}if prob({prob}) {{\n"));
+                out.push_str(&pretty(then_branch, indent + 1));
+                if else_branch.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    out.push_str(&pretty(else_branch, indent + 1));
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            Stmt::IfCond { cond, then_branch, else_branch, .. } => {
+                out.push_str(&format!("{pad}if {cond} {{\n"));
+                out.push_str(&pretty(then_branch, indent + 1));
+                if else_branch.is_empty() {
+                    out.push_str(&format!("{pad}}}\n"));
+                } else {
+                    out.push_str(&format!("{pad}}} else {{\n"));
+                    out.push_str(&pretty(else_branch, indent + 1));
+                    out.push_str(&format!("{pad}}}\n"));
+                }
+            }
+            Stmt::Switch { arms, .. } => {
+                out.push_str(&format!("{pad}switch {{\n"));
+                for (p, body) in arms {
+                    out.push_str(&format!("{pad}  prob({p}): {{\n"));
+                    out.push_str(&pretty(body, indent + 2));
+                    out.push_str(&format!("{pad}  }}\n"));
+                }
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::While { cond, invariant, body, .. } => {
+                match invariant {
+                    Some(inv) => {
+                        out.push_str(&format!("{pad}while {cond} invariant {inv} {{\n"))
+                    }
+                    None => out.push_str(&format!("{pad}while {cond} {{\n")),
+                }
+                out.push_str(&pretty(body, indent + 1));
+                out.push_str(&format!("{pad}}}\n"));
+            }
+            Stmt::Assert { cond, .. } => out.push_str(&format!("{pad}assert {cond};\n")),
+            Stmt::Exit { .. } => out.push_str(&format!("{pad}exit;\n")),
+            Stmt::Skip { .. } => out.push_str(&format!("{pad}skip;\n")),
+        }
+    }
+    out
+}

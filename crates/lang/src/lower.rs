@@ -1,0 +1,658 @@
+//! Lowering from the surface AST to a [`qava_pts::Pts`].
+//!
+//! The translation follows the paper's remark that converting imperative
+//! probabilistic programs to PTSs "is a straightforward process", with one
+//! engineering refinement: straight-line assignment blocks are *fused* into
+//! single affine updates carried on transition forks (exact thanks to
+//! [`AffineUpdate::compose_after`]), so locations exist only at control
+//! points — loop heads, probabilistic branches, deterministic branches and
+//! assertions. The resulting PTSs match the paper's hand-drawn figures
+//! (e.g. the tortoise-hare race of Fig. 1 lowers to a single live loop-head
+//! location).
+//!
+//! Conventions:
+//!
+//! * program variables start at 0 and are introduced by assignment;
+//! * falling off the end of the program reaches `ℓ_t`;
+//! * `assert c` branches to `ℓ_f` on `¬c`, with the disjunction `¬c` split
+//!   into mutually exclusive guard polyhedra;
+//! * negated non-strict comparisons become *strict* halfspaces, preserved in
+//!   guards for exact simulation; the synthesis algorithms use their
+//!   closures (sound over-approximation).
+
+use std::collections::BTreeMap;
+
+use crate::ast::*;
+use crate::token::Span;
+use qava_linalg::Matrix;
+use qava_pts::{AffineUpdate, Distribution, Fork, LocId, Pts, PtsBuilder, PtsError};
+use qava_polyhedra::{Halfspace, Polyhedron};
+
+/// An error produced while lowering a parsed program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LowerError {
+    /// What went wrong.
+    pub message: String,
+    /// Source position, when attributable.
+    pub span: Option<Span>,
+}
+
+impl LowerError {
+    fn new(message: impl Into<String>, span: Option<Span>) -> Self {
+        LowerError { message: message.into(), span }
+    }
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.span {
+            Some(s) => write!(f, "lowering error at {s}: {}", self.message),
+            None => write!(f, "lowering error: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+impl From<PtsError> for LowerError {
+    fn from(e: PtsError) -> Self {
+        LowerError::new(format!("invalid transition system: {e}"), None)
+    }
+}
+
+/// Lowers a program, overriding `param` defaults by name.
+///
+/// # Errors
+///
+/// [`LowerError`] on undefined variables, non-affine expressions,
+/// non-constant probabilities, arity or probability-sum violations, or
+/// structural PTS defects.
+pub fn lower(prog: &Program, overrides: &BTreeMap<String, f64>) -> Result<Pts, LowerError> {
+    Lowerer::new(prog, overrides)?.run(prog)
+}
+
+/// The affine normal form of an expression: `var_coeffs·v + Σ site_coef·r + k`.
+#[derive(Debug, Clone)]
+struct AffForm {
+    var_coeffs: Vec<f64>,
+    /// `(sample-declaration index, coefficient)` — one entry per syntactic
+    /// occurrence, each an independent draw.
+    sites: Vec<(usize, f64)>,
+    constant: f64,
+}
+
+impl AffForm {
+    fn constant_only(&self) -> Option<f64> {
+        if self.var_coeffs.iter().all(|&c| c == 0.0) && self.sites.is_empty() {
+            Some(self.constant)
+        } else {
+            None
+        }
+    }
+}
+
+/// A comparison compiled to halfspaces: the positive form and the
+/// disjunctive alternatives of its negation.
+#[derive(Debug, Clone)]
+struct CmpAtom {
+    pos: Vec<Halfspace>,
+    neg: Vec<Vec<Halfspace>>,
+}
+
+/// "Continue by applying `update`, then be at `loc`."
+#[derive(Debug, Clone)]
+struct Frontier {
+    loc: LocId,
+    update: AffineUpdate,
+}
+
+struct Lowerer {
+    builder: PtsBuilder,
+    vars: BTreeMap<String, usize>,
+    params: BTreeMap<String, f64>,
+    sample_names: Vec<String>,
+    sample_dists: Vec<Distribution>,
+    nvars: usize,
+    loc_names_used: BTreeMap<String, usize>,
+}
+
+impl Lowerer {
+    fn new(prog: &Program, overrides: &BTreeMap<String, f64>) -> Result<Self, LowerError> {
+        // Parameters evaluate in order; overrides replace defaults.
+        let mut params: BTreeMap<String, f64> = BTreeMap::new();
+        for decl in &prog.params {
+            let v = match overrides.get(&decl.name) {
+                Some(&v) => v,
+                None => eval_const(&decl.value, &params)?,
+            };
+            params.insert(decl.name.clone(), v);
+        }
+        for name in overrides.keys() {
+            if !params.contains_key(name) {
+                return Err(LowerError::new(format!("unknown parameter override `{name}`"), None));
+            }
+        }
+
+        // Sampling variables.
+        let mut sample_names = Vec::new();
+        let mut sample_dists = Vec::new();
+        for decl in &prog.samples {
+            let dist = match &decl.dist {
+                DistExpr::Uniform(lo, hi) => {
+                    let lo = eval_const(lo, &params)?;
+                    let hi = eval_const(hi, &params)?;
+                    Distribution::Uniform(lo, hi)
+                }
+                DistExpr::Discrete(points) => {
+                    let pts = points
+                        .iter()
+                        .map(|(v, p)| Ok((eval_const(v, &params)?, eval_const(p, &params)?)))
+                        .collect::<Result<Vec<_>, LowerError>>()?;
+                    Distribution::Discrete(pts)
+                }
+            };
+            dist.validate()
+                .map_err(|m| LowerError::new(m, Some(decl.span)))?;
+            sample_names.push(decl.name.clone());
+            sample_dists.push(dist);
+        }
+
+        // Program variables: every assignment target, in first-seen order.
+        let mut vars = BTreeMap::new();
+        let mut order = Vec::new();
+        collect_targets(&prog.body, &mut |name: &str, span: Span| {
+            if params.contains_key(name) {
+                return Err(LowerError::new(
+                    format!("cannot assign to parameter `{name}`"),
+                    Some(span),
+                ));
+            }
+            if sample_names.iter().any(|s| s == name) {
+                return Err(LowerError::new(
+                    format!("cannot assign to sampling variable `{name}`"),
+                    Some(span),
+                ));
+            }
+            if !vars.contains_key(name) {
+                vars.insert(name.to_string(), order.len());
+                order.push(name.to_string());
+            }
+            Ok(())
+        })?;
+
+        let mut builder = PtsBuilder::new();
+        for name in &order {
+            builder.add_var(name.clone());
+        }
+        Ok(Lowerer {
+            builder,
+            nvars: order.len(),
+            vars,
+            params,
+            sample_names,
+            sample_dists,
+            loc_names_used: BTreeMap::new(),
+        })
+    }
+
+    fn run(mut self, prog: &Program) -> Result<Pts, LowerError> {
+        let terminal = self.builder.terminal_location();
+        let end = Frontier { loc: terminal, update: AffineUpdate::identity(self.nvars) };
+        let entry = self.lower_seq(&prog.body, end)?;
+
+        let zeros = vec![0.0; self.nvars];
+        if entry.update.samples().is_empty() {
+            // Constant-fold the initialization prefix into v_init. This also
+            // covers programs whose entry is already absorbing (e.g. an
+            // unconditional `assert false`): the initial location is then
+            // `ℓ_f` itself and the violation probability is trivially 1.
+            let vinit = entry.update.apply_with_draws(&zeros, &[]);
+            self.builder.set_initial(entry.loc, vinit);
+        } else {
+            let e = self.fresh_loc("entry");
+            self.builder.add_transition(
+                e,
+                Polyhedron::universe(self.nvars),
+                vec![Fork::new(entry.loc, 1.0, entry.update)],
+            );
+            self.builder.set_initial(e, zeros);
+        }
+        Ok(qava_pts::simplify(&self.builder.finish()?))
+    }
+
+
+    fn fresh_loc(&mut self, base: &str) -> LocId {
+        let count = self.loc_names_used.entry(base.to_string()).or_insert(0);
+        *count += 1;
+        let name = if *count == 1 { base.to_string() } else { format!("{base}#{count}") };
+        self.builder.add_location(name)
+    }
+
+    fn lower_seq(&mut self, stmts: &[Stmt], follow: Frontier) -> Result<Frontier, LowerError> {
+        let mut frontier = follow;
+        for stmt in stmts.iter().rev() {
+            frontier = self.lower_stmt(stmt, frontier)?;
+        }
+        Ok(frontier)
+    }
+
+    fn lower_stmt(&mut self, stmt: &Stmt, follow: Frontier) -> Result<Frontier, LowerError> {
+        match stmt {
+            Stmt::Skip { .. } => Ok(follow),
+            Stmt::Exit { .. } => Ok(Frontier {
+                loc: self.builder.terminal_location(),
+                update: AffineUpdate::identity(self.nvars),
+            }),
+            Stmt::Assign { targets, values, span } => {
+                let update = self.assignment_update(targets, values, *span)?;
+                Ok(Frontier { loc: follow.loc, update: follow.update.compose_after(&update) })
+            }
+            Stmt::Assert { cond, span } => self.lower_assert(cond, *span, follow),
+            Stmt::IfProb { prob, then_branch, else_branch, span } => {
+                let p = eval_const(prob, &self.params)?;
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(LowerError::new(
+                        format!("branch probability {p} outside [0, 1]"),
+                        Some(*span),
+                    ));
+                }
+                if p >= 1.0 - 1e-12 {
+                    return self.lower_seq(then_branch, follow);
+                }
+                if p <= 1e-12 {
+                    return self.lower_seq(else_branch, follow);
+                }
+                let tf = self.lower_seq(then_branch, follow.clone())?;
+                let ef = self.lower_seq(else_branch, follow)?;
+                let loc = self.fresh_loc(&format!("ifprob@{}", span.line));
+                self.builder.add_transition(
+                    loc,
+                    Polyhedron::universe(self.nvars),
+                    vec![
+                        Fork::new(tf.loc, p, tf.update),
+                        Fork::new(ef.loc, 1.0 - p, ef.update),
+                    ],
+                );
+                Ok(Frontier { loc, update: AffineUpdate::identity(self.nvars) })
+            }
+            Stmt::Switch { arms, span } => {
+                let mut forks = Vec::new();
+                let mut total = 0.0;
+                for (prob, body) in arms {
+                    let p = eval_const(prob, &self.params)?;
+                    if p <= 0.0 || p > 1.0 {
+                        return Err(LowerError::new(
+                            format!("switch arm probability {p} outside (0, 1]"),
+                            Some(*span),
+                        ));
+                    }
+                    total += p;
+                    let f = self.lower_seq(body, follow.clone())?;
+                    forks.push(Fork::new(f.loc, p, f.update));
+                }
+                if (total - 1.0).abs() > 1e-9 {
+                    return Err(LowerError::new(
+                        format!("switch arm probabilities sum to {total}, expected 1"),
+                        Some(*span),
+                    ));
+                }
+                let loc = self.fresh_loc(&format!("switch@{}", span.line));
+                self.builder.add_transition(loc, Polyhedron::universe(self.nvars), forks);
+                Ok(Frontier { loc, update: AffineUpdate::identity(self.nvars) })
+            }
+            Stmt::IfCond { cond, then_branch, else_branch, span } => {
+                match cond {
+                    Cond::True => return self.lower_seq(then_branch, follow),
+                    Cond::False => return self.lower_seq(else_branch, follow),
+                    Cond::Conj(_) => {}
+                }
+                let atoms = self.compile_cond(cond)?;
+                let tf = self.lower_seq(then_branch, follow.clone())?;
+                let ef = self.lower_seq(else_branch, follow)?;
+                let loc = self.fresh_loc(&format!("if@{}", span.line));
+                self.builder.add_transition(
+                    loc,
+                    self.positive_poly(&atoms),
+                    vec![Fork::new(tf.loc, 1.0, tf.update)],
+                );
+                for guard in self.negation_polys(&atoms) {
+                    self.builder.add_transition(
+                        loc,
+                        guard,
+                        vec![Fork::new(ef.loc, 1.0, ef.update.clone())],
+                    );
+                }
+                Ok(Frontier { loc, update: AffineUpdate::identity(self.nvars) })
+            }
+            Stmt::While { cond, invariant, body, span } => {
+                if matches!(cond, Cond::False) {
+                    return Ok(follow);
+                }
+                let loc = self.fresh_loc(&format!("while@{}", span.line));
+                let back = Frontier { loc, update: AffineUpdate::identity(self.nvars) };
+                let bf = self.lower_seq(body, back)?;
+                match cond {
+                    Cond::True => {
+                        self.builder.add_transition(
+                            loc,
+                            Polyhedron::universe(self.nvars),
+                            vec![Fork::new(bf.loc, 1.0, bf.update)],
+                        );
+                    }
+                    Cond::Conj(_) => {
+                        let atoms = self.compile_cond(cond)?;
+                        self.builder.add_transition(
+                            loc,
+                            self.positive_poly(&atoms),
+                            vec![Fork::new(bf.loc, 1.0, bf.update)],
+                        );
+                        for guard in self.negation_polys(&atoms) {
+                            self.builder.add_transition(
+                                loc,
+                                guard,
+                                vec![Fork::new(follow.loc, 1.0, follow.update.clone())],
+                            );
+                        }
+                    }
+                    Cond::False => unreachable!("handled above"),
+                }
+                if let Some(inv) = invariant {
+                    let poly = match inv {
+                        Cond::True => Polyhedron::universe(self.nvars),
+                        Cond::False => {
+                            return Err(LowerError::new(
+                                "`invariant false` would make the loop head unreachable",
+                                Some(*span),
+                            ))
+                        }
+                        Cond::Conj(_) => {
+                            let atoms = self.compile_cond(inv)?;
+                            self.positive_poly(&atoms)
+                        }
+                    };
+                    self.builder.set_invariant(loc, poly);
+                }
+                Ok(Frontier { loc, update: AffineUpdate::identity(self.nvars) })
+            }
+        }
+    }
+
+    fn lower_assert(
+        &mut self,
+        cond: &Cond,
+        span: Span,
+        follow: Frontier,
+    ) -> Result<Frontier, LowerError> {
+        let fail = self.builder.failure_location();
+        match cond {
+            Cond::True => Ok(follow),
+            Cond::False => {
+                Ok(Frontier { loc: fail, update: AffineUpdate::identity(self.nvars) })
+            }
+            Cond::Conj(_) => {
+                let atoms = self.compile_cond(cond)?;
+                let loc = self.fresh_loc(&format!("assert@{}", span.line));
+                self.builder.add_transition(
+                    loc,
+                    self.positive_poly(&atoms),
+                    vec![Fork::new(follow.loc, 1.0, follow.update)],
+                );
+                for guard in self.negation_polys(&atoms) {
+                    self.builder.add_transition(
+                        loc,
+                        guard,
+                        vec![Fork::new(fail, 1.0, AffineUpdate::identity(self.nvars))],
+                    );
+                }
+                Ok(Frontier { loc, update: AffineUpdate::identity(self.nvars) })
+            }
+        }
+    }
+
+    /// Builds the simultaneous-assignment update.
+    fn assignment_update(
+        &self,
+        targets: &[String],
+        values: &[Expr],
+        span: Span,
+    ) -> Result<AffineUpdate, LowerError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for t in targets {
+            if !seen.insert(t) {
+                return Err(LowerError::new(
+                    format!("variable `{t}` assigned twice in one statement"),
+                    Some(span),
+                ));
+            }
+        }
+        let mut mat = Matrix::identity(self.nvars);
+        let mut offset = vec![0.0; self.nvars];
+        let mut update_sites: Vec<(usize, Vec<f64>)> = Vec::new();
+        for (target, value) in targets.iter().zip(values) {
+            let row = self.vars[target];
+            let form = self.eval_expr(value)?;
+            mat.row_mut(row).copy_from_slice(&form.var_coeffs);
+            offset[row] = form.constant;
+            for (site, coef) in form.sites {
+                let mut coeffs = vec![0.0; self.nvars];
+                coeffs[row] = coef;
+                update_sites.push((site, coeffs));
+            }
+        }
+        let mut u = AffineUpdate::new(mat, offset);
+        for (site, coeffs) in update_sites {
+            u = u.with_sample(self.sample_dists[site].clone(), coeffs);
+        }
+        Ok(u)
+    }
+
+    /// Evaluates an expression to affine normal form.
+    fn eval_expr(&self, e: &Expr) -> Result<AffForm, LowerError> {
+        let zero = || AffForm {
+            var_coeffs: vec![0.0; self.nvars],
+            sites: Vec::new(),
+            constant: 0.0,
+        };
+        match e {
+            Expr::Num(v) => {
+                let mut f = zero();
+                f.constant = *v;
+                Ok(f)
+            }
+            Expr::Ref(name, span) => {
+                let mut f = zero();
+                if let Some(&v) = self.params.get(name) {
+                    f.constant = v;
+                } else if let Some(idx) = self.vars.get(name) {
+                    f.var_coeffs[*idx] = 1.0;
+                } else if let Some(idx) = self.sample_names.iter().position(|s| s == name) {
+                    f.sites.push((idx, 1.0));
+                } else {
+                    return Err(LowerError::new(
+                        format!("undefined variable `{name}` (never assigned)"),
+                        Some(*span),
+                    ));
+                }
+                Ok(f)
+            }
+            Expr::Neg(inner) => {
+                let mut f = self.eval_expr(inner)?;
+                for c in &mut f.var_coeffs {
+                    *c = -*c;
+                }
+                for (_, c) in &mut f.sites {
+                    *c = -*c;
+                }
+                f.constant = -f.constant;
+                Ok(f)
+            }
+            Expr::Add(a, b) | Expr::Sub(a, b) => {
+                let fa = self.eval_expr(a)?;
+                let fb = self.eval_expr(b)?;
+                let sign = if matches!(e, Expr::Add(..)) { 1.0 } else { -1.0 };
+                let mut f = fa;
+                for (c, cb) in f.var_coeffs.iter_mut().zip(&fb.var_coeffs) {
+                    *c += sign * cb;
+                }
+                f.sites
+                    .extend(fb.sites.into_iter().map(|(s, c)| (s, sign * c)));
+                f.constant += sign * fb.constant;
+                Ok(f)
+            }
+            Expr::Mul(a, b) => {
+                let fa = self.eval_expr(a)?;
+                let fb = self.eval_expr(b)?;
+                let (k, mut f) = match (fa.constant_only(), fb.constant_only()) {
+                    (Some(k), _) => (k, fb),
+                    (_, Some(k)) => (k, fa),
+                    (None, None) => {
+                        return Err(LowerError::new(
+                            "non-affine product: one factor must be constant",
+                            e.some_span(),
+                        ))
+                    }
+                };
+                for c in &mut f.var_coeffs {
+                    *c *= k;
+                }
+                for (_, c) in &mut f.sites {
+                    *c *= k;
+                }
+                f.constant *= k;
+                Ok(f)
+            }
+            Expr::Div(a, b) => {
+                let fb = self.eval_expr(b)?;
+                let Some(k) = fb.constant_only() else {
+                    return Err(LowerError::new("division by a non-constant", e.some_span()));
+                };
+                if k == 0.0 {
+                    return Err(LowerError::new("division by zero", e.some_span()));
+                }
+                let mut f = self.eval_expr(a)?;
+                for c in &mut f.var_coeffs {
+                    *c /= k;
+                }
+                for (_, c) in &mut f.sites {
+                    *c /= k;
+                }
+                f.constant /= k;
+                Ok(f)
+            }
+        }
+    }
+
+    /// Compiles a conjunction into comparison atoms; sampling variables are
+    /// rejected in conditions.
+    fn compile_cond(&self, cond: &Cond) -> Result<Vec<CmpAtom>, LowerError> {
+        let Cond::Conj(cmps) = cond else {
+            unreachable!("constant conditions handled by callers");
+        };
+        cmps.iter().map(|c| self.compile_comparison(c)).collect()
+    }
+
+    fn compile_comparison(&self, c: &Comparison) -> Result<CmpAtom, LowerError> {
+        let l = self.eval_expr(&c.lhs)?;
+        let r = self.eval_expr(&c.rhs)?;
+        if !l.sites.is_empty() || !r.sites.is_empty() {
+            return Err(LowerError::new(
+                "sampling variables cannot appear in conditions",
+                c.lhs.some_span().or_else(|| c.rhs.some_span()),
+            ));
+        }
+        // d = lhs − rhs = coeffs·v + k.
+        let coeffs: Vec<f64> =
+            l.var_coeffs.iter().zip(&r.var_coeffs).map(|(a, b)| a - b).collect();
+        let k = l.constant - r.constant;
+        let neg_coeffs: Vec<f64> = coeffs.iter().map(|v| -v).collect();
+        // d ≤ 0  ⇔ coeffs·v ≤ −k ; d > 0 ⇔ −coeffs·v < k; etc.
+        let le = Halfspace::le(coeffs.clone(), -k);
+        let ge = Halfspace::le(neg_coeffs.clone(), k);
+        let lt = Halfspace::lt(coeffs.clone(), -k);
+        let gt = Halfspace::lt(neg_coeffs.clone(), k);
+        Ok(match c.op {
+            RelOp::Le => CmpAtom { pos: vec![le], neg: vec![vec![gt]] },
+            RelOp::Ge => CmpAtom { pos: vec![ge], neg: vec![vec![lt]] },
+            RelOp::Lt => CmpAtom { pos: vec![lt], neg: vec![vec![ge]] },
+            RelOp::Gt => CmpAtom { pos: vec![gt], neg: vec![vec![le]] },
+            RelOp::Eq => CmpAtom { pos: vec![le, ge], neg: vec![vec![lt], vec![gt]] },
+        })
+    }
+
+    /// The conjunction of all positive forms.
+    fn positive_poly(&self, atoms: &[CmpAtom]) -> Polyhedron {
+        let cs = atoms.iter().flat_map(|a| a.pos.iter().cloned()).collect();
+        Polyhedron::from_constraints(self.nvars, cs)
+    }
+
+    /// Mutually exclusive split of the negation:
+    /// `¬c₁ ∨ (c₁ ∧ ¬c₂) ∨ (c₁ ∧ c₂ ∧ ¬c₃) ∨ …`, with `==` atoms expanding
+    /// their negation into `<` and `>` alternatives.
+    fn negation_polys(&self, atoms: &[CmpAtom]) -> Vec<Polyhedron> {
+        let mut out = Vec::new();
+        for (i, atom) in atoms.iter().enumerate() {
+            for alt in &atom.neg {
+                let mut cs: Vec<Halfspace> = atoms[..i]
+                    .iter()
+                    .flat_map(|a| a.pos.iter().cloned())
+                    .collect();
+                cs.extend(alt.iter().cloned());
+                out.push(Polyhedron::from_constraints(self.nvars, cs));
+            }
+        }
+        out
+    }
+}
+
+/// Walks statements, reporting each assignment target.
+fn collect_targets(
+    stmts: &[Stmt],
+    f: &mut impl FnMut(&str, Span) -> Result<(), LowerError>,
+) -> Result<(), LowerError> {
+    for s in stmts {
+        match s {
+            Stmt::Assign { targets, span, .. } => {
+                for t in targets {
+                    f(t, *span)?;
+                }
+            }
+            Stmt::IfProb { then_branch, else_branch, .. }
+            | Stmt::IfCond { then_branch, else_branch, .. } => {
+                collect_targets(then_branch, f)?;
+                collect_targets(else_branch, f)?;
+            }
+            Stmt::Switch { arms, .. } => {
+                for (_, body) in arms {
+                    collect_targets(body, f)?;
+                }
+            }
+            Stmt::While { body, .. } => collect_targets(body, f)?,
+            Stmt::Assert { .. } | Stmt::Exit { .. } | Stmt::Skip { .. } => {}
+        }
+    }
+    Ok(())
+}
+
+/// Evaluates a constant expression over parameters.
+fn eval_const(e: &Expr, params: &BTreeMap<String, f64>) -> Result<f64, LowerError> {
+    match e {
+        Expr::Num(v) => Ok(*v),
+        Expr::Ref(name, span) => params.get(name).copied().ok_or_else(|| {
+            LowerError::new(
+                format!("`{name}` is not a parameter (constants may only reference `param`s)"),
+                Some(*span),
+            )
+        }),
+        Expr::Neg(i) => Ok(-eval_const(i, params)?),
+        Expr::Add(a, b) => Ok(eval_const(a, params)? + eval_const(b, params)?),
+        Expr::Sub(a, b) => Ok(eval_const(a, params)? - eval_const(b, params)?),
+        Expr::Mul(a, b) => Ok(eval_const(a, params)? * eval_const(b, params)?),
+        Expr::Div(a, b) => {
+            let d = eval_const(b, params)?;
+            if d == 0.0 {
+                return Err(LowerError::new("division by zero", e.some_span()));
+            }
+            Ok(eval_const(a, params)? / d)
+        }
+    }
+}

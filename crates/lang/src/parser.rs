@@ -1,0 +1,503 @@
+//! Recursive-descent parser for the `qava` surface language.
+//!
+//! Grammar (EBNF, `//` comments allowed anywhere):
+//!
+//! ```text
+//! program    = { decl } , { stmt } ;
+//! decl       = "param" IDENT "=" expr ";"
+//!            | "sample" IDENT "~" dist ";" ;
+//! dist       = "uniform" "(" expr "," expr ")"
+//!            | "discrete" "(" expr ":" expr { "," expr ":" expr } ")" ;
+//! stmt       = IDENT { "," IDENT } ":=" expr { "," expr } ";"
+//!            | "if" "prob" "(" expr ")" block [ "else" block ]
+//!            | "if" cond block [ "else" block ]
+//!            | "switch" "{" { "prob" "(" expr ")" ":" block } "}"
+//!            | "while" cond [ "invariant" cond ] block
+//!            | "assert" cond ";"
+//!            | "exit" ";"
+//!            | "skip" ";" ;
+//! block      = "{" { stmt } "}" ;
+//! cond       = "true" | "false" | cmp { "and" cmp } ;
+//! cmp        = expr ( "<=" | ">=" | "<" | ">" | "==" ) expr ;
+//! expr       = term { ("+" | "-") term } ;
+//! term       = factor { ("*" | "/") factor } ;
+//! factor     = NUMBER | IDENT | "-" factor | "(" expr ")" ;
+//! ```
+
+use crate::ast::*;
+use crate::token::{lex, Keyword, Span, Token, TokenKind};
+
+/// A parse error with source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Where.
+    pub span: Span,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<crate::token::LexError> for ParseError {
+    fn from(e: crate::token::LexError) -> Self {
+        ParseError { message: e.message, span: e.span }
+    }
+}
+
+/// Parses a complete program.
+///
+/// # Errors
+///
+/// [`ParseError`] pointing at the first offending token.
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.pos].clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if &self.peek().kind == kind {
+            Ok(self.bump())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn eat_keyword(&mut self, k: Keyword) -> bool {
+        if self.peek().kind == TokenKind::Keyword(k) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_keyword(&mut self, k: Keyword, what: &str) -> Result<(), ParseError> {
+        if self.eat_keyword(k) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {what}, found {:?}", self.peek().kind)))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Span), ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.bump();
+                Ok((name, span))
+            }
+            other => Err(self.err_here(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    fn err_here(&self, message: String) -> ParseError {
+        ParseError { message, span: self.peek().span }
+    }
+
+    // ---- grammar productions ----
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut params = Vec::new();
+        let mut samples = Vec::new();
+        loop {
+            if self.peek().kind == TokenKind::Keyword(Keyword::Param) {
+                let span = self.bump().span;
+                let (name, _) = self.ident("parameter name")?;
+                self.expect(&TokenKind::Eq, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                params.push(ParamDecl { name, value, span });
+            } else if self.peek().kind == TokenKind::Keyword(Keyword::Sample) {
+                let span = self.bump().span;
+                let (name, _) = self.ident("sampling-variable name")?;
+                self.expect(&TokenKind::Tilde, "`~`")?;
+                let dist = self.dist()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                samples.push(SampleDecl { name, dist, span });
+            } else {
+                break;
+            }
+        }
+        let mut body = Vec::new();
+        while self.peek().kind != TokenKind::Eof {
+            body.push(self.stmt()?);
+        }
+        Ok(Program { params, samples, body })
+    }
+
+    fn dist(&mut self) -> Result<DistExpr, ParseError> {
+        if self.eat_keyword(Keyword::Uniform) {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let lo = self.expr()?;
+            self.expect(&TokenKind::Comma, "`,`")?;
+            let hi = self.expr()?;
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Ok(DistExpr::Uniform(lo, hi))
+        } else if self.eat_keyword(Keyword::Discrete) {
+            self.expect(&TokenKind::LParen, "`(`")?;
+            let mut points = Vec::new();
+            loop {
+                let value = self.expr()?;
+                self.expect(&TokenKind::Colon, "`:`")?;
+                let prob = self.expr()?;
+                points.push((value, prob));
+                if self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.expect(&TokenKind::RParen, "`)`")?;
+            Ok(DistExpr::Discrete(points))
+        } else {
+            Err(self.err_here("expected `uniform` or `discrete`".into()))
+        }
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while self.peek().kind != TokenKind::RBrace {
+            if self.peek().kind == TokenKind::Eof {
+                return Err(self.err_here("unterminated block (missing `}`)".into()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump();
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        let span = self.peek().span;
+        match self.peek().kind.clone() {
+            TokenKind::Keyword(Keyword::If) => {
+                self.bump();
+                // `if prob(p)` vs deterministic `if cond`.
+                if self.peek().kind == TokenKind::Keyword(Keyword::Prob) {
+                    self.bump();
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let prob = self.expr()?;
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    let then_branch = self.block()?;
+                    let else_branch = if self.eat_keyword(Keyword::Else) {
+                        self.block()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::IfProb { prob, then_branch, else_branch, span })
+                } else {
+                    let cond = self.cond()?;
+                    let then_branch = self.block()?;
+                    let else_branch = if self.eat_keyword(Keyword::Else) {
+                        self.block()?
+                    } else {
+                        Vec::new()
+                    };
+                    Ok(Stmt::IfCond { cond, then_branch, else_branch, span })
+                }
+            }
+            TokenKind::Keyword(Keyword::Switch) => {
+                self.bump();
+                self.expect(&TokenKind::LBrace, "`{`")?;
+                let mut arms = Vec::new();
+                while self.peek().kind != TokenKind::RBrace {
+                    self.expect_keyword(Keyword::Prob, "`prob`")?;
+                    self.expect(&TokenKind::LParen, "`(`")?;
+                    let p = self.expr()?;
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    self.expect(&TokenKind::Colon, "`:`")?;
+                    let body = self.block()?;
+                    arms.push((p, body));
+                }
+                self.bump();
+                if arms.is_empty() {
+                    return Err(self.err_here("switch needs at least one arm".into()));
+                }
+                Ok(Stmt::Switch { arms, span })
+            }
+            TokenKind::Keyword(Keyword::While) => {
+                self.bump();
+                let cond = self.cond()?;
+                let invariant = if self.eat_keyword(Keyword::Invariant) {
+                    Some(self.cond()?)
+                } else {
+                    None
+                };
+                let body = self.block()?;
+                Ok(Stmt::While { cond, invariant, body, span })
+            }
+            TokenKind::Keyword(Keyword::Assert) => {
+                self.bump();
+                let cond = self.cond()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Assert { cond, span })
+            }
+            TokenKind::Keyword(Keyword::Exit) => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Exit { span })
+            }
+            TokenKind::Keyword(Keyword::Skip) => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Skip { span })
+            }
+            TokenKind::Ident(_) => {
+                let mut targets = Vec::new();
+                let (first, _) = self.ident("variable")?;
+                targets.push(first);
+                while self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                    let (next, _) = self.ident("variable")?;
+                    targets.push(next);
+                }
+                self.expect(&TokenKind::Assign, "`:=`")?;
+                let mut values = vec![self.expr()?];
+                while self.peek().kind == TokenKind::Comma {
+                    self.bump();
+                    values.push(self.expr()?);
+                }
+                self.expect(&TokenKind::Semi, "`;`")?;
+                if targets.len() != values.len() {
+                    return Err(ParseError {
+                        message: format!(
+                            "assignment arity mismatch: {} targets, {} values",
+                            targets.len(),
+                            values.len()
+                        ),
+                        span,
+                    });
+                }
+                Ok(Stmt::Assign { targets, values, span })
+            }
+            other => Err(self.err_here(format!("expected a statement, found {other:?}"))),
+        }
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseError> {
+        if self.eat_keyword(Keyword::True) {
+            return Ok(Cond::True);
+        }
+        if self.eat_keyword(Keyword::False) {
+            return Ok(Cond::False);
+        }
+        let mut cmps = vec![self.comparison()?];
+        while self.eat_keyword(Keyword::And) {
+            cmps.push(self.comparison()?);
+        }
+        Ok(Cond::Conj(cmps))
+    }
+
+    fn comparison(&mut self) -> Result<Comparison, ParseError> {
+        let lhs = self.expr()?;
+        let op = match self.peek().kind {
+            TokenKind::Le => RelOp::Le,
+            TokenKind::Ge => RelOp::Ge,
+            TokenKind::Lt => RelOp::Lt,
+            TokenKind::Gt => RelOp::Gt,
+            TokenKind::EqEq => RelOp::Eq,
+            _ => {
+                return Err(
+                    self.err_here("expected a comparison operator (<=, >=, <, >, ==)".into())
+                )
+            }
+        };
+        self.bump();
+        let rhs = self.expr()?;
+        Ok(Comparison { lhs, op, rhs })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            match self.peek().kind {
+                TokenKind::Plus => {
+                    self.bump();
+                    lhs = Expr::Add(Box::new(lhs), Box::new(self.term()?));
+                }
+                TokenKind::Minus => {
+                    self.bump();
+                    lhs = Expr::Sub(Box::new(lhs), Box::new(self.term()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            match self.peek().kind {
+                TokenKind::Star => {
+                    self.bump();
+                    lhs = Expr::Mul(Box::new(lhs), Box::new(self.factor()?));
+                }
+                TokenKind::Slash => {
+                    self.bump();
+                    lhs = Expr::Div(Box::new(lhs), Box::new(self.factor()?));
+                }
+                _ => return Ok(lhs),
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Number(v) => {
+                self.bump();
+                Ok(Expr::Num(v))
+            }
+            TokenKind::Ident(name) => {
+                let span = self.peek().span;
+                self.bump();
+                Ok(Expr::Ref(name, span))
+            }
+            TokenKind::Minus => {
+                self.bump();
+                Ok(Expr::Neg(Box::new(self.factor()?)))
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(e)
+            }
+            other => Err(self.err_here(format!("expected an expression, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_race_program() {
+        let src = r"
+            x := 40; y := 0;
+            while x <= 99 and y <= 99 invariant x <= 100 and y <= 101 {
+                if prob(0.5) { x, y := x + 1, y + 2; } else { x := x + 1; }
+            }
+            assert x >= 100;
+        ";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.body.len(), 4);
+        assert!(matches!(prog.body[2], Stmt::While { .. }));
+        assert!(matches!(prog.body[3], Stmt::Assert { .. }));
+    }
+
+    #[test]
+    fn parses_switch() {
+        let src = r"
+            x := 0;
+            switch {
+                prob(0.75): { x := x + 1; }
+                prob(0.25): { x := x - 1; }
+            }
+        ";
+        let prog = parse(src).unwrap();
+        match &prog.body[1] {
+            Stmt::Switch { arms, .. } => assert_eq!(arms.len(), 2),
+            other => panic!("expected switch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_params_and_samples() {
+        let src = r"
+            param N = 500;
+            param p = 1e-7;
+            sample r ~ uniform(0, 1);
+            sample d ~ discrete(0: 0.5, 1: 0.5);
+            x := r + d;
+        ";
+        let prog = parse(src).unwrap();
+        assert_eq!(prog.params.len(), 2);
+        assert_eq!(prog.samples.len(), 2);
+        assert!(matches!(prog.samples[0].dist, DistExpr::Uniform(..)));
+    }
+
+    #[test]
+    fn parses_probability_expressions() {
+        let src = r"
+            param p = 1e-7;
+            x := 0;
+            switch {
+                prob(p): { exit; }
+                prob(0.75 * (1 - p)): { x := x + 1; }
+                prob(0.25 * (1 - p)): { x := x - 1; }
+            }
+        ";
+        parse(src).unwrap();
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = parse("x, y := 1;").unwrap_err();
+        assert!(err.message.contains("arity"));
+    }
+
+    #[test]
+    fn error_points_at_position() {
+        let err = parse("x := ;").unwrap_err();
+        assert_eq!(err.span.line, 1);
+        assert_eq!(err.span.col, 6);
+    }
+
+    #[test]
+    fn unterminated_block_caught() {
+        let err = parse("while x <= 1 { x := x + 1;").unwrap_err();
+        assert!(err.message.contains("unterminated") || err.message.contains('}'));
+    }
+
+    #[test]
+    fn assert_false_is_valid() {
+        let prog = parse("assert false;").unwrap();
+        assert!(matches!(&prog.body[0], Stmt::Assert { cond: Cond::False, .. }));
+    }
+
+    #[test]
+    fn empty_switch_rejected() {
+        assert!(parse("switch { }").is_err());
+    }
+
+    #[test]
+    fn pretty_roundtrip_parses() {
+        let src = r"
+            x := 40; y := 0;
+            while x <= 99 and y <= 99 {
+                if prob(0.5) { x, y := x + 1, y + 2; } else { x := x + 1; }
+            }
+            assert x >= 100;
+        ";
+        let prog = parse(src).unwrap();
+        let printed = crate::ast::pretty(&prog.body, 0);
+        let reparsed = parse(&printed).unwrap();
+        assert_eq!(prog.body.len(), reparsed.body.len());
+    }
+}

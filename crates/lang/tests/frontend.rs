@@ -1,0 +1,266 @@
+//! End-to-end frontend tests: semantic checks of the lowering pipeline
+//! (parse → lower → simplify → propagate) through the public `compile`
+//! API, beyond the unit tests inside the parser/lexer modules.
+
+use qava_lang::{compile, CompileError};
+use std::collections::BTreeMap;
+
+fn no_params() -> BTreeMap<String, f64> {
+    BTreeMap::new()
+}
+
+#[test]
+fn empty_program_terminates_trivially() {
+    let pts = compile("x := 0;", &no_params()).unwrap();
+    assert_eq!(pts.initial_state().loc, pts.terminal_location());
+}
+
+#[test]
+fn assert_false_alone_is_certain_violation() {
+    let pts = compile("x := 0; assert false;", &no_params()).unwrap();
+    assert_eq!(pts.initial_state().loc, pts.failure_location());
+}
+
+#[test]
+fn initialization_prefix_constant_folds() {
+    let pts = compile(
+        r"
+        a := 3; b := a + 4; c := 2 * b - a;
+        while c >= 1 invariant c >= 0 { c := c - 1; }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap();
+    // a = 3, b = 7, c = 11, all folded into v_init.
+    assert_eq!(pts.initial_state().vals, vec![3.0, 7.0, 11.0]);
+}
+
+#[test]
+fn parameter_override_reaches_guards() {
+    let src = r"
+        param n = 5;
+        x := 0;
+        while x <= n - 1 invariant x >= 0 and x <= n { x := x + 1; }
+        assert x >= n;
+    ";
+    for n in [5.0, 17.0] {
+        let mut params = BTreeMap::new();
+        params.insert("n".to_string(), n);
+        let pts = compile(src, &params).unwrap();
+        let head = pts.initial_state().loc;
+        // The loop guard must mention n − 1.
+        let loop_guard = pts
+            .transitions()
+            .iter()
+            .find(|t| t.src == head && t.forks.iter().any(|f| f.dest == head))
+            .expect("loop transition");
+        assert!(loop_guard.guard.contains(&[n - 1.0], 1e-9));
+        assert!(!loop_guard.guard.contains(&[n], 1e-9));
+    }
+}
+
+#[test]
+fn unknown_override_rejected() {
+    let mut params = BTreeMap::new();
+    params.insert("zz".to_string(), 1.0);
+    let e = compile("x := 0; assert false;", &params).unwrap_err();
+    assert!(matches!(e, CompileError::Lower(_)), "{e}");
+    assert!(e.to_string().contains("zz"), "{e}");
+}
+
+#[test]
+fn undefined_variable_has_position() {
+    let e = compile("x := y + 1; assert false;", &no_params()).unwrap_err();
+    let msg = e.to_string();
+    assert!(msg.contains('y'), "{msg}");
+    assert!(msg.contains("1:"), "diagnostic should carry a line: {msg}");
+}
+
+#[test]
+fn nonaffine_product_rejected() {
+    let e = compile("x := 2; x := x * x; assert false;", &no_params()).unwrap_err();
+    assert!(e.to_string().contains("non-affine"), "{e}");
+}
+
+#[test]
+fn division_by_zero_rejected() {
+    let e = compile("x := 1 / 0; assert false;", &no_params()).unwrap_err();
+    assert!(e.to_string().contains("zero"), "{e}");
+}
+
+#[test]
+fn switch_probabilities_must_sum_to_one() {
+    let e = compile(
+        r"
+        x := 0;
+        switch { prob(0.5): { skip; } prob(0.4): { skip; } }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("sum"), "{e}");
+}
+
+#[test]
+fn out_of_range_branch_probability_rejected() {
+    let e = compile("x := 0; if prob(1.5) { skip; } else { skip; } assert false;", &no_params())
+        .unwrap_err();
+    assert!(e.to_string().contains("outside"), "{e}");
+}
+
+#[test]
+fn degenerate_branch_probabilities_collapse() {
+    // prob(1) and prob(0) branches disappear instead of creating
+    // zero-probability forks (which the PTS model forbids).
+    let pts = compile(
+        r"
+        x := 0;
+        if prob(1) { x := 5; } else { x := 7; }
+        while x >= 1 invariant x >= 0 { x := x - 1; }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap();
+    assert_eq!(pts.initial_state().vals, vec![5.0]);
+}
+
+#[test]
+fn equality_condition_splits_into_three_guards() {
+    let pts = compile(
+        r"
+        x := 0; y := 0;
+        while y <= 9 invariant y >= 0 and y <= 10 {
+            if x == 0 { y := y + 1; } else { y := y + 2; }
+        }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap();
+    // x == 0 plus its two strict complements; all three must route
+    // somewhere from the if location (which fusion folds into the head).
+    let head = pts.initial_state().loc;
+    let outgoing = pts.transitions().iter().filter(|t| t.src == head).count();
+    assert!(outgoing >= 3, "expected the == split to survive, got {outgoing}");
+}
+
+#[test]
+fn simultaneous_assignment_is_simultaneous() {
+    // x, y := y, x swaps — a sequential reading would duplicate.
+    let pts = compile(
+        r"
+        x := 1; y := 2;
+        x, y := y, x;
+        while x >= 99 invariant x >= 0 { skip; }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap();
+    assert_eq!(pts.initial_state().vals, vec![2.0, 1.0]);
+}
+
+#[test]
+fn duplicate_assignment_target_rejected() {
+    let e = compile("x, x := 1, 2; assert false;", &no_params()).unwrap_err();
+    assert!(e.to_string().contains("twice"), "{e}");
+}
+
+#[test]
+fn sample_in_condition_rejected() {
+    let e = compile(
+        r"
+        sample u ~ uniform(0, 1);
+        x := 0;
+        while x + u <= 5 { x := x + 1; }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("condition"), "{e}");
+}
+
+#[test]
+fn each_sample_occurrence_is_a_fresh_draw() {
+    let pts = compile(
+        r"
+        sample u ~ uniform(0, 1);
+        x := 0;
+        while x <= 10 invariant x >= 0 { x := x + u + u; }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap();
+    let head = pts.initial_state().loc;
+    let t = pts
+        .transitions()
+        .iter()
+        .find(|t| t.src == head && t.forks.iter().any(|f| f.dest == head))
+        .unwrap();
+    assert_eq!(t.forks[0].update.samples().len(), 2, "u + u must be two draws");
+}
+
+#[test]
+fn while_true_loops_forever() {
+    let pts = compile(
+        r"
+        x := 0;
+        while true { x := x + 1; }
+        assert false;
+    ",
+        &no_params(),
+    )
+    .unwrap();
+    // One live location with a single self-loop, never reaching ℓ_f/ℓ_t.
+    let head = pts.initial_state().loc;
+    assert!(pts
+        .transitions()
+        .iter()
+        .filter(|t| t.src == head)
+        .all(|t| t.forks.iter().all(|f| f.dest == head)));
+}
+
+#[test]
+fn invariant_false_rejected() {
+    let e = compile(
+        "x := 0; while x <= 3 invariant false { x := x + 1; } assert false;",
+        &no_params(),
+    )
+    .unwrap_err();
+    assert!(e.to_string().contains("invariant"), "{e}");
+}
+
+#[test]
+fn nested_loops_lower_and_run() {
+    let pts = compile(
+        r"
+        i := 0; total := 0;
+        while i <= 2 invariant i >= 0 and i <= 3 {
+            j := 0;
+            while j <= 1 invariant j >= 0 and j <= 2 {
+                total, j := total + 1, j + 1;
+            }
+            i := i + 1;
+        }
+        assert total <= 5;
+    ",
+        &no_params(),
+    )
+    .unwrap();
+    // Deterministic: 3 × 2 = 6 increments violate total ≤ 5 surely.
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let mut st = pts.initial_state();
+    for _ in 0..100 {
+        match pts.step(&st, &mut rng) {
+            qava_pts::StepOutcome::Moved(s) => st = s,
+            _ => break,
+        }
+    }
+    assert_eq!(st.loc, pts.failure_location());
+}

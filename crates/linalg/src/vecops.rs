@@ -1,0 +1,139 @@
+//! Free functions on `&[f64]` slices.
+//!
+//! Vectors flow between crates as plain `Vec<f64>`; these helpers keep the
+//! call sites short without committing the whole workspace to a wrapper type.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+///
+/// ```
+/// assert_eq!(qava_linalg::vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+/// ```
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`, the classic axpy update.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Returns `alpha * x` as a new vector.
+pub fn scale(alpha: f64, x: &[f64]) -> Vec<f64> {
+    x.iter().map(|v| alpha * v).collect()
+}
+
+/// Element-wise sum `a + b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// Element-wise difference `a - b`.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Maximum absolute entry (`∞`-norm); `0.0` for the empty slice.
+pub fn norm_inf(x: &[f64]) -> f64 {
+    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+}
+
+/// Euclidean norm.
+pub fn norm2(x: &[f64]) -> f64 {
+    dot(x, x).sqrt()
+}
+
+/// Scales `x` so its largest absolute entry is 1; leaves (near-)zero vectors
+/// untouched. Used to keep double-description rays well-conditioned.
+pub fn normalize_inf(x: &mut [f64]) {
+    let m = norm_inf(x);
+    if m > crate::EPS {
+        for v in x.iter_mut() {
+            *v /= m;
+        }
+    }
+}
+
+/// Returns `true` when every entry of `x` is within `tol` of zero.
+pub fn is_zero(x: &[f64], tol: f64) -> bool {
+    x.iter().all(|v| v.abs() <= tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, -2.0, 3.0], &[4.0, 5.0, 6.0]), 12.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, -1.0], &mut y);
+        assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, -0.5, 4.0];
+        assert_eq!(sub(&add(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn norms() {
+        assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
+        assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+        assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn normalize_scales_to_unit_inf_norm() {
+        let mut x = vec![2.0, -8.0, 4.0];
+        normalize_inf(&mut x);
+        assert_eq!(x, vec![0.25, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn normalize_leaves_zero_alone() {
+        let mut x = vec![0.0, 0.0];
+        normalize_inf(&mut x);
+        assert_eq!(x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn is_zero_tolerant() {
+        assert!(is_zero(&[1e-12, -1e-12], 1e-9));
+        assert!(!is_zero(&[1e-3], 1e-9));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn dot_length_mismatch_panics() {
+        dot(&[1.0], &[1.0, 2.0]);
+    }
+}

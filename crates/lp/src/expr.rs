@@ -1,0 +1,139 @@
+//! Sparse linear expressions over LP variables.
+
+/// Opaque identifier of a variable inside an [`crate::LpBuilder`] model.
+///
+/// Ids are only meaningful for the builder that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VarId(usize);
+
+impl VarId {
+    pub(crate) fn from_index(i: usize) -> Self {
+        VarId(i)
+    }
+
+    /// Zero-based declaration index of the variable.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// A sparse affine expression `Σ cᵢ·xᵢ + k`.
+///
+/// Built fluently:
+///
+/// ```
+/// use qava_lp::{LinExpr, LpBuilder};
+/// let mut lp = LpBuilder::new();
+/// let x = lp.add_var("x");
+/// let e = LinExpr::new().term(x, 2.0).constant(1.0);
+/// assert_eq!(e.eval(&[3.0]), 7.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(usize, f64)>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Convenience constructor for a single `coef · var` term.
+    pub fn var(v: VarId, coef: f64) -> Self {
+        LinExpr::new().term(v, coef)
+    }
+
+    /// Adds `coef · var` (accumulating with any existing coefficient on the
+    /// same variable).
+    #[must_use]
+    pub fn term(mut self, v: VarId, coef: f64) -> Self {
+        if coef != 0.0 {
+            self.terms.push((v.0, coef));
+        }
+        self
+    }
+
+    /// Adds a constant offset.
+    #[must_use]
+    pub fn constant(mut self, k: f64) -> Self {
+        self.constant += k;
+        self
+    }
+
+    /// Adds `scale · other` term-wise.
+    #[must_use]
+    pub fn add_scaled(mut self, other: &LinExpr, scale: f64) -> Self {
+        if scale != 0.0 {
+            for &(j, c) in &other.terms {
+                self.terms.push((j, scale * c));
+            }
+            self.constant += scale * other.constant;
+        }
+        self
+    }
+
+    /// The constant offset `k`.
+    pub fn constant_part(&self) -> f64 {
+        self.constant
+    }
+
+    /// Evaluates the expression against a dense assignment of all variables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is shorter than the largest referenced variable.
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.constant + self.terms.iter().map(|&(j, c)| c * values[j]).sum::<f64>()
+    }
+
+    /// Consumes the expression, returning deduplicated `(column, coefficient)`
+    /// pairs and the constant.
+    pub(crate) fn into_parts(self) -> (Vec<(usize, f64)>, f64) {
+        let mut dedup: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for (j, c) in self.terms {
+            *dedup.entry(j).or_insert(0.0) += c;
+        }
+        (dedup.into_iter().filter(|&(_, c)| c != 0.0).collect(), self.constant)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: usize) -> VarId {
+        VarId::from_index(i)
+    }
+
+    #[test]
+    fn eval_matches_terms() {
+        let e = LinExpr::new().term(v(0), 2.0).term(v(2), -1.0).constant(5.0);
+        assert_eq!(e.eval(&[1.0, 9.0, 3.0]), 4.0);
+    }
+
+    #[test]
+    fn duplicate_terms_accumulate() {
+        let e = LinExpr::new().term(v(0), 2.0).term(v(0), 3.0);
+        let (parts, k) = e.into_parts();
+        assert_eq!(parts, vec![(0, 5.0)]);
+        assert_eq!(k, 0.0);
+    }
+
+    #[test]
+    fn cancelling_terms_vanish() {
+        let e = LinExpr::new().term(v(1), 2.0).term(v(1), -2.0);
+        let (parts, _) = e.into_parts();
+        assert!(parts.is_empty());
+    }
+
+    #[test]
+    fn add_scaled_combines() {
+        let a = LinExpr::new().term(v(0), 1.0).constant(2.0);
+        let b = LinExpr::new().term(v(1), 4.0).constant(1.0);
+        // c = x0 + 2 + 0.5·(4·x1 + 1) = x0 + 2·x1 + 2.5
+        let c = a.add_scaled(&b, 0.5);
+        assert_eq!(c.eval(&[1.0, 2.0]), 7.5);
+    }
+}

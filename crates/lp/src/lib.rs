@@ -1,0 +1,478 @@
+#![warn(missing_docs)]
+
+//! A self-contained linear-programming solver.
+//!
+//! Everything in `qava` that goes through Farkas' lemma — repulsing-ranking-
+//! supermartingale synthesis (§5.1 of the paper), the Jensen-strengthened
+//! lower-bound LP (§6), polyhedron emptiness and implication checks — ends in
+//! a linear program. This crate provides:
+//!
+//! * [`LpBuilder`] — incremental model construction with named variables and
+//!   sparse [`LinExpr`] linear expressions;
+//! * a dense **two-phase primal simplex** ([`solve`](LpBuilder::solve)) with
+//!   Dantzig pricing that falls back to Bland's rule once degeneracy is
+//!   detected, so it cannot cycle;
+//! * exact infeasibility / unboundedness reporting via [`LpError`].
+//!
+//! The LPs produced by the synthesis algorithms have at most a few hundred
+//! rows and columns, so a dense tableau is both simple and fast enough.
+//!
+//! # Examples
+//!
+//! ```
+//! use qava_lp::{Cmp, LinExpr, LpBuilder};
+//!
+//! let mut lp = LpBuilder::new();
+//! let x = lp.add_var("x");
+//! let y = lp.add_var("y");
+//! lp.constrain(LinExpr::new().term(x, 1.0).term(y, 2.0), Cmp::Le, 14.0);
+//! lp.constrain(LinExpr::new().term(x, 3.0).term(y, -1.0), Cmp::Ge, 0.0);
+//! lp.constrain(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Le, 2.0);
+//! lp.maximize(LinExpr::new().term(x, 3.0).term(y, 4.0));
+//! let sol = lp.solve()?;
+//! assert!((sol.objective - 34.0).abs() < 1e-7);
+//! # Ok::<(), qava_lp::LpError>(())
+//! ```
+
+mod expr;
+mod simplex;
+
+pub use expr::{LinExpr, VarId};
+pub use simplex::MAX_PIVOTS;
+
+use qava_linalg::EPS;
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    Minimize,
+    Maximize,
+}
+
+/// A stored constraint row: `coeffs · x (cmp) rhs`.
+#[derive(Debug, Clone)]
+struct Row {
+    coeffs: Vec<(usize, f64)>,
+    cmp: Cmp,
+    rhs: f64,
+}
+
+/// Errors returned by [`LpBuilder::solve`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// The constraint system has no feasible point.
+    Infeasible,
+    /// The objective is unbounded over the feasible region.
+    Unbounded,
+    /// The pivot limit was exceeded (numerically pathological input).
+    PivotLimit,
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "linear program is infeasible"),
+            LpError::Unbounded => write!(f, "linear program is unbounded"),
+            LpError::PivotLimit => write!(f, "simplex pivot limit exceeded"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// An optimal solution of a linear program.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    /// Optimal value of the objective, in the direction that was requested.
+    pub objective: f64,
+    values: Vec<f64>,
+}
+
+impl LpSolution {
+    /// Value of variable `v` at the optimum.
+    pub fn value(&self, v: VarId) -> f64 {
+        self.values[v.index()]
+    }
+
+    /// All variable values in declaration order.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Evaluates a linear expression at the optimum.
+    pub fn eval(&self, e: &LinExpr) -> f64 {
+        e.eval(&self.values)
+    }
+}
+
+/// Incremental linear-program builder; see the crate-level example.
+#[derive(Debug, Clone)]
+pub struct LpBuilder {
+    names: Vec<String>,
+    nonneg: Vec<bool>,
+    rows: Vec<Row>,
+    objective: Vec<(usize, f64)>,
+    direction: Direction,
+}
+
+impl Default for LpBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LpBuilder {
+    /// Creates an empty model (minimization of 0 by default).
+    pub fn new() -> Self {
+        LpBuilder {
+            names: Vec::new(),
+            nonneg: Vec::new(),
+            rows: Vec::new(),
+            objective: Vec::new(),
+            direction: Direction::Minimize,
+        }
+    }
+
+    /// Adds a **free** (unbounded-sign) variable and returns its id.
+    pub fn add_var(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.nonneg.push(false);
+        VarId::from_index(self.names.len() - 1)
+    }
+
+    /// Adds a variable constrained to be non-negative.
+    ///
+    /// Declaring non-negativity here instead of via [`constrain`](Self::constrain)
+    /// avoids an extra row in the simplex tableau.
+    pub fn add_var_nonneg(&mut self, name: impl Into<String>) -> VarId {
+        self.names.push(name.into());
+        self.nonneg.push(true);
+        VarId::from_index(self.names.len() - 1)
+    }
+
+    /// Number of declared variables.
+    pub fn num_vars(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of constraint rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Name of a variable (used in `Debug` dumps of synthesized templates).
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.names[v.index()]
+    }
+
+    /// Adds the constraint `expr (cmp) rhs`. Any constant inside `expr` is
+    /// folded onto the right-hand side.
+    pub fn constrain(&mut self, expr: LinExpr, cmp: Cmp, rhs: f64) {
+        let (coeffs, constant) = expr.into_parts();
+        self.rows.push(Row { coeffs, cmp, rhs: rhs - constant });
+    }
+
+    /// Sets the objective to *minimize* `expr`. Constant terms are ignored
+    /// for the pivoting itself; callers that care reconstruct exact values
+    /// via [`LpSolution::eval`].
+    pub fn minimize(&mut self, expr: LinExpr) {
+        let (coeffs, _) = expr.into_parts();
+        self.objective = coeffs;
+        self.direction = Direction::Minimize;
+    }
+
+    /// Sets the objective to *maximize* `expr`.
+    pub fn maximize(&mut self, expr: LinExpr) {
+        let (coeffs, _) = expr.into_parts();
+        self.objective = coeffs;
+        self.direction = Direction::Maximize;
+    }
+
+    /// Runs two-phase simplex.
+    ///
+    /// # Errors
+    ///
+    /// * [`LpError::Infeasible`] — no point satisfies the constraints;
+    /// * [`LpError::Unbounded`] — the objective improves without bound;
+    /// * [`LpError::PivotLimit`] — the solver gave up (pathological input).
+    pub fn solve(&self) -> Result<LpSolution, LpError> {
+        let std = self.to_standard_form();
+        let x_std = simplex::solve_standard(&std.costs, &std.a, &std.b)?;
+        let values = std.recover(&x_std);
+        let objective: f64 = self.objective.iter().map(|&(j, c)| c * values[j]).sum();
+        Ok(LpSolution { objective, values })
+    }
+
+    /// Lowers the model to `min cᵀy, A·y = b, y ≥ 0, b ≥ 0`.
+    fn to_standard_form(&self) -> StandardForm {
+        let n = self.names.len();
+        // Column mapping: non-negative vars keep one column, free vars get a
+        // plus and a minus column.
+        let mut col_of_plus = vec![0usize; n];
+        let mut col_of_minus = vec![usize::MAX; n];
+        let mut ncols = 0usize;
+        for j in 0..n {
+            col_of_plus[j] = ncols;
+            ncols += 1;
+            if !self.nonneg[j] {
+                col_of_minus[j] = ncols;
+                ncols += 1;
+            }
+        }
+        let nslack = self.rows.iter().filter(|r| r.cmp != Cmp::Eq).count();
+        let total = ncols + nslack;
+
+        let m = self.rows.len();
+        let mut a = qava_linalg::Matrix::zeros(m, total);
+        let mut b = vec![0.0; m];
+        let mut slack_idx = ncols;
+        for (i, row) in self.rows.iter().enumerate() {
+            let mut rhs = row.rhs;
+            let mut sign = 1.0;
+            // Normalize so the right-hand side is non-negative.
+            if rhs < 0.0 {
+                sign = -1.0;
+                rhs = -rhs;
+            }
+            for &(j, c) in &row.coeffs {
+                let c = c * sign;
+                a[(i, col_of_plus[j])] += c;
+                if col_of_minus[j] != usize::MAX {
+                    a[(i, col_of_minus[j])] -= c;
+                }
+            }
+            b[i] = rhs;
+            let effective = match (row.cmp, sign < 0.0) {
+                (Cmp::Eq, _) => Cmp::Eq,
+                (Cmp::Le, false) | (Cmp::Ge, true) => Cmp::Le,
+                (Cmp::Ge, false) | (Cmp::Le, true) => Cmp::Ge,
+            };
+            match effective {
+                Cmp::Le => {
+                    a[(i, slack_idx)] = 1.0;
+                    slack_idx += 1;
+                }
+                Cmp::Ge => {
+                    a[(i, slack_idx)] = -1.0;
+                    slack_idx += 1;
+                }
+                Cmp::Eq => {}
+            }
+        }
+
+        let mut costs = vec![0.0; total];
+        let obj_sign = match self.direction {
+            Direction::Minimize => 1.0,
+            Direction::Maximize => -1.0,
+        };
+        for &(j, c) in &self.objective {
+            costs[col_of_plus[j]] += obj_sign * c;
+            if col_of_minus[j] != usize::MAX {
+                costs[col_of_minus[j]] -= obj_sign * c;
+            }
+        }
+
+        StandardForm { costs, a, b, col_of_plus, col_of_minus, num_orig: n }
+    }
+}
+
+/// The standard-form lowering of an [`LpBuilder`] model.
+struct StandardForm {
+    costs: Vec<f64>,
+    a: qava_linalg::Matrix,
+    b: Vec<f64>,
+    col_of_plus: Vec<usize>,
+    col_of_minus: Vec<usize>,
+    num_orig: usize,
+}
+
+impl StandardForm {
+    /// Maps a standard-form solution vector back to original variables.
+    fn recover(&self, x: &[f64]) -> Vec<f64> {
+        (0..self.num_orig)
+            .map(|j| {
+                let plus = x[self.col_of_plus[j]];
+                let minus = if self.col_of_minus[j] == usize::MAX {
+                    0.0
+                } else {
+                    x[self.col_of_minus[j]]
+                };
+                let v = plus - minus;
+                if v.abs() <= EPS {
+                    0.0
+                } else {
+                    v
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn le(lp: &mut LpBuilder, terms: &[(VarId, f64)], rhs: f64) {
+        let mut e = LinExpr::new();
+        for &(v, c) in terms {
+            e = e.term(v, c);
+        }
+        lp.constrain(e, Cmp::Le, rhs);
+    }
+
+    #[test]
+    fn textbook_maximization() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18, x,y >= 0 -> 36.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        let y = lp.add_var_nonneg("y");
+        le(&mut lp, &[(x, 1.0)], 4.0);
+        le(&mut lp, &[(y, 2.0)], 12.0);
+        le(&mut lp, &[(x, 3.0), (y, 2.0)], 18.0);
+        lp.maximize(LinExpr::new().term(x, 3.0).term(y, 5.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 36.0).abs() < 1e-7);
+        assert!((sol.value(x) - 2.0).abs() < 1e-7);
+        assert!((sol.value(y) - 6.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn minimization_with_ge_rows() {
+        // min 2x + 3y s.t. x + y >= 10, x >= 2, y >= 3 -> x=7, y=3, obj 23.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        let y = lp.add_var_nonneg("y");
+        lp.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Ge, 10.0);
+        lp.constrain(LinExpr::new().term(x, 1.0), Cmp::Ge, 2.0);
+        lp.constrain(LinExpr::new().term(y, 1.0), Cmp::Ge, 3.0);
+        lp.minimize(LinExpr::new().term(x, 2.0).term(y, 3.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 23.0).abs() < 1e-7, "got {}", sol.objective);
+    }
+
+    #[test]
+    fn free_variables_go_negative() {
+        // min x s.t. x >= -5 -> -5 with x free.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var("x");
+        lp.constrain(LinExpr::new().term(x, 1.0), Cmp::Ge, -5.0);
+        lp.minimize(LinExpr::new().term(x, 1.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) + 5.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + 2y = 4, x - y = 1 -> x=2, y=1.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.constrain(LinExpr::new().term(x, 1.0).term(y, 2.0), Cmp::Eq, 4.0);
+        lp.constrain(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Eq, 1.0);
+        lp.minimize(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-7);
+        assert!((sol.value(y) - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        lp.constrain(LinExpr::new().term(x, 1.0), Cmp::Le, 1.0);
+        lp.constrain(LinExpr::new().term(x, 1.0), Cmp::Ge, 2.0);
+        lp.minimize(LinExpr::new().term(x, 1.0));
+        assert_eq!(lp.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        lp.maximize(LinExpr::new().term(x, 1.0));
+        assert_eq!(lp.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // Several constraints meet at the optimal vertex.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        let y = lp.add_var_nonneg("y");
+        le(&mut lp, &[(x, 1.0), (y, 1.0)], 1.0);
+        le(&mut lp, &[(x, 1.0)], 1.0);
+        le(&mut lp, &[(y, 1.0)], 1.0);
+        le(&mut lp, &[(x, 2.0), (y, 2.0)], 2.0);
+        lp.maximize(LinExpr::new().term(x, 1.0).term(y, 1.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.objective - 1.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn constants_fold_into_rhs() {
+        // x + 3 <= 5  ==  x <= 2.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        lp.constrain(LinExpr::new().term(x, 1.0).constant(3.0), Cmp::Le, 5.0);
+        lp.maximize(LinExpr::new().term(x, 1.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 2.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn zero_objective_feasibility_probe() {
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var("x");
+        lp.constrain(LinExpr::new().term(x, 1.0), Cmp::Eq, 7.0);
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 7.0).abs() < 1e-7);
+        assert_eq!(sol.objective, 0.0);
+    }
+
+    #[test]
+    fn negative_rhs_rows_normalized() {
+        // -x <= -3  ==  x >= 3.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        lp.constrain(LinExpr::new().term(x, -1.0), Cmp::Le, -3.0);
+        lp.minimize(LinExpr::new().term(x, 1.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 3.0).abs() < 1e-7);
+    }
+
+    #[test]
+    fn eval_on_solution() {
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var("x");
+        lp.constrain(LinExpr::new().term(x, 1.0), Cmp::Eq, 2.0);
+        let sol = lp.solve().unwrap();
+        let e = LinExpr::new().term(x, 10.0).constant(1.0);
+        assert!((sol.eval(&e) - 21.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn redundant_equalities_are_fine() {
+        // x + y = 2 stated twice plus x - y = 0 -> x = y = 1.
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var("x");
+        let y = lp.add_var("y");
+        lp.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Eq, 2.0);
+        lp.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Eq, 2.0);
+        lp.constrain(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Eq, 0.0);
+        lp.minimize(LinExpr::new().term(x, 1.0));
+        let sol = lp.solve().unwrap();
+        assert!((sol.value(x) - 1.0).abs() < 1e-7);
+        assert!((sol.value(y) - 1.0).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random bounded LPs whose feasibility is guaranteed by
+//! construction (box constraints plus random cutting planes through a known
+//! interior point), then check that the reported optimum is (a) feasible and
+//! (b) at least as good as a cloud of random feasible points.
+
+use proptest::prelude::*;
+use qava_lp::{Cmp, LinExpr, LpBuilder, VarId};
+use rand::rngs::StdRng;
+use rand::{Rng as _, SeedableRng as _};
+
+/// A randomly generated LP instance that is feasible by construction: the
+/// anchor point satisfies every constraint.
+#[derive(Debug, Clone)]
+struct RandomLp {
+    dim: usize,
+    /// Rows `(coeffs, rhs)` meaning `coeffs · x <= rhs`.
+    rows: Vec<(Vec<f64>, f64)>,
+    objective: Vec<f64>,
+    anchor: Vec<f64>,
+}
+
+fn random_lp_strategy() -> impl Strategy<Value = RandomLp> {
+    (2usize..5, 1usize..7, any::<u64>()).prop_map(|(dim, ncuts, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let anchor: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        let mut rows = Vec::new();
+        // Bounding box keeps the LP bounded in every direction.
+        for j in 0..dim {
+            let mut pos = vec![0.0; dim];
+            pos[j] = 1.0;
+            rows.push((pos.clone(), anchor[j] + rng.gen_range(0.5..4.0)));
+            let mut neg = vec![0.0; dim];
+            neg[j] = -1.0;
+            rows.push((neg, -anchor[j] + rng.gen_range(0.5..4.0)));
+        }
+        // Random cutting planes kept feasible for the anchor.
+        for _ in 0..ncuts {
+            let coeffs: Vec<f64> = (0..dim).map(|_| rng.gen_range(-3.0..3.0)).collect();
+            let at_anchor: f64 = coeffs.iter().zip(&anchor).map(|(c, a)| c * a).sum();
+            rows.push((coeffs, at_anchor + rng.gen_range(0.1..3.0)));
+        }
+        let objective: Vec<f64> = (0..dim).map(|_| rng.gen_range(-2.0..2.0)).collect();
+        RandomLp { dim, rows, objective, anchor }
+    })
+}
+
+fn build(lp: &RandomLp) -> (LpBuilder, Vec<VarId>) {
+    let mut b = LpBuilder::new();
+    let vars: Vec<VarId> = (0..lp.dim).map(|j| b.add_var(format!("x{j}"))).collect();
+    for (coeffs, rhs) in &lp.rows {
+        let mut e = LinExpr::new();
+        for (j, &c) in coeffs.iter().enumerate() {
+            e = e.term(vars[j], c);
+        }
+        b.constrain(e, Cmp::Le, *rhs);
+    }
+    let mut obj = LinExpr::new();
+    for (j, &c) in lp.objective.iter().enumerate() {
+        obj = obj.term(vars[j], c);
+    }
+    b.minimize(obj);
+    (b, vars)
+}
+
+fn is_feasible(lp: &RandomLp, x: &[f64], tol: f64) -> bool {
+    lp.rows.iter().all(|(coeffs, rhs)| {
+        coeffs.iter().zip(x).map(|(c, v)| c * v).sum::<f64>() <= rhs + tol
+    })
+}
+
+fn objective_at(lp: &RandomLp, x: &[f64]) -> f64 {
+    lp.objective.iter().zip(x).map(|(c, v)| c * v).sum()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The returned optimum is feasible and dominates random feasible points.
+    #[test]
+    fn optimum_is_feasible_and_dominant(instance in random_lp_strategy(), probe_seed in any::<u64>()) {
+        let (builder, vars) = build(&instance);
+        let sol = builder.solve().expect("constructed LP is feasible and bounded");
+        let x: Vec<f64> = vars.iter().map(|&v| sol.value(v)).collect();
+        prop_assert!(is_feasible(&instance, &x, 1e-6), "solver returned infeasible point {x:?}");
+        prop_assert!(is_feasible(&instance, &instance.anchor, 1e-9), "anchor broken by construction");
+
+        // The anchor itself must not beat the optimum.
+        let opt = objective_at(&instance, &x);
+        prop_assert!(opt <= objective_at(&instance, &instance.anchor) + 1e-6);
+
+        // Nor may random feasible perturbations around the anchor.
+        let mut rng = StdRng::seed_from_u64(probe_seed);
+        for _ in 0..50 {
+            let probe: Vec<f64> = instance
+                .anchor
+                .iter()
+                .map(|a| a + rng.gen_range(-1.0..1.0))
+                .collect();
+            if is_feasible(&instance, &probe, 0.0) {
+                prop_assert!(opt <= objective_at(&instance, &probe) + 1e-6,
+                    "probe {probe:?} beats reported optimum");
+            }
+        }
+    }
+
+    /// Solving the same LP twice gives the same optimal value (determinism).
+    #[test]
+    fn deterministic(instance in random_lp_strategy()) {
+        let (b1, _) = build(&instance);
+        let (b2, _) = build(&instance);
+        let o1 = b1.solve().unwrap().objective;
+        let o2 = b2.solve().unwrap().objective;
+        prop_assert!((o1 - o2).abs() < 1e-9);
+    }
+
+    /// Adding a redundant constraint (implied by an existing one) never
+    /// changes the optimum.
+    #[test]
+    fn redundant_row_invariance(instance in random_lp_strategy()) {
+        let (b1, _) = build(&instance);
+        let base = b1.solve().unwrap().objective;
+
+        let mut relaxed = instance.clone();
+        let (coeffs, rhs) = relaxed.rows[0].clone();
+        relaxed.rows.push((coeffs, rhs + 1.0)); // strictly weaker copy
+        let (b2, _) = build(&relaxed);
+        let with_redundant = b2.solve().unwrap().objective;
+        prop_assert!((base - with_redundant).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,341 @@
+//! The double description method (Motzkin–Burger) for polyhedral cones.
+//!
+//! Given rows `a₁ … a_m`, [`cone_generators`] computes a generator
+//! description of the cone `{x ∈ ℝᵈ | aᵢ·x ≤ 0}` as a pair of
+//! *lines* (bidirectional generators spanning the lineality space) and
+//! *extreme rays*. Constraints are inserted incrementally; adjacency of
+//! rays is decided with the standard combinatorial zero-set test, which is
+//! exact for the small dimensions the synthesis algorithms produce
+//! (program-variable spaces of dimension ≤ 6).
+
+use qava_linalg::{vecops, EPS};
+
+/// Generator description of a polyhedral cone:
+/// `C = span(lines) + cone(rays)`.
+#[derive(Debug, Clone, Default)]
+pub struct ConeGenerators {
+    /// Basis vectors of the lineality space (each usable in both directions).
+    pub lines: Vec<Vec<f64>>,
+    /// Extreme rays (non-negative combinations only).
+    pub rays: Vec<Vec<f64>>,
+}
+
+impl ConeGenerators {
+    /// `true` when the cone is exactly `{0}`.
+    pub fn is_trivial(&self) -> bool {
+        self.lines.is_empty() && self.rays.is_empty()
+    }
+
+    /// Membership of `x` in `span(lines) + cone(rays)` is not decided here
+    /// (it needs an LP); this checks the easy necessary condition that some
+    /// generator exists when `x` is nonzero.
+    pub fn generator_count(&self) -> usize {
+        self.lines.len() + self.rays.len()
+    }
+}
+
+/// A candidate ray along with the set of already-processed constraints it
+/// satisfies with equality.
+#[derive(Debug, Clone)]
+struct Ray {
+    v: Vec<f64>,
+    /// Bitmask over constraint indices: bit `i` set ⇔ `aᵢ·v = 0`.
+    zero_set: BitSet,
+}
+
+/// A tiny growable bitset keyed by constraint index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(bits: usize) -> Self {
+        BitSet { words: vec![0; bits.div_ceil(64)] }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn intersection(&self, other: &BitSet) -> BitSet {
+        BitSet {
+            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+        }
+    }
+
+    fn is_subset_of(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+}
+
+/// Computes lines and extreme rays of `{x | rows·x ≤ 0}`.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `dim`.
+pub fn cone_generators(rows: &[Vec<f64>], dim: usize) -> ConeGenerators {
+    for r in rows {
+        assert_eq!(r.len(), dim, "cone_generators: row width mismatch");
+    }
+    let m = rows.len();
+    // Start from the whole space: a line per coordinate axis, no rays.
+    let mut lines: Vec<Vec<f64>> = (0..dim)
+        .map(|j| {
+            let mut e = vec![0.0; dim];
+            e[j] = 1.0;
+            e
+        })
+        .collect();
+    let mut rays: Vec<Ray> = Vec::new();
+
+    for (k, a) in rows.iter().enumerate() {
+        insert_constraint(k, a, m, &mut lines, &mut rays);
+    }
+
+    ConeGenerators { lines, rays: rays.into_iter().map(|r| r.v).collect() }
+}
+
+/// Inserts constraint `a·x ≤ 0` (index `k` of `m`) into the generator pair.
+fn insert_constraint(k: usize, a: &[f64], m: usize, lines: &mut Vec<Vec<f64>>, rays: &mut Vec<Ray>) {
+    // --- Case 1: some line leaves the constraint's hyperplane. ---
+    let pivot = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (i, vecops::dot(a, l)))
+        .filter(|&(_, d)| d.abs() > EPS)
+        .max_by(|x, y| x.1.abs().partial_cmp(&y.1.abs()).unwrap());
+    if let Some((idx, d0)) = pivot {
+        let l0 = lines.swap_remove(idx);
+        // Project the remaining lines and rays onto the hyperplane a·x = 0.
+        for l in lines.iter_mut() {
+            let d = vecops::dot(a, l);
+            if d.abs() > EPS {
+                vecops::axpy(-d / d0, &l0, l);
+                vecops::normalize_inf(l);
+            }
+        }
+        for r in rays.iter_mut() {
+            let d = vecops::dot(a, &r.v);
+            if d.abs() > EPS {
+                vecops::axpy(-d / d0, &l0, &mut r.v);
+                vecops::normalize_inf(&mut r.v);
+            }
+            // Rays were tight for all previous constraints via the lineality
+            // reduction, and are now tight for k as well.
+            r.zero_set.set(k);
+        }
+        // The pivot line itself survives as a one-directional ray pointing
+        // into the feasible side of the new halfspace.
+        let mut v = l0;
+        if d0 > 0.0 {
+            for c in v.iter_mut() {
+                *c = -*c;
+            }
+        }
+        // As a former line, it is tight at every earlier constraint but
+        // strictly inside constraint k.
+        let mut zs = BitSet::new(m);
+        for i in 0..k {
+            zs.set(i);
+        }
+        rays.push(Ray { v, zero_set: zs });
+        return;
+    }
+
+    // --- Case 2: all lines lie on the hyperplane; split the rays. ---
+    let dots: Vec<f64> = rays.iter().map(|r| vecops::dot(a, &r.v)).collect();
+    let any_positive = dots.iter().any(|&d| d > EPS);
+    if !any_positive {
+        // Nothing is cut off; just update tightness flags.
+        for (r, &d) in rays.iter_mut().zip(&dots) {
+            if d.abs() <= EPS {
+                r.zero_set.set(k);
+            }
+        }
+        return;
+    }
+
+    let mut new_rays: Vec<Ray> = Vec::new();
+    for (i, (p, &dp)) in rays.iter().zip(&dots).enumerate() {
+        if dp <= EPS {
+            continue;
+        }
+        for (j, (n, &dn)) in rays.iter().zip(&dots).enumerate() {
+            if dn >= -EPS {
+                continue;
+            }
+            if !adjacent(rays, i, j) {
+                continue;
+            }
+            // Positive combination landing exactly on the hyperplane.
+            let mut v = vecops::scale(dp, &n.v);
+            vecops::axpy(-dn, &p.v, &mut v);
+            vecops::normalize_inf(&mut v);
+            if vecops::is_zero(&v, EPS) {
+                continue;
+            }
+            let mut zs = p.zero_set.intersection(&n.zero_set);
+            zs.set(k);
+            new_rays.push(Ray { v, zero_set: zs });
+        }
+    }
+
+    let mut kept: Vec<Ray> = Vec::new();
+    for (mut r, d) in rays.drain(..).zip(dots) {
+        if d > EPS {
+            continue; // cut off
+        }
+        if d.abs() <= EPS {
+            r.zero_set.set(k);
+        }
+        kept.push(r);
+    }
+    // Deduplicate new rays against each other (identical directions can be
+    // produced by distinct adjacent pairs in degenerate configurations).
+    for cand in new_rays {
+        let dup = kept.iter().any(|r| same_direction(&r.v, &cand.v));
+        if !dup {
+            kept.push(cand);
+        }
+    }
+    *rays = kept;
+}
+
+/// Combinatorial adjacency test: rays `i` and `j` are adjacent iff no third
+/// ray's zero set contains the intersection of theirs.
+fn adjacent(rays: &[Ray], i: usize, j: usize) -> bool {
+    let meet = rays[i].zero_set.intersection(&rays[j].zero_set);
+    !rays
+        .iter()
+        .enumerate()
+        .any(|(t, r)| t != i && t != j && meet.is_subset_of(&r.zero_set))
+}
+
+/// Whether two ∞-normalized vectors point the same way.
+fn same_direction(a: &[f64], b: &[f64]) -> bool {
+    a.iter().zip(b).all(|(x, y)| (x - y).abs() <= 1e-7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn neg(v: &[f64]) -> Vec<f64> {
+        vecops::scale(-1.0, v)
+    }
+
+    #[test]
+    fn negative_quadrant() {
+        // x <= 0, y <= 0: rays -e1, -e2.
+        let g = cone_generators(&[vec![1.0, 0.0], vec![0.0, 1.0]], 2);
+        assert!(g.lines.is_empty());
+        assert_eq!(g.rays.len(), 2);
+        for r in &g.rays {
+            assert!(r[0] <= EPS && r[1] <= EPS);
+        }
+    }
+
+    #[test]
+    fn halfspace_cone_keeps_lineality() {
+        // x + y <= 0 in 2D: lineality along (1,-1), one ray into x+y<0.
+        let g = cone_generators(&[vec![1.0, 1.0]], 2);
+        assert_eq!(g.lines.len(), 1);
+        assert!((g.lines[0][0] + g.lines[0][1]).abs() < 1e-9);
+        assert_eq!(g.rays.len(), 1);
+        assert!(g.rays[0][0] + g.rays[0][1] < 0.0);
+    }
+
+    #[test]
+    fn full_space_when_no_rows() {
+        let g = cone_generators(&[], 3);
+        assert_eq!(g.lines.len(), 3);
+        assert!(g.rays.is_empty());
+    }
+
+    #[test]
+    fn pointed_cone_in_3d() {
+        // The cone x,y,z <= 0 has three extreme rays.
+        let rows = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let g = cone_generators(&rows, 3);
+        assert!(g.lines.is_empty());
+        assert_eq!(g.rays.len(), 3);
+    }
+
+    #[test]
+    fn trivial_cone() {
+        // x <= 0 and -x <= 0 and y <= 0 and -y <= 0: only the origin.
+        let rows = vec![
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![0.0, -1.0],
+        ];
+        let g = cone_generators(&rows, 2);
+        assert!(g.is_trivial(), "got {g:?}");
+    }
+
+    #[test]
+    fn equality_pair_leaves_a_line_through() {
+        // x = 0 (two inequalities) in 3D: cone is the (y,z) plane.
+        let rows = vec![vec![1.0, 0.0, 0.0], vec![-1.0, 0.0, 0.0]];
+        let g = cone_generators(&rows, 3);
+        assert_eq!(g.lines.len(), 2);
+        assert!(g.rays.is_empty(), "rays collapse into the lineality space");
+        for l in &g.lines {
+            assert!(l[0].abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn square_pyramid_cone() {
+        // Cone over a square: z <= 0 with |x| <= -z, |y| <= -z: 4 extreme rays.
+        let rows = vec![
+            vec![1.0, 0.0, 1.0],  // x + z <= 0  (x <= -z)
+            vec![-1.0, 0.0, 1.0], // -x + z <= 0
+            vec![0.0, 1.0, 1.0],
+            vec![0.0, -1.0, 1.0],
+        ];
+        let g = cone_generators(&rows, 3);
+        assert!(g.lines.is_empty());
+        assert_eq!(g.rays.len(), 4, "rays {:?}", g.rays);
+        for r in &g.rays {
+            assert!(r[2] < 0.0);
+            for row in &rows {
+                assert!(vecops::dot(row, r) <= 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn all_rays_feasible_random() {
+        use rand::{rngs::StdRng, Rng as _, SeedableRng as _};
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..50 {
+            let dim = rng.gen_range(2..5);
+            let nrows = rng.gen_range(1..7);
+            let rows: Vec<Vec<f64>> = (0..nrows)
+                .map(|_| (0..dim).map(|_| rng.gen_range(-2.0..2.0_f64).round()).collect())
+                .collect();
+            let g = cone_generators(&rows, dim);
+            for r in &g.rays {
+                for row in &rows {
+                    assert!(
+                        vecops::dot(row, r) <= 1e-6,
+                        "infeasible ray {r:?} for rows {rows:?}"
+                    );
+                }
+            }
+            for l in &g.lines {
+                for row in &rows {
+                    assert!(vecops::dot(row, l).abs() <= 1e-6, "line not on hyperplane");
+                    assert!(vecops::dot(row, &neg(l)).abs() <= 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Human-readable rendering of transition systems, in the spirit of the
+//! paper's Fig. 1 diagram: locations with invariants, guarded transitions
+//! with probability-annotated forks and update formulas.
+
+use crate::model::{LocId, Pts};
+use crate::AffineUpdate;
+use qava_polyhedra::{Halfspace, Polyhedron};
+use std::fmt;
+
+fn fmt_num(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+/// Renders a linear expression `coeffs·v` over the given variable names.
+fn fmt_linear(coeffs: &[f64], names: &[String]) -> String {
+    let mut s = String::new();
+    for (c, name) in coeffs.iter().zip(names) {
+        if *c == 0.0 {
+            continue;
+        }
+        if s.is_empty() {
+            if *c == 1.0 {
+                s.push_str(name);
+            } else if *c == -1.0 {
+                s.push_str(&format!("-{name}"));
+            } else {
+                s.push_str(&format!("{}·{name}", fmt_num(*c)));
+            }
+        } else if *c > 0.0 {
+            if *c == 1.0 {
+                s.push_str(&format!(" + {name}"));
+            } else {
+                s.push_str(&format!(" + {}·{name}", fmt_num(*c)));
+            }
+        } else if *c == -1.0 {
+            s.push_str(&format!(" - {name}"));
+        } else {
+            s.push_str(&format!(" - {}·{name}", fmt_num(-c)));
+        }
+    }
+    if s.is_empty() {
+        s.push('0');
+    }
+    s
+}
+
+fn fmt_halfspace(h: &Halfspace, names: &[String]) -> String {
+    let op = if h.strict { "<" } else { "≤" };
+    format!("{} {op} {}", fmt_linear(&h.coeffs, names), fmt_num(h.rhs))
+}
+
+fn fmt_poly(p: &Polyhedron, names: &[String]) -> String {
+    if p.constraints().is_empty() {
+        return "⊤".to_string();
+    }
+    p.constraints()
+        .iter()
+        .map(|h| fmt_halfspace(h, names))
+        .collect::<Vec<_>>()
+        .join(" ∧ ")
+}
+
+fn fmt_update(u: &AffineUpdate, names: &[String]) -> String {
+    let n = u.dim();
+    let mut parts = Vec::new();
+    for i in 0..n {
+        // Skip identity rows with no offset and no samples touching i.
+        let row = u.matrix().row(i);
+        let identity_row = row
+            .iter()
+            .enumerate()
+            .all(|(j, &c)| if j == i { c == 1.0 } else { c == 0.0 });
+        let sampled = u.samples().iter().any(|s| s.coeffs[i] != 0.0);
+        if identity_row && u.offset()[i] == 0.0 && !sampled {
+            continue;
+        }
+        let mut rhs = fmt_linear(row, names);
+        if u.offset()[i] > 0.0 {
+            rhs.push_str(&format!(" + {}", fmt_num(u.offset()[i])));
+        } else if u.offset()[i] < 0.0 {
+            rhs.push_str(&format!(" - {}", fmt_num(-u.offset()[i])));
+        }
+        for (k, s) in u.samples().iter().enumerate() {
+            if s.coeffs[i] != 0.0 {
+                let c = s.coeffs[i];
+                if c == 1.0 {
+                    rhs.push_str(&format!(" + r{k}"));
+                } else {
+                    rhs.push_str(&format!(" + {}·r{k}", fmt_num(c)));
+                }
+            }
+        }
+        parts.push(format!("{} := {rhs}", names[i]));
+    }
+    if parts.is_empty() {
+        "id".to_string()
+    } else {
+        parts.join(", ")
+    }
+}
+
+impl fmt::Display for Pts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<String> =
+            (0..self.num_vars()).map(|i| self.var_names[i].clone()).collect();
+        let init = self.initial_state();
+        writeln!(
+            f,
+            "PTS over {{{}}} starting at {} with {:?}",
+            names.join(", "),
+            self.loc_name(init.loc),
+            init.vals
+        )?;
+        for l in (0..self.num_locations()).map(LocId::from_index) {
+            let marker = if l == self.terminal_location() {
+                " (ℓ_t)"
+            } else if l == self.failure_location() {
+                " (ℓ_f)"
+            } else {
+                ""
+            };
+            writeln!(
+                f,
+                "  location {}{marker}: invariant {}",
+                self.loc_name(l),
+                fmt_poly(self.invariant(l), &names)
+            )?;
+            for t in self.transitions().iter().filter(|t| t.src == l) {
+                writeln!(f, "    when {}:", fmt_poly(&t.guard, &names))?;
+                for fork in &t.forks {
+                    writeln!(
+                        f,
+                        "      --[{}]--> {} with {}",
+                        fork.prob,
+                        self.loc_name(fork.dest),
+                        fmt_update(&fork.update, &names)
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Distribution, Fork, PtsBuilder};
+
+    fn sample_pts() -> Pts {
+        let mut b = PtsBuilder::new();
+        b.add_var("x");
+        b.add_var("y");
+        let head = b.add_location("head");
+        b.set_initial(head, vec![40.0, 0.0]);
+        b.set_invariant(
+            head,
+            Polyhedron::from_constraints(2, vec![Halfspace::le(vec![1.0, 0.0], 100.0)]),
+        );
+        b.add_transition(
+            head,
+            Polyhedron::from_constraints(2, vec![Halfspace::le(vec![1.0, 0.0], 99.0)]),
+            vec![
+                Fork::new(
+                    head,
+                    0.5,
+                    AffineUpdate::identity(2)
+                        .with_offset(vec![1.0, 2.0])
+                        .with_sample(Distribution::coin(-1.0, 1.0), vec![0.0, 1.0]),
+                ),
+                Fork::new(head, 0.5, AffineUpdate::identity(2).with_offset(vec![1.0, 0.0])),
+            ],
+        );
+        b.add_transition(
+            head,
+            Polyhedron::from_constraints(2, vec![Halfspace::ge(vec![1.0, 0.0], 100.0)]),
+            vec![Fork::new(b.terminal_location(), 1.0, AffineUpdate::identity(2))],
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn display_includes_all_parts() {
+        let s = sample_pts().to_string();
+        assert!(s.contains("starting at head with [40.0, 0.0]"), "{s}");
+        assert!(s.contains("invariant x ≤ 100"), "{s}");
+        assert!(s.contains("when x ≤ 99"), "{s}");
+        assert!(s.contains("--[0.5]--> head with x := x + 1, y := y + 2 + r0"), "{s}");
+        assert!(s.contains("(ℓ_t)"), "{s}");
+    }
+
+    #[test]
+    fn identity_updates_print_as_id() {
+        let s = sample_pts().to_string();
+        assert!(s.contains("--[1]--> terminal with id"), "{s}");
+    }
+
+    #[test]
+    fn linear_rendering_handles_signs() {
+        let names = vec!["x".to_string(), "y".to_string()];
+        assert_eq!(fmt_linear(&[1.0, -1.0], &names), "x - y");
+        assert_eq!(fmt_linear(&[-1.0, 0.0], &names), "-x");
+        assert_eq!(fmt_linear(&[0.0, 0.0], &names), "0");
+        assert_eq!(fmt_linear(&[2.5, 3.0], &names), "2.5·x + 3·y");
+    }
+
+    #[test]
+    fn universe_invariant_prints_top() {
+        let names = vec!["x".to_string()];
+        assert_eq!(fmt_poly(&Polyhedron::universe(1), &names), "⊤");
+    }
+}

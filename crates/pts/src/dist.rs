@@ -1,0 +1,196 @@
+//! Sampling-variable distributions `D(r)` with the moments the synthesis
+//! algorithms need.
+
+use rand::Rng;
+
+/// A probability distribution assigned to a sampling variable.
+///
+/// The synthesis algorithms need the mean (Jensen strengthening, §6), the
+/// support bounds (RepRSM bounded-difference condition (C4), §5.1) and a
+/// closed-form moment-generating function (canonical constraints, §5.2).
+/// All three are exact for every variant here.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Distribution {
+    /// A deterministic value.
+    PointMass(f64),
+    /// A finite discrete distribution over `(value, probability)` pairs.
+    Discrete(Vec<(f64, f64)>),
+    /// The continuous uniform distribution on `[a, b]`.
+    Uniform(f64, f64),
+}
+
+impl Distribution {
+    /// A fair two-point distribution over `{lo, hi}`.
+    pub fn coin(lo: f64, hi: f64) -> Self {
+        Distribution::Discrete(vec![(lo, 0.5), (hi, 0.5)])
+    }
+
+    /// A Bernoulli-style distribution: `hi` with probability `p`, else `lo`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < p < 1`.
+    pub fn bernoulli(p: f64, lo: f64, hi: f64) -> Self {
+        assert!(p > 0.0 && p < 1.0, "bernoulli probability must be in (0,1)");
+        Distribution::Discrete(vec![(lo, 1.0 - p), (hi, p)])
+    }
+
+    /// Checks internal consistency (probabilities positive, summing to 1;
+    /// uniform bounds ordered).
+    pub fn validate(&self) -> Result<(), String> {
+        match self {
+            Distribution::PointMass(v) => {
+                if v.is_finite() {
+                    Ok(())
+                } else {
+                    Err("point mass must be finite".into())
+                }
+            }
+            Distribution::Discrete(points) => {
+                if points.is_empty() {
+                    return Err("discrete distribution needs at least one point".into());
+                }
+                let total: f64 = points.iter().map(|&(_, p)| p).sum();
+                if points.iter().any(|&(_, p)| p <= 0.0) {
+                    return Err("discrete probabilities must be positive".into());
+                }
+                if (total - 1.0).abs() > 1e-9 {
+                    return Err(format!("discrete probabilities sum to {total}, expected 1"));
+                }
+                Ok(())
+            }
+            Distribution::Uniform(a, b) => {
+                if a < b {
+                    Ok(())
+                } else {
+                    Err("uniform support must satisfy a < b".into())
+                }
+            }
+        }
+    }
+
+    /// The expectation `E[r]`.
+    pub fn mean(&self) -> f64 {
+        match self {
+            Distribution::PointMass(v) => *v,
+            Distribution::Discrete(points) => points.iter().map(|&(v, p)| v * p).sum(),
+            Distribution::Uniform(a, b) => (a + b) / 2.0,
+        }
+    }
+
+    /// The second raw moment `E[r²]` — needed when template exponents are
+    /// polynomial (Remark 3/5 of the paper): the expected value of a
+    /// quadratic template under an update involves squares of the draws.
+    pub fn second_moment(&self) -> f64 {
+        match self {
+            Distribution::PointMass(v) => v * v,
+            Distribution::Discrete(points) => points.iter().map(|&(v, p)| v * v * p).sum(),
+            // ∫ x² dx / (b − a) over [a, b] = (a² + ab + b²) / 3.
+            Distribution::Uniform(a, b) => (a * a + a * b + b * b) / 3.0,
+        }
+    }
+
+    /// Inclusive support bounds `(min, max)`.
+    pub fn support_bounds(&self) -> (f64, f64) {
+        match self {
+            Distribution::PointMass(v) => (*v, *v),
+            Distribution::Discrete(points) => {
+                let lo = points.iter().map(|&(v, _)| v).fold(f64::INFINITY, f64::min);
+                let hi = points.iter().map(|&(v, _)| v).fold(f64::NEG_INFINITY, f64::max);
+                (lo, hi)
+            }
+            Distribution::Uniform(a, b) => (*a, *b),
+        }
+    }
+
+    /// The discrete support as `(value, probability)` pairs, or `None` for
+    /// continuous distributions. Point masses read as a single pair.
+    pub fn discrete_points(&self) -> Option<Vec<(f64, f64)>> {
+        match self {
+            Distribution::PointMass(v) => Some(vec![(*v, 1.0)]),
+            Distribution::Discrete(points) => Some(points.clone()),
+            Distribution::Uniform(..) => None,
+        }
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            Distribution::PointMass(v) => *v,
+            Distribution::Discrete(points) => {
+                let mut u: f64 = rng.gen();
+                for &(v, p) in points {
+                    if u < p {
+                        return v;
+                    }
+                    u -= p;
+                }
+                points.last().expect("validated nonempty").0
+            }
+            Distribution::Uniform(a, b) => rng.gen_range(*a..*b),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng as _;
+
+    #[test]
+    fn means() {
+        assert_eq!(Distribution::PointMass(3.0).mean(), 3.0);
+        assert_eq!(Distribution::coin(0.0, 1.0).mean(), 0.5);
+        assert_eq!(Distribution::Uniform(2.0, 4.0).mean(), 3.0);
+        assert!((Distribution::bernoulli(0.25, 0.0, 4.0).mean() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_bounds() {
+        assert_eq!(Distribution::coin(-1.0, 2.0).support_bounds(), (-1.0, 2.0));
+        assert_eq!(Distribution::Uniform(0.0, 1.0).support_bounds(), (0.0, 1.0));
+        assert_eq!(Distribution::PointMass(7.0).support_bounds(), (7.0, 7.0));
+    }
+
+    #[test]
+    fn validation_rejects_bad_distributions() {
+        assert!(Distribution::Discrete(vec![(0.0, 0.4), (1.0, 0.4)]).validate().is_err());
+        assert!(Distribution::Discrete(vec![]).validate().is_err());
+        assert!(Distribution::Discrete(vec![(0.0, -0.5), (1.0, 1.5)]).validate().is_err());
+        assert!(Distribution::Uniform(1.0, 1.0).validate().is_err());
+        assert!(Distribution::coin(0.0, 1.0).validate().is_ok());
+    }
+
+    #[test]
+    fn sampling_respects_support_and_mean() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let d = Distribution::bernoulli(0.3, 0.0, 1.0);
+        let n = 20_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!(v == 0.0 || v == 1.0);
+            total += v;
+        }
+        let mean = total / n as f64;
+        assert!((mean - 0.3).abs() < 0.02, "empirical mean {mean}");
+
+        let u = Distribution::Uniform(-1.0, 3.0);
+        let mut total = 0.0;
+        for _ in 0..n {
+            let v = u.sample(&mut rng);
+            assert!((-1.0..3.0).contains(&v));
+            total += v;
+        }
+        assert!((total / n as f64 - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn discrete_points_roundtrip() {
+        let d = Distribution::coin(1.0, 2.0);
+        assert_eq!(d.discrete_points().unwrap().len(), 2);
+        assert!(Distribution::Uniform(0.0, 1.0).discrete_points().is_none());
+        assert_eq!(Distribution::PointMass(5.0).discrete_points().unwrap(), vec![(5.0, 1.0)]);
+    }
+}

@@ -1,0 +1,65 @@
+#![warn(missing_docs)]
+
+//! Probabilistic Transition Systems (PTSs) — the program model of the paper.
+//!
+//! A PTS `Π = (V, R, D, L, 𝔗, ℓ_init, v_init, ℓ_t, ℓ_f)` (§2 of the paper)
+//! consists of program variables, sampling variables with distributions,
+//! locations including a termination location `ℓ_t` and an
+//! assertion-violation location `ℓ_f`, and guarded probabilistic transitions
+//! whose forks apply affine updates.
+//!
+//! This crate provides:
+//!
+//! * [`Distribution`] — point-mass, finite discrete and uniform
+//!   distributions with means, support bounds and sampling;
+//! * [`AffineUpdate`] — updates `v' = Q·v + Σ_s c_s·r_s + e` with *sampling
+//!   sites* (each site is an independent draw, matching the paper's "sampled
+//!   each time accessed" semantics) and exact composition, so straight-line
+//!   blocks collapse into a single update;
+//! * [`Pts`] / [`PtsBuilder`] — the transition system with per-location
+//!   invariants, plus structural validation (fork probabilities, mutual
+//!   exclusion of guards per Section 2's additional assumption);
+//! * exact execution semantics ([`Pts::step`], used by the `qava-sim`
+//!   Monte-Carlo layer).
+//!
+//! # Examples
+//!
+//! ```
+//! use qava_pts::{AffineUpdate, Fork, PtsBuilder};
+//! use qava_polyhedra::{Halfspace, Polyhedron};
+//!
+//! // while x <= 99 { x += 1 w.p. 3/4; x -= 1 w.p. 1/4 }  — never violates.
+//! let mut b = PtsBuilder::new();
+//! let _x = b.add_var("x");
+//! let head = b.add_location("head");
+//! b.set_initial(head, vec![0.0]);
+//! let inc = AffineUpdate::identity(1).with_offset(vec![1.0]);
+//! let dec = AffineUpdate::identity(1).with_offset(vec![-1.0]);
+//! b.add_transition(
+//!     head,
+//!     Polyhedron::from_constraints(1, vec![Halfspace::le(vec![1.0], 99.0)]),
+//!     vec![Fork::new(head, 0.75, inc), Fork::new(head, 0.25, dec)],
+//! );
+//! let term = b.terminal_location();
+//! b.add_transition(
+//!     head,
+//!     Polyhedron::from_constraints(1, vec![Halfspace::ge(vec![1.0], 100.0)]),
+//!     vec![Fork::new(term, 1.0, AffineUpdate::identity(1))],
+//! );
+//! let pts = b.finish()?;
+//! assert_eq!(pts.num_vars(), 1);
+//! # Ok::<(), qava_pts::PtsError>(())
+//! ```
+
+mod display;
+mod dist;
+mod model;
+pub mod propagate;
+pub mod simplify;
+mod update;
+
+pub use dist::Distribution;
+pub use model::{Fork, LocId, Pts, PtsBuilder, PtsError, State, StepOutcome, Transition, VarId};
+pub use propagate::propagate_invariants;
+pub use simplify::simplify;
+pub use update::{AffineUpdate, SampleSite};

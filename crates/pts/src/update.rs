@@ -1,0 +1,250 @@
+//! Affine update functions `v' = Q·v + Σ_s c_s·r_s + e`.
+//!
+//! Randomness enters through *sampling sites*: each [`SampleSite`] is one
+//! independent draw from a distribution, contributing `c_s · r_s` to the new
+//! valuation. Two sites with the same distribution are still independent
+//! draws — exactly the paper's semantics where a sampling variable is
+//! re-sampled on every access. Keeping sites explicit makes update
+//! composition exact, which in turn lets the language frontend collapse
+//! whole straight-line blocks onto a single transition fork.
+
+use crate::Distribution;
+use qava_linalg::{vecops, Matrix};
+use rand::Rng;
+
+/// One independent random draw feeding an update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SampleSite {
+    /// The distribution sampled at this site.
+    pub dist: Distribution,
+    /// Per-program-variable coefficients of the draw.
+    pub coeffs: Vec<f64>,
+}
+
+/// An affine update `v' = Q·v + Σ_s c_s·r_s + e` over `n` program variables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AffineUpdate {
+    mat: Matrix,
+    samples: Vec<SampleSite>,
+    offset: Vec<f64>,
+}
+
+impl AffineUpdate {
+    /// The identity update over `n` variables.
+    pub fn identity(n: usize) -> Self {
+        AffineUpdate { mat: Matrix::identity(n), samples: Vec::new(), offset: vec![0.0; n] }
+    }
+
+    /// Builds an update from an explicit matrix and offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mat` is not square or `offset.len() != mat.rows()`.
+    pub fn new(mat: Matrix, offset: Vec<f64>) -> Self {
+        assert_eq!(mat.rows(), mat.cols(), "update matrix must be square");
+        assert_eq!(offset.len(), mat.rows(), "offset length mismatch");
+        AffineUpdate { mat, samples: Vec::new(), offset }
+    }
+
+    /// Replaces the constant offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset.len()` differs from the dimension.
+    #[must_use]
+    pub fn with_offset(mut self, offset: Vec<f64>) -> Self {
+        assert_eq!(offset.len(), self.dim(), "offset length mismatch");
+        self.offset = offset;
+        self
+    }
+
+    /// Adds a sampling site contributing `coeffs · r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the dimension.
+    #[must_use]
+    pub fn with_sample(mut self, dist: Distribution, coeffs: Vec<f64>) -> Self {
+        assert_eq!(coeffs.len(), self.dim(), "sample coefficient length mismatch");
+        self.samples.push(SampleSite { dist, coeffs });
+        self
+    }
+
+    /// Convenience: the update `x_j += delta` leaving other variables alone.
+    pub fn increment(n: usize, j: usize, delta: f64) -> Self {
+        let mut offset = vec![0.0; n];
+        offset[j] = delta;
+        AffineUpdate::identity(n).with_offset(offset)
+    }
+
+    /// Number of program variables.
+    pub fn dim(&self) -> usize {
+        self.mat.rows()
+    }
+
+    /// The linear part `Q`.
+    pub fn matrix(&self) -> &Matrix {
+        &self.mat
+    }
+
+    /// The constant part `e`.
+    pub fn offset(&self) -> &[f64] {
+        &self.offset
+    }
+
+    /// The sampling sites.
+    pub fn samples(&self) -> &[SampleSite] {
+        &self.samples
+    }
+
+    /// Applies the update with freshly drawn samples.
+    pub fn apply<R: Rng + ?Sized>(&self, v: &[f64], rng: &mut R) -> Vec<f64> {
+        let mut out = self.mat.mul_vec(v);
+        vecops::axpy(1.0, &self.offset, &mut out);
+        for s in &self.samples {
+            vecops::axpy(s.dist.sample(rng), &s.coeffs, &mut out);
+        }
+        out
+    }
+
+    /// Applies the update with every sample replaced by its mean — the
+    /// expected next valuation `E[upd(v, r)]` used by (C3) of §5.1 and the
+    /// Jensen strengthening of §6.
+    pub fn apply_mean(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = self.mat.mul_vec(v);
+        vecops::axpy(1.0, &self.offset, &mut out);
+        for s in &self.samples {
+            vecops::axpy(s.dist.mean(), &s.coeffs, &mut out);
+        }
+        out
+    }
+
+    /// Applies the update with explicit values for the sampling sites
+    /// (used to enumerate discrete supports in (C4)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `draws.len() != self.samples().len()`.
+    pub fn apply_with_draws(&self, v: &[f64], draws: &[f64]) -> Vec<f64> {
+        assert_eq!(draws.len(), self.samples.len(), "draw count mismatch");
+        let mut out = self.mat.mul_vec(v);
+        vecops::axpy(1.0, &self.offset, &mut out);
+        for (s, &r) in self.samples.iter().zip(draws) {
+            vecops::axpy(r, &s.coeffs, &mut out);
+        }
+        out
+    }
+
+    /// Composition `self ∘ other`: first apply `other`, then `self`.
+    /// Sampling sites stay independent draws.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn compose_after(&self, other: &AffineUpdate) -> AffineUpdate {
+        assert_eq!(self.dim(), other.dim(), "compose: dimension mismatch");
+        let mat = self.mat.mul(&other.mat);
+        let mut offset = self.mat.mul_vec(&other.offset);
+        vecops::axpy(1.0, &self.offset, &mut offset);
+        let mut samples: Vec<SampleSite> = other
+            .samples
+            .iter()
+            .map(|s| SampleSite { dist: s.dist.clone(), coeffs: self.mat.mul_vec(&s.coeffs) })
+            .collect();
+        samples.extend(self.samples.iter().cloned());
+        AffineUpdate { mat, samples, offset }
+    }
+
+    /// `true` when the update involves no randomness.
+    pub fn is_deterministic(&self) -> bool {
+        self.samples.iter().all(|s| matches!(s.dist, Distribution::PointMass(_)))
+    }
+
+    /// `true` when the linear part is zero, i.e. the result ignores the
+    /// previous valuation (constant initialization blocks).
+    pub fn is_constant(&self) -> bool {
+        (0..self.dim()).all(|i| self.mat.row(i).iter().all(|&c| c == 0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng as _;
+
+    #[test]
+    fn increment_applies() {
+        let u = AffineUpdate::increment(3, 1, 2.5);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(u.apply(&[1.0, 2.0, 3.0], &mut rng), vec![1.0, 4.5, 3.0]);
+    }
+
+    #[test]
+    fn composition_matches_sequential_application() {
+        // u1: x := x + 1; u2: (x, y) := (x, y + 2x).
+        let u1 = AffineUpdate::increment(2, 0, 1.0);
+        let mut m = Matrix::identity(2);
+        m[(1, 0)] = 2.0;
+        let u2 = AffineUpdate::new(m, vec![0.0, 0.0]);
+        let composed = u2.compose_after(&u1);
+        let v = vec![3.0, 10.0];
+        let mut rng = StdRng::seed_from_u64(0);
+        let step_by_step = u2.apply(&u1.apply(&v, &mut rng), &mut rng);
+        let at_once = composed.apply(&v, &mut rng);
+        assert_eq!(step_by_step, at_once, "deterministic updates compose exactly");
+    }
+
+    #[test]
+    fn composition_keeps_samples_independent() {
+        // x += coin; then x += coin: two independent draws, variance 2·Var.
+        let coin = Distribution::coin(-1.0, 1.0);
+        let u = AffineUpdate::identity(1).with_sample(coin.clone(), vec![1.0]);
+        let twice = u.compose_after(&u);
+        assert_eq!(twice.samples().len(), 2, "sites must not merge");
+        // Mean application gives x + 0 + 0.
+        assert_eq!(twice.apply_mean(&[5.0]), vec![5.0]);
+        // Some draw must produce 5 ± 2 and some 5 ± 0 over enough samples.
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..100 {
+            let out = twice.apply(&[5.0], &mut rng)[0] as i64;
+            seen.insert(out);
+        }
+        assert!(seen.contains(&3) && seen.contains(&5) && seen.contains(&7), "{seen:?}");
+    }
+
+    #[test]
+    fn apply_mean_uses_distribution_means() {
+        let u = AffineUpdate::identity(1).with_sample(Distribution::Uniform(0.0, 4.0), vec![1.0]);
+        assert_eq!(u.apply_mean(&[1.0]), vec![3.0]);
+    }
+
+    #[test]
+    fn apply_with_draws_is_exact() {
+        let u = AffineUpdate::identity(2)
+            .with_sample(Distribution::coin(0.0, 1.0), vec![1.0, 0.0])
+            .with_sample(Distribution::coin(0.0, 1.0), vec![0.0, -2.0]);
+        assert_eq!(u.apply_with_draws(&[0.0, 0.0], &[1.0, 1.0]), vec![1.0, -2.0]);
+    }
+
+    #[test]
+    fn constant_detection() {
+        let mut zero = Matrix::zeros(2, 2);
+        zero[(0, 0)] = 0.0;
+        let init = AffineUpdate::new(zero, vec![40.0, 0.0]);
+        assert!(init.is_constant());
+        assert!(!AffineUpdate::identity(2).is_constant());
+    }
+
+    #[test]
+    fn sampled_matrix_composition_transforms_coefficients() {
+        // u1: x := x + r (r ~ coin). u2: x := 3x.
+        let u1 = AffineUpdate::identity(1).with_sample(Distribution::coin(0.0, 1.0), vec![1.0]);
+        let mut m = Matrix::zeros(1, 1);
+        m[(0, 0)] = 3.0;
+        let u2 = AffineUpdate::new(m, vec![0.0]);
+        let c = u2.compose_after(&u1);
+        assert_eq!(c.samples()[0].coeffs, vec![3.0], "3·(x + r) needs 3·r");
+    }
+}

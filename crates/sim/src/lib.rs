@@ -1,0 +1,279 @@
+#![warn(missing_docs)]
+
+//! Monte-Carlo estimation of assertion-violation probabilities.
+//!
+//! The paper's algorithms produce *certified* bounds; this crate produces
+//! *empirical* estimates by running the PTS process many times. The test
+//! suite uses it as ground truth: a synthesized upper bound must lie above
+//! the upper end of the confidence interval, a lower bound below its lower
+//! end.
+//!
+//! # Examples
+//!
+//! ```
+//! use qava_pts::{AffineUpdate, Fork, PtsBuilder};
+//! use qava_polyhedra::{Halfspace, Polyhedron};
+//! use qava_sim::Simulator;
+//!
+//! // A coin flip: heads -> violation, tails -> termination.
+//! let mut b = PtsBuilder::new();
+//! b.add_var("x");
+//! let start = b.add_location("start");
+//! b.set_initial(start, vec![0.0]);
+//! b.add_transition(start, Polyhedron::universe(1), vec![
+//!     Fork::new(b.failure_location(), 0.5, AffineUpdate::identity(1)),
+//!     Fork::new(b.terminal_location(), 0.5, AffineUpdate::identity(1)),
+//! ]);
+//! let pts = b.finish()?;
+//! let est = Simulator::new(42).estimate_violation(&pts, 20_000, 1_000);
+//! assert!((est.probability - 0.5).abs() < 0.02);
+//! # Ok::<(), qava_pts::PtsError>(())
+//! ```
+
+use qava_pts::{Pts, State, StepOutcome};
+use rand::rngs::StdRng;
+use rand::SeedableRng as _;
+
+/// Outcome of a single trial run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrialOutcome {
+    /// Reached `ℓ_t`.
+    Terminated,
+    /// Reached `ℓ_f`.
+    Violated,
+    /// Neither absorbing location reached within the step budget.
+    TimedOut,
+    /// No guard applied at some state (incomplete PTS).
+    Stuck,
+}
+
+/// An empirical violation-probability estimate with a normal-approximation
+/// confidence interval.
+#[derive(Debug, Clone, Copy)]
+pub struct Estimate {
+    /// Number of trials run.
+    pub trials: usize,
+    /// Trials that ended in `ℓ_f`.
+    pub violations: usize,
+    /// Trials that ran out of steps (counted in neither direction; a large
+    /// value makes the estimate untrustworthy).
+    pub timeouts: usize,
+    /// Trials that got stuck (PTS completeness violation).
+    pub stuck: usize,
+    /// Point estimate `violations / trials`.
+    pub probability: f64,
+    /// Half-width of the 99% normal-approximation confidence interval.
+    pub ci_half_width: f64,
+}
+
+impl Estimate {
+    /// Upper end of the 99% confidence interval, clamped to `[0, 1]`;
+    /// timed-out trials are counted as potential violations so the interval
+    /// stays conservative.
+    pub fn upper_ci(&self) -> f64 {
+        let p_max = (self.violations + self.timeouts) as f64 / self.trials as f64;
+        (p_max + self.ci_half_width).min(1.0)
+    }
+
+    /// Lower end of the 99% confidence interval, clamped to `[0, 1]`.
+    pub fn lower_ci(&self) -> f64 {
+        (self.probability - self.ci_half_width).max(0.0)
+    }
+}
+
+/// A seeded Monte-Carlo runner.
+#[derive(Debug)]
+pub struct Simulator {
+    rng: StdRng,
+}
+
+impl Simulator {
+    /// Creates a simulator with a deterministic seed.
+    pub fn new(seed: u64) -> Self {
+        Simulator { rng: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Runs one trial from the initial state, up to `max_steps` steps.
+    pub fn run_trial(&mut self, pts: &Pts, max_steps: usize) -> TrialOutcome {
+        let mut state = pts.initial_state();
+        for _ in 0..max_steps {
+            if state.loc == pts.terminal_location() {
+                return TrialOutcome::Terminated;
+            }
+            if state.loc == pts.failure_location() {
+                return TrialOutcome::Violated;
+            }
+            match pts.step(&state, &mut self.rng) {
+                StepOutcome::Moved(next) => state = next,
+                StepOutcome::Absorbed => unreachable!("absorbing handled above"),
+                StepOutcome::Stuck => return TrialOutcome::Stuck,
+            }
+        }
+        match state.loc {
+            l if l == pts.terminal_location() => TrialOutcome::Terminated,
+            l if l == pts.failure_location() => TrialOutcome::Violated,
+            _ => TrialOutcome::TimedOut,
+        }
+    }
+
+    /// Runs one trial from an explicit state (used by the value-iteration
+    /// cross-checks).
+    pub fn run_trial_from(&mut self, pts: &Pts, start: State, max_steps: usize) -> TrialOutcome {
+        let mut state = start;
+        for _ in 0..max_steps {
+            if state.loc == pts.terminal_location() {
+                return TrialOutcome::Terminated;
+            }
+            if state.loc == pts.failure_location() {
+                return TrialOutcome::Violated;
+            }
+            match pts.step(&state, &mut self.rng) {
+                StepOutcome::Moved(next) => state = next,
+                StepOutcome::Absorbed => unreachable!("absorbing handled above"),
+                StepOutcome::Stuck => return TrialOutcome::Stuck,
+            }
+        }
+        TrialOutcome::TimedOut
+    }
+
+    /// Estimates the violation probability over `trials` runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `trials == 0`.
+    pub fn estimate_violation(&mut self, pts: &Pts, trials: usize, max_steps: usize) -> Estimate {
+        assert!(trials > 0, "at least one trial required");
+        let mut violations = 0usize;
+        let mut timeouts = 0usize;
+        let mut stuck = 0usize;
+        for _ in 0..trials {
+            match self.run_trial(pts, max_steps) {
+                TrialOutcome::Violated => violations += 1,
+                TrialOutcome::TimedOut => timeouts += 1,
+                TrialOutcome::Stuck => stuck += 1,
+                TrialOutcome::Terminated => {}
+            }
+        }
+        let p = violations as f64 / trials as f64;
+        // 99% normal-approximation CI (z = 2.576) with a 1/n slack for the
+        // degenerate p ∈ {0, 1} cases.
+        let half = 2.576 * (p * (1.0 - p) / trials as f64).sqrt() + 1.0 / trials as f64;
+        Estimate {
+            trials,
+            violations,
+            timeouts,
+            stuck,
+            probability: p,
+            ci_half_width: half,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qava_pts::{AffineUpdate, Distribution, Fork, PtsBuilder};
+    use qava_polyhedra::{Halfspace, Polyhedron};
+
+    /// Fig. 2's asymmetric walk with time bound: x: 0→100 with p=3/4 up;
+    /// violation iff more than `tmax` iterations elapse.
+    fn rdwalk(tmax: f64) -> Pts {
+        let mut b = PtsBuilder::new();
+        b.add_var("x");
+        b.add_var("t");
+        let head = b.add_location("head");
+        b.set_initial(head, vec![0.0, 0.0]);
+        let step = AffineUpdate::identity(2)
+            .with_offset(vec![0.0, 1.0])
+            .with_sample(Distribution::bernoulli(0.75, -1.0, 1.0), vec![1.0, 0.0]);
+        b.add_transition(
+            head,
+            Polyhedron::from_constraints(
+                2,
+                vec![Halfspace::le(vec![1.0, 0.0], 99.0), Halfspace::le(vec![0.0, 1.0], tmax)],
+            ),
+            vec![Fork::new(head, 1.0, step)],
+        );
+        b.add_transition(
+            head,
+            Polyhedron::from_constraints(
+                2,
+                vec![Halfspace::ge(vec![0.0, 1.0], tmax + 1.0)],
+            ),
+            vec![Fork::new(b.failure_location(), 1.0, AffineUpdate::identity(2))],
+        );
+        b.add_transition(
+            head,
+            Polyhedron::from_constraints(
+                2,
+                vec![Halfspace::ge(vec![1.0, 0.0], 100.0), Halfspace::le(vec![0.0, 1.0], tmax)],
+            ),
+            vec![Fork::new(b.terminal_location(), 1.0, AffineUpdate::identity(2))],
+        );
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn tight_deadline_often_violated() {
+        // 100 net-forward steps need ≥ 100 iterations; a 110-step budget is
+        // tight (needs ≥ 195 on average), so violation is overwhelmingly
+        // likely.
+        let pts = rdwalk(110.0);
+        let est = Simulator::new(1).estimate_violation(&pts, 2_000, 5_000);
+        assert!(est.probability > 0.99, "got {}", est.probability);
+        assert_eq!(est.stuck, 0);
+        assert_eq!(est.timeouts, 0);
+    }
+
+    #[test]
+    fn generous_deadline_rarely_violated() {
+        let pts = rdwalk(400.0);
+        let est = Simulator::new(2).estimate_violation(&pts, 2_000, 5_000);
+        assert!(est.probability < 0.01, "got {}", est.probability);
+    }
+
+    #[test]
+    fn ci_brackets_coin() {
+        let mut b = PtsBuilder::new();
+        b.add_var("x");
+        let start = b.add_location("start");
+        b.set_initial(start, vec![0.0]);
+        b.add_transition(
+            start,
+            Polyhedron::universe(1),
+            vec![
+                Fork::new(b.failure_location(), 0.3, AffineUpdate::identity(1)),
+                Fork::new(b.terminal_location(), 0.7, AffineUpdate::identity(1)),
+            ],
+        );
+        let pts = b.finish().unwrap();
+        let est = Simulator::new(3).estimate_violation(&pts, 50_000, 10);
+        assert!(est.lower_ci() <= 0.3 && 0.3 <= est.upper_ci());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = rdwalk(150.0);
+        let a = Simulator::new(9).estimate_violation(&pts, 500, 2_000);
+        let b = Simulator::new(9).estimate_violation(&pts, 500, 2_000);
+        assert_eq!(a.violations, b.violations);
+    }
+
+    #[test]
+    fn timeout_counted() {
+        // No exit transitions: always times out.
+        let mut b = PtsBuilder::new();
+        b.add_var("x");
+        let head = b.add_location("head");
+        b.set_initial(head, vec![0.0]);
+        b.add_transition(
+            head,
+            Polyhedron::universe(1),
+            vec![Fork::new(head, 1.0, AffineUpdate::identity(1))],
+        );
+        let pts = b.finish().unwrap();
+        let est = Simulator::new(4).estimate_violation(&pts, 10, 50);
+        assert_eq!(est.timeouts, 10);
+        assert!(est.upper_ci() >= 1.0 - 1e-9, "timeouts keep the CI conservative");
+    }
+}

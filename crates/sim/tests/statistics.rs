@@ -1,0 +1,123 @@
+//! Statistical behavior of the Monte-Carlo estimator: coverage of the
+//! confidence interval, seed determinism, timeout and stuck accounting.
+
+use qava_sim::{Estimate, Simulator, TrialOutcome};
+use qava_pts::{AffineUpdate, Fork, Pts, PtsBuilder};
+use qava_polyhedra::{Halfspace, Polyhedron};
+
+/// A one-shot coin PTS violating with probability `p`.
+fn coin(p: f64) -> Pts {
+    let mut b = PtsBuilder::new();
+    b.add_var("x");
+    let l = b.add_location("flip");
+    b.set_initial(l, vec![0.0]);
+    b.add_transition(
+        l,
+        Polyhedron::universe(1),
+        vec![
+            Fork::new(b.failure_location(), p, AffineUpdate::identity(1)),
+            Fork::new(b.terminal_location(), 1.0 - p, AffineUpdate::identity(1)),
+        ],
+    );
+    b.finish().unwrap()
+}
+
+/// An infinite counter that never reaches an absorbing location.
+fn diverging() -> Pts {
+    let mut b = PtsBuilder::new();
+    b.add_var("x");
+    let l = b.add_location("spin");
+    b.set_initial(l, vec![0.0]);
+    b.add_transition(
+        l,
+        Polyhedron::universe(1),
+        vec![Fork::new(l, 1.0, AffineUpdate::increment(1, 0, 1.0))],
+    );
+    b.finish().unwrap()
+}
+
+/// A PTS with a guard gap: stuck for x ≥ 10.
+fn incomplete() -> Pts {
+    let mut b = PtsBuilder::new();
+    b.add_var("x");
+    let l = b.add_location("gap");
+    b.set_initial(l, vec![0.0]);
+    b.add_transition(
+        l,
+        Polyhedron::from_constraints(1, vec![Halfspace::le(vec![1.0], 9.0)]),
+        vec![Fork::new(l, 1.0, AffineUpdate::increment(1, 0, 1.0))],
+    );
+    b.finish().unwrap()
+}
+
+#[test]
+fn ci_covers_true_coin_probability() {
+    for (seed, p) in [(1u64, 0.1), (2, 0.5), (3, 0.93)] {
+        let est = Simulator::new(seed).estimate_violation(&coin(p), 30_000, 10);
+        assert!(
+            (est.probability - p).abs() <= est.ci_half_width,
+            "p = {p}: estimate {} ± {} misses",
+            est.probability,
+            est.ci_half_width
+        );
+    }
+}
+
+#[test]
+fn same_seed_same_estimate() {
+    let a = Simulator::new(77).estimate_violation(&coin(0.3), 5_000, 10);
+    let b = Simulator::new(77).estimate_violation(&coin(0.3), 5_000, 10);
+    assert_eq!(a.violations, b.violations);
+    let c = Simulator::new(78).estimate_violation(&coin(0.3), 5_000, 10);
+    assert_ne!(
+        (a.violations, a.timeouts),
+        (c.violations, usize::MAX),
+        "different seed is a different run (sanity)"
+    );
+    let _ = c;
+}
+
+#[test]
+fn diverging_runs_time_out() {
+    let est = Simulator::new(0).estimate_violation(&diverging(), 50, 100);
+    assert_eq!(est.timeouts, 50);
+    assert_eq!(est.violations, 0);
+    // Timeouts widen the conservative upper CI all the way to 1.
+    assert!(est.upper_ci() >= 1.0 - 1e-12);
+    assert_eq!(est.lower_ci(), 0.0);
+}
+
+#[test]
+fn stuck_states_are_reported_not_hidden() {
+    let mut sim = Simulator::new(0);
+    assert_eq!(sim.run_trial(&incomplete(), 1_000), TrialOutcome::Stuck);
+    let est = sim.estimate_violation(&incomplete(), 10, 1_000);
+    assert_eq!(est.stuck, 10);
+}
+
+#[test]
+fn zero_probability_estimate_keeps_positive_ci() {
+    let est = Simulator::new(5).estimate_violation(&coin(1e-12), 1_000, 10);
+    assert_eq!(est.probability, 0.0);
+    assert!(est.ci_half_width > 0.0, "degenerate p = 0 must keep slack");
+    assert!(est.upper_ci() > 0.0);
+}
+
+#[test]
+fn run_trial_from_explicit_state() {
+    let pts = coin(0.5);
+    let mut sim = Simulator::new(0);
+    // Starting directly at an absorbing location resolves immediately.
+    let fail = qava_pts::State { loc: pts.failure_location(), vals: vec![0.0] };
+    assert_eq!(sim.run_trial_from(&pts, fail, 10), TrialOutcome::Violated);
+    let term = qava_pts::State { loc: pts.terminal_location(), vals: vec![0.0] };
+    assert_eq!(sim.run_trial_from(&pts, term, 10), TrialOutcome::Terminated);
+}
+
+#[test]
+fn estimate_fields_consistent() {
+    let est: Estimate = Simulator::new(9).estimate_violation(&coin(0.4), 2_000, 10);
+    assert_eq!(est.trials, 2_000);
+    assert_eq!(est.violations + est.timeouts + est.stuck, est.violations);
+    assert!((est.probability - est.violations as f64 / 2_000.0).abs() < 1e-15);
+}

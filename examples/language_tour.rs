@@ -1,0 +1,122 @@
+//! A tour of the `qava` surface language and the PTS each construct lowers
+//! to: parameters, sampling declarations, probabilistic and deterministic
+//! branching, switches, loops with invariants, asserts and exits.
+//!
+//! ```sh
+//! cargo run --release --example language_tour
+//! ```
+
+use std::collections::BTreeMap;
+
+fn show(title: &str, src: &str, params: &BTreeMap<String, f64>) {
+    println!("── {title} ──");
+    match qava::lang::compile(src, params) {
+        Err(e) => println!("  compile error: {e}"),
+        Ok(pts) => {
+            let init = pts.initial_state();
+            println!(
+                "  {} vars, {} live locations, {} transitions; starts at `{}` with {:?}",
+                pts.num_vars(),
+                pts.live_locations().count(),
+                pts.transitions().len(),
+                pts.loc_name(init.loc),
+                init.vals,
+            );
+            let mut sim = qava::sim::Simulator::new(7);
+            let est = sim.estimate_violation(&pts, 50_000, 100_000);
+            println!("  empirical violation probability ≈ {:.4}", est.probability);
+        }
+    }
+    println!();
+}
+
+fn main() {
+    // Simultaneous assignment keeps updates affine and exact; straight-line
+    // blocks fuse into a single transition fork.
+    show(
+        "coin flip (probabilistic branch + assert)",
+        r"
+            x := 0;
+            if prob(0.3) { x := 1; } else { x := 2; }
+            assert x >= 2;
+        ",
+        &BTreeMap::new(),
+    );
+
+    // `switch` is the paper's n-ary probabilistic choice.
+    show(
+        "lazy random walk (switch + loop invariant)",
+        r"
+            x := 5;
+            while x >= 1 and x <= 9 invariant x >= 0 and x <= 10 {
+                switch {
+                    prob(0.25): { x := x + 1; }
+                    prob(0.25): { x := x - 1; }
+                    prob(0.5):  { skip; }
+                }
+            }
+            assert x <= 0;
+        ",
+        &BTreeMap::new(),
+    );
+
+    // `sample` draws fresh randomness at every syntactic occurrence; the
+    // uniform distribution exercises the MGF path of the convex solver.
+    show(
+        "continuous noise (sample declaration)",
+        r"
+            sample u ~ uniform(-1, 2);
+            x := 0; t := 0;
+            while x <= 49 and t <= 199
+                invariant x <= 52 and t >= 0 and t <= 200 {
+                x, t := x + u, t + 1;
+            }
+            assert x >= 50;
+        ",
+        &BTreeMap::new(),
+    );
+
+    // Parameters are compile-time constants, overridable per run — this is
+    // how the benchmark tables sweep their rows.
+    let mut params = BTreeMap::new();
+    params.insert("bias".to_string(), 0.9);
+    show(
+        "parameterized program (param + override)",
+        r"
+            param bias = 0.5;
+            wins := 0; round := 0;
+            while round <= 9 invariant round >= 0 and round <= 10 and wins >= 0 and wins <= round {
+                if prob(bias) { wins, round := wins + 1, round + 1; }
+                else { round := round + 1; }
+            }
+            assert wins >= 8;
+        ",
+        &params,
+    );
+
+    // `exit` jumps straight to silent termination — with `assert false` at
+    // the end this is the paper's unreliable-hardware encoding (§3.3).
+    show(
+        "early exit (hardware-fault encoding)",
+        r"
+            param p = 0.01;
+            i := 0;
+            while i <= 99 invariant i >= 0 and i <= 100 {
+                if prob(p) { exit; } else { i := i + 1; }
+            }
+            assert false;
+        ",
+        &BTreeMap::new(),
+    );
+
+    // Diagnostics carry source positions.
+    show(
+        "a type of error: assigning to a parameter",
+        r"
+            param n = 3;
+            n := 4;
+            assert false;
+        ",
+        &BTreeMap::new(),
+    );
+}

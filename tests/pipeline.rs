@@ -1,0 +1,177 @@
+//! Pipeline integration: language → PTS → simplification → verification
+//! oracles. These tests cross crates (`qava-lang`, `qava-pts`,
+//! `qava-core::fixpoint`/`verify`) rather than exercising one algorithm.
+
+use qava::analysis::fixpoint;
+use qava::pts::{simplify, StepOutcome};
+use qava::sim::Simulator;
+use std::collections::BTreeMap;
+
+fn compile(src: &str) -> qava::pts::Pts {
+    qava::lang::compile(src, &BTreeMap::new()).expect("test program compiles")
+}
+
+/// Fig. 1 lowers to the paper's one-live-location PTS after simplification.
+#[test]
+fn race_lowers_to_paper_shape() {
+    let pts = compile(
+        r"
+        x := 40; y := 0;
+        while x <= 99 and y <= 99 invariant x <= 100 and y <= 101 {
+            if prob(0.5) { x, y := x + 1, y + 2; } else { x := x + 1; }
+        }
+        assert x >= 100;
+    ",
+    );
+    assert_eq!(pts.live_locations().count(), 1);
+    assert_eq!(pts.transitions().len(), 3, "loop, pass exit, fail exit");
+}
+
+/// Simplification preserves the violation probability: simulate the same
+/// program with fusion disabled (by building through the raw lowering
+/// path, which `compile` always simplifies — so instead compare against
+/// the value-iteration oracle on a finite restriction).
+#[test]
+fn fused_pts_agrees_with_value_iteration() {
+    let pts = compile(
+        r"
+        x := 3;
+        while x >= 1 and x <= 9 invariant x >= 0 and x <= 10 {
+            if prob(0.5) { x := x + 1; } else { x := x - 1; }
+        }
+        assert x >= 10;
+    ",
+    );
+    // Fair gambler's ruin from 3: the walk reaches 10 with probability
+    // 3/10, so `assert x >= 10` is violated with probability 7/10.
+    let oracle = fixpoint::VpfOracle::explore(&pts, 10_000).expect("finite state space");
+    let exact = 0.7;
+    let (lo, hi) = oracle.interval(20_000);
+    assert!(lo <= exact + 1e-9 && exact <= hi + 1e-9, "oracle bracket [{lo}, {hi}]");
+    assert!(hi - lo < 1e-6, "value iteration converged");
+    let est = Simulator::new(5).estimate_violation(&pts, 100_000, 10_000);
+    assert!((est.probability - exact).abs() < 0.01, "simulation got {}", est.probability);
+}
+
+/// Guard completeness survives fusion: no reachable state gets stuck.
+#[test]
+fn no_stuck_states_after_fusion() {
+    let sources = [
+        r"
+        x := 0; t := 0;
+        while x <= 9 and t <= 99 invariant x >= -100 and x <= 10 and t >= 0 and t <= 100 {
+            switch {
+                prob(0.5): { x, t := x + 1, t + 1; }
+                prob(0.5): { x, t := x - 1, t + 1; }
+            }
+        }
+        assert x >= 10;
+        ",
+        r"
+        i := 0;
+        while i <= 20 invariant i >= 0 and i <= 21 {
+            if prob(0.1) { exit; } else { i := i + 1; }
+        }
+        assert false;
+        ",
+    ];
+    for src in sources {
+        let pts = compile(src);
+        let mut sim = Simulator::new(99);
+        for _ in 0..2_000 {
+            match sim.run_trial(&pts, 10_000) {
+                qava::sim::TrialOutcome::Stuck => panic!("stuck state reached"),
+                _ => {}
+            }
+        }
+    }
+}
+
+/// Integer tightening turns the strict exit guards of an integer program
+/// into the paper's closed complements, and leaves non-integer programs
+/// alone.
+#[test]
+fn tightening_applies_only_to_integer_programs() {
+    let int_pts = compile(
+        r"
+        x := 0;
+        while x <= 9 invariant x <= 10 { x := x + 1; }
+        assert x >= 10;
+    ",
+    );
+    for t in int_pts.transitions() {
+        for h in t.guard.constraints() {
+            assert!(!h.strict, "integer program must have closed guards: {h:?}");
+        }
+    }
+
+    let real_pts = compile(
+        r"
+        x := 0;
+        while x <= 9.5 invariant x <= 10.5 { x := x + 0.5; }
+        assert x >= 10;
+    ",
+    );
+    assert!(
+        real_pts
+            .transitions()
+            .iter()
+            .any(|t| t.guard.constraints().iter().any(|h| h.strict)),
+        "non-integral program keeps its strict complements"
+    );
+}
+
+/// `simplify` is idempotent.
+#[test]
+fn simplify_idempotent() {
+    let pts = compile(
+        r"
+        x := 40; y := 0;
+        while x <= 99 and y <= 99 invariant x <= 100 and y <= 101 {
+            if prob(0.5) { x, y := x + 1, y + 2; } else { x := x + 1; }
+        }
+        assert x >= 100;
+    ",
+    );
+    let again = simplify(&pts);
+    assert_eq!(again.num_locations(), pts.num_locations());
+    assert_eq!(again.transitions().len(), pts.transitions().len());
+}
+
+/// The propagated failure invariant is consistent with simulation: every
+/// trial that ends in ℓ_f does so at a valuation inside I(ℓ_f).
+#[test]
+fn failure_invariant_covers_observed_failures() {
+    let pts = compile(
+        r"
+        x := 2; y := 0;
+        while x <= 9 and y <= 9 invariant x <= 10 and y <= 11 {
+            if prob(0.5) { x, y := x + 1, y + 2; } else { x := x + 1; }
+        }
+        assert x >= 10;
+    ",
+    );
+    let inv = pts.invariant(pts.failure_location()).clone();
+    assert!(!inv.constraints().is_empty(), "propagation produced an ℓ_f invariant");
+    use rand::SeedableRng as _;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(123);
+    let mut failures = 0;
+    for _ in 0..20_000 {
+        let mut st = pts.initial_state();
+        loop {
+            match pts.step(&st, &mut rng) {
+                StepOutcome::Moved(next) => st = next,
+                StepOutcome::Absorbed | StepOutcome::Stuck => break,
+            }
+        }
+        if st.loc == pts.failure_location() {
+            failures += 1;
+            assert!(
+                inv.closure_contains(&st.vals, 1e-9),
+                "observed failure state {:?} outside I(ℓ_f) = {inv:?}",
+                st.vals
+            );
+        }
+    }
+    assert!(failures > 100, "the test program fails often enough to be meaningful");
+}
