@@ -12,18 +12,32 @@
 //! seconds, and the last column is the paper's ratio
 //! `previous / ours` (Table 1) or `(1 − previous) / (1 − ours)` (Table 2),
 //! as orders of magnitude when large.
+//!
+//! Tables 1 and 2 are produced by the **parallel suite driver**
+//! ([`qava_core::suite::runner`]): every (row, algorithm) pair runs on
+//! its own worker, and results are reassembled in paper order, so the
+//! output is deterministic. Pass `--serial` to force one worker (e.g.
+//! for timing columns comparable with the paper's single-core numbers).
 
 use qava_core::explinsyn::synthesize_upper_bound;
 use qava_core::explowsyn::synthesize_lower_bound;
 use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
 use qava_core::logprob::LogProb;
+use qava_core::suite::runner::{default_algorithms, run_rows, Algorithm};
 use qava_core::suite::{table1, table2, Benchmark};
-use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
     let has = |f: &str| args.iter().any(|a| a == f);
+    if has("--serial") {
+        // One suite worker: timing columns comparable with the paper's
+        // single-core numbers. Must run before the first fan-out.
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build_global()
+            .expect("configuring the global pool cannot fail");
+    }
+    let all = args.iter().all(|a| a == "--serial");
 
     if all || has("--table1") {
         print_table1();
@@ -80,34 +94,29 @@ fn print_table1() {
         "{:<14} {:<22} {:>10} {:>7}  {:>10} {:>7}  {:>10}  {:>9}",
         "benchmark", "row", "§5.1", "t(s)", "§5.2", "t(s)", "previous", "ratio"
     );
+    let rows = table1();
+    let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
     let mut current = "";
-    for b in table1() {
+    for (b, report) in rows.iter().zip(&reports) {
         if b.name != current {
             current = b.name;
             println!("-- {} ({})", b.name, b.category);
         }
-        let pts = b.compile();
-
-        let t0 = Instant::now();
-        let hoeff = synthesize_reprsm_bound(&pts, BoundKind::Hoeffding).ok();
-        let t_h = t0.elapsed().as_secs_f64();
-
-        let t0 = Instant::now();
-        let exp = synthesize_upper_bound(&pts).ok();
-        let t_e = t0.elapsed().as_secs_f64();
-
+        let hoeff = report.run(Algorithm::Hoeffding).expect("scheduled");
+        let exp = report.run(Algorithm::ExpLinSyn).expect("scheduled");
         let ratio = exp
+            .bound
             .as_ref()
-            .map(|r| fmt_ratio(r.bound, b.paper.previous, false))
-            .unwrap_or_else(|| "—".to_string());
+            .map(|r| fmt_ratio(*r, b.paper.previous, false))
+            .unwrap_or_else(|_| "—".to_string());
         println!(
             "{:<14} {:<22} {:>10} {:>7.2}  {:>10} {:>7.2}  {:>10}  {:>9}",
             b.name,
             b.label,
-            fmt_log(hoeff.as_ref().map(|r| r.bound)),
-            t_h,
-            fmt_log(exp.as_ref().map(|r| r.bound)),
-            t_e,
+            fmt_log(hoeff.bound.as_ref().ok().copied()),
+            hoeff.seconds,
+            fmt_log(exp.bound.as_ref().ok().copied()),
+            exp.seconds,
             fmt_log(b.paper.previous),
             ratio,
         );
@@ -121,29 +130,25 @@ fn print_table2() {
         "{:<14} {:<14} {:>12} {:>7}  {:>12}  {:>9}",
         "benchmark", "row", "§6 lower", "t(s)", "previous", "ratio"
     );
+    let rows = table2();
+    let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
     let mut current = "";
-    for b in table2() {
+    for (b, report) in rows.iter().zip(&reports) {
         if b.name != current {
             current = b.name;
             println!("-- {} ({})", b.name, b.category);
         }
-        let pts = b.compile();
-        let t0 = Instant::now();
-        let low = synthesize_lower_bound(&pts).ok();
-        let t_l = t0.elapsed().as_secs_f64();
-        let (bound_str, ratio) = match &low {
-            Some(r) => (
-                format!("{:.6}", r.bound.to_f64()),
-                fmt_ratio(r.bound, b.paper.previous, true),
-            ),
-            None => ("failed".to_string(), "—".to_string()),
+        let low = report.run(Algorithm::ExpLowSyn).expect("scheduled");
+        let (bound_str, ratio) = match &low.bound {
+            Ok(r) => (format!("{:.6}", r.to_f64()), fmt_ratio(*r, b.paper.previous, true)),
+            Err(_) => ("failed".to_string(), "—".to_string()),
         };
         println!(
             "{:<14} {:<14} {:>12} {:>7.2}  {:>12}  {:>9}",
             b.name,
             b.label,
             bound_str,
-            t_l,
+            low.seconds,
             b.paper.previous.map(|p| format!("{:.6}", p.to_f64())).unwrap_or("—".into()),
             ratio,
         );
@@ -199,8 +204,8 @@ fn monte_carlo_check() {
         let est = sim.estimate_violation(&pts, 20_000, 100_000);
         let upper = synthesize_upper_bound(&pts).ok().map(|r| r.bound);
         let lower = synthesize_lower_bound(&pts).ok().map(|r| r.bound);
-        let ok_upper = upper.map_or(true, |u| est.lower_ci() <= u.to_f64() + 1e-9);
-        let ok_lower = lower.map_or(true, |l| l.to_f64() <= est.upper_ci() + 1e-9);
+        let ok_upper = upper.is_none_or(|u| est.lower_ci() <= u.to_f64() + 1e-9);
+        let ok_lower = lower.is_none_or(|l| l.to_f64() <= est.upper_ci() + 1e-9);
         println!(
             "{:<12} {:<22} empirical {:.5}  upper {:>10}  lower {:>10}  {}",
             b.name,

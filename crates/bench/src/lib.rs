@@ -1,0 +1,7 @@
+//! Benchmark support library for the `qava` workspace.
+//!
+//! The interesting entry points are the criterion benches under
+//! `benches/` and the `tables` binary that regenerates the paper's
+//! evaluation tables (in parallel, via [`qava_core::suite::runner`]).
+
+pub use qava_core::suite;

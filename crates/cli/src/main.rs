@@ -3,11 +3,14 @@
 //! ```text
 //! qava <program.qava> [--upper] [--lower] [--hoeffding] [--azuma]
 //!                     [--simulate N] [--symbolic] [--param name=value]...
+//! qava --suite
 //! ```
 //!
-//! With no mode flags, runs every applicable analysis. Exit code 0 on
-//! success, 1 on usage errors, 2 on compile errors, 3 when a requested
-//! analysis fails.
+//! With no mode flags, runs every applicable analysis. `--suite` runs
+//! the paper's full Table 1/Table 2 benchmark suite through the
+//! parallel driver ([`qava_core::suite::runner`]) and prints one line
+//! per (row, algorithm) outcome. Exit code 0 on success, 1 on usage
+//! errors, 2 on compile errors, 3 when a requested analysis fails.
 
 use qava_core::explinsyn::synthesize_upper_bound;
 use qava_core::explowsyn::synthesize_lower_bound;
@@ -33,6 +36,10 @@ output:
   --symbolic       also print the synthesized exponential templates
   --param k=v      override a `param` declaration (repeatable)
   --seed S         Monte-Carlo seed (default 0)
+
+suite:
+  --suite          run the paper's benchmark suite (Tables 1-2) through
+                   the parallel driver instead of analyzing one file
 ";
 
 struct Options {
@@ -114,8 +121,45 @@ fn print_template(kind: &str, t: &qava_core::template::SolvedTemplate) {
     }
 }
 
+/// Runs the full Table 1/2 suite through the parallel driver.
+fn run_suite() -> ExitCode {
+    use qava_core::suite::runner::{default_algorithms, run_rows};
+    use qava_core::suite::{table1, table2};
+    let rows: Vec<_> = table1().into_iter().chain(table2()).collect();
+    let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+    let mut failures = 0usize;
+    for report in &reports {
+        for run in &report.runs {
+            match &run.bound {
+                Ok(b) => println!(
+                    "{:<12} {:<24} {:<10} ln(bound) = {:>12.4}  ({:.2}s)",
+                    report.name,
+                    report.label,
+                    run.algorithm.to_string(),
+                    b.ln(),
+                    run.seconds
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!(
+                        "{:<12} {:<24} {:<10} failed: {e}",
+                        report.name,
+                        report.label,
+                        run.algorithm.to_string()
+                    );
+                }
+            }
+        }
+    }
+    println!("{} rows, {} runs, {failures} failures", reports.len(), reports.iter().map(|r| r.runs.len()).sum::<usize>());
+    ExitCode::SUCCESS
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--suite") {
+        return run_suite();
+    }
     let opts = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {

@@ -127,6 +127,12 @@ pub fn canonicalize(pts: &Pts, space: &TemplateSpace) -> Vec<CanonicalConstraint
     out
 }
 
+/// Weighted exp-affine summands from discrete sites: `(weight, exponent)`.
+pub type DiscreteSummands = Vec<(f64, UCoef)>;
+
+/// Uniform-site MGF factors shared by all summands: `(lo, hi, γ)`.
+pub type ContinuousSummands = Vec<(f64, f64, UCoef)>;
+
 /// Expands a canonical term at a fixed valuation `v*` into weighted
 /// exp-affine summands by multiplying out the *discrete* sampling sites:
 /// each combination of discrete support points becomes one
@@ -140,7 +146,7 @@ pub fn expand_term_at_vertex(
     term: &CanonicalTerm,
     vertex: &[f64],
     n_unknowns: usize,
-) -> (Vec<(f64, UCoef)>, Vec<(f64, f64, UCoef)>) {
+) -> (DiscreteSummands, ContinuousSummands) {
     // Base exponent α·v* + β.
     let mut base = UCoef::zero(n_unknowns);
     base.add_scaled(&term.beta, 1.0);

@@ -29,17 +29,78 @@
 //! Both sides are linear in `(unknowns, λ)`, so the matching rows are LP
 //! rows. Degree-0 (`λ_∅ · 1`) is always included, which subsumes the
 //! trivial "p is a non-negative constant" certificate.
+//!
+//! # Performance
+//!
+//! Everything here runs on interned monomials ([`crate::poly::MonoId`]):
+//! the coefficient-matching loop walks sorted `(id, coeff)` lists and
+//! probes by binary search instead of cloning and comparing exponent
+//! vectors. The constraint products themselves are memoized per thread,
+//! keyed by a hash of the constraint set and the degree cap — the Ser
+//! ternary search re-encodes the same regions dozens of times per
+//! synthesis, and every re-encode after the first is a cache hit.
 
-use crate::poly::{CPoly, Monomial, UPoly};
-use crate::template::UCoef;
+use crate::poly::{CPoly, MonoId, UPoly};
 use qava_lp::{Cmp, LinExpr, LpBuilder, VarId};
 use qava_polyhedra::Polyhedron;
-use std::collections::BTreeSet;
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap};
+
+/// Exact cache key for a region's constraint products: dimension plus
+/// the bit patterns of every constraint coefficient and right-hand side,
+/// and the degree cap. A full-content key (rather than a 64-bit digest)
+/// because a collision here would silently certify a polynomial against
+/// the wrong region — the cache output is trusted, unlike the LP
+/// warm-start cache whose hits are re-verified.
+type RegionKey = (usize, Vec<u64>, u32);
+
+thread_local! {
+    /// Memoized [`constraint_products`] results per (region, degree).
+    static PRODUCT_CACHE: RefCell<HashMap<RegionKey, Vec<CPoly>>> = RefCell::new(HashMap::new());
+}
+
+/// Entries kept in the per-thread product cache before it is cleared
+/// (regions per synthesis problem are few; this is a safety valve).
+const PRODUCT_CACHE_CAP: usize = 512;
+
+/// Exact content key of a polyhedron's constraint system (bit patterns:
+/// regions coming from the same synthesis are structurally shared, not
+/// recomputed, so bitwise equality is the right notion).
+fn region_key(poly: &Polyhedron, degree: u32) -> RegionKey {
+    let mut bits = Vec::with_capacity(poly.constraints().len() * (poly.dim() + 1));
+    for hs in poly.constraints() {
+        for c in &hs.coeffs {
+            bits.push(c.to_bits());
+        }
+        bits.push(hs.rhs.to_bits());
+    }
+    (poly.dim(), bits, degree)
+}
 
 /// Builds the constraint products `Π g_i^{α_i}` with `|α| ≤ degree` for
 /// the polyhedron's rows `g_i(v) = rhs_i − c_i·v ≥ 0` (closure semantics:
 /// strictness is dropped, which is sound for nonnegativity certificates).
+///
+/// Results are memoized per thread, keyed by the exact constraint
+/// content and the degree.
 pub fn constraint_products(poly: &Polyhedron, degree: u32) -> Vec<CPoly> {
+    let key = region_key(poly, degree);
+    let cached = PRODUCT_CACHE.with(|c| c.borrow().get(&key).cloned());
+    if let Some(products) = cached {
+        return products;
+    }
+    let products = constraint_products_uncached(poly, degree);
+    PRODUCT_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.len() >= PRODUCT_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, products.clone());
+    });
+    products
+}
+
+fn constraint_products_uncached(poly: &Polyhedron, degree: u32) -> Vec<CPoly> {
     let n = poly.dim();
     let gs: Vec<CPoly> = poly
         .constraints()
@@ -94,41 +155,41 @@ pub fn encode_poly_nonneg(
         .map(|i| lp.add_var_nonneg(format!("handelman_l{i}")))
         .collect();
 
-    // Collect every monomial present on either side.
-    let mut monomials: BTreeSet<Monomial> = p.monomials().cloned().collect();
+    // Every monomial present on either side, in interned-id order (which
+    // is deterministic for a synthesis thread).
+    let mut monomials: BTreeSet<MonoId> = p.iter_ids().map(|(id, _)| id).collect();
     for prod in &products {
-        for (m, _) in prod.iter() {
-            monomials.insert(m.clone());
-        }
+        monomials.extend(prod.iter_ids().map(|(id, _)| id));
     }
 
-    // Coefficient matching: p_μ(x) − Σ_α λ_α·prod_α[μ] = 0.
-    for m in &monomials {
+    // Coefficient matching: p_μ(x) − Σ_α λ_α·prod_α[μ] = 0. Lookups are
+    // binary searches on the sorted term lists — no exponent-vector
+    // traffic at all.
+    for &m in &monomials {
         let mut e = LinExpr::new();
-        let p_mu = p
-            .iter()
-            .find(|(mm, _)| *mm == m)
-            .map(|(_, c)| c.clone())
-            .unwrap_or_else(|| UCoef::zero(p.n_unknowns()));
-        for (idx, &coef) in p_mu.lin.iter().enumerate() {
-            if coef != 0.0 {
-                e = e.term(unknowns[idx], coef);
-            }
-        }
-        for (prod, &lambda) in products.iter().zip(&lambdas) {
-            if let Some((_, c)) = prod.iter().find(|(mm, _)| *mm == m) {
-                if c != 0.0 {
-                    e = e.term(lambda, -c);
+        let mut rhs = 0.0;
+        if let Some(p_mu) = p.coeff_of(m) {
+            for (idx, &coef) in p_mu.lin.iter().enumerate() {
+                if coef != 0.0 {
+                    e = e.term(unknowns[idx], coef);
                 }
             }
+            rhs = -p_mu.constant;
         }
-        lp.constrain(e, Cmp::Eq, -p_mu.constant);
+        for (prod, &lambda) in products.iter().zip(&lambdas) {
+            let c = prod.coeff_of(m);
+            if c != 0.0 {
+                e = e.term(lambda, -c);
+            }
+        }
+        lp.constrain(e, Cmp::Eq, rhs);
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::template::UCoef;
     use qava_lp::LpError;
     use qava_polyhedra::Halfspace;
 
@@ -166,6 +227,19 @@ mod tests {
         let prods = constraint_products(&interval(0.0, 1.0), 2);
         assert_eq!(prods.len(), 6);
         assert!(prods.iter().all(|p| p.degree() <= 2));
+    }
+
+    #[test]
+    fn product_cache_hits_are_identical() {
+        let region = interval(-2.0, 7.0);
+        let first = constraint_products(&region, 2);
+        let second = constraint_products(&region, 2);
+        assert_eq!(first.len(), second.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a, b, "cache must return the same cone basis");
+        }
+        // A different degree misses the cache and yields a bigger basis.
+        assert!(constraint_products(&region, 3).len() > first.len());
     }
 
     #[test]

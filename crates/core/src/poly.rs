@@ -1,4 +1,5 @@
-//! Sparse multivariate polynomials, in two coefficient flavours:
+//! Sparse multivariate polynomials over **interned monomials**, in two
+//! coefficient flavours:
 //!
 //! * [`CPoly`] — constant `f64` coefficients. Products of invariant
 //!   constraints in the Handelman encoding are of this kind.
@@ -9,27 +10,169 @@
 //!   times a `CPoly` is again a `UPoly`, which keeps all constraint
 //!   generation linear in the unknowns.
 //!
-//! Monomials are exponent vectors over the program variables; both types
-//! keep a sorted map so that coefficient matching (the heart of the
-//! Handelman LP) is deterministic.
+//! # Monomial interning
+//!
+//! A monomial is an exponent vector over the program variables. The old
+//! representation stored every polynomial as a `BTreeMap<Vec<u32>, _>`,
+//! which cloned an exponent vector per term on every add, scale and
+//! multiply — the dominant allocation cost of the Handelman pipeline.
+//! Instead, each exponent vector is now interned once in a per-thread
+//! [`MonoTable`] and addressed by a dense [`MonoId`]. Polynomial terms
+//! are a `Vec<(MonoId, coeff)>` sorted by id, so merging two polynomials
+//! is an allocation-free sorted-list merge and monomial products reduce
+//! to a memoized table lookup.
+//!
+//! Ids are only meaningful on the thread that interned them, so the
+//! polynomial types are deliberately **not `Send`/`Sync`** — each
+//! synthesis (and each parallel suite worker) builds its polynomials on
+//! its own thread, which also keeps the id order, and hence every
+//! iteration order below, deterministic for a given synthesis run.
 
 use crate::template::UCoef;
-use std::collections::BTreeMap;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::marker::PhantomData;
 
-/// A monomial: one exponent per program variable.
+/// A monomial in exploded form: one exponent per program variable.
 pub type Monomial = Vec<u32>;
+
+/// Dense handle of an interned monomial (see [`MonoTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MonoId(u32);
+
+/// Marker making a type `!Send + !Sync` (monomial ids are thread-local).
+type NotSend = PhantomData<*const ()>;
+
+/// Per-thread interner mapping exponent vectors to [`MonoId`]s, with a
+/// memo table for monomial products.
+///
+/// The table lives for the whole thread; synthesis runs on the same
+/// thread share interned monomials (a few hundred distinct exponent
+/// vectors even across the whole benchmark suite), so it never needs
+/// eviction.
+#[derive(Default)]
+pub struct MonoTable {
+    ids: HashMap<Box<[u32]>, MonoId>,
+    exps: Vec<Box<[u32]>>,
+    degrees: Vec<u32>,
+    products: HashMap<(MonoId, MonoId), MonoId>,
+}
+
+thread_local! {
+    static TABLE: RefCell<MonoTable> = RefCell::new(MonoTable::default());
+}
+
+impl MonoTable {
+    /// Runs `f` with the calling thread's table.
+    pub fn with<R>(f: impl FnOnce(&mut MonoTable) -> R) -> R {
+        TABLE.with(|t| f(&mut t.borrow_mut()))
+    }
+
+    /// Interns an exponent vector, returning its id.
+    pub fn intern(&mut self, exps: &[u32]) -> MonoId {
+        if let Some(&id) = self.ids.get(exps) {
+            return id;
+        }
+        let id = MonoId(u32::try_from(self.exps.len()).expect("monomial table overflow"));
+        let boxed: Box<[u32]> = exps.into();
+        self.exps.push(boxed.clone());
+        self.degrees.push(exps.iter().sum());
+        self.ids.insert(boxed, id);
+        id
+    }
+
+    /// The exponent vector of an id (borrow valid inside [`Self::with`]).
+    pub fn exponents(&self, id: MonoId) -> &[u32] {
+        &self.exps[id.0 as usize]
+    }
+
+    /// Total degree of an interned monomial.
+    pub fn degree(&self, id: MonoId) -> u32 {
+        self.degrees[id.0 as usize]
+    }
+
+    /// The id of the product monomial (componentwise exponent sum),
+    /// memoized: repeated products — the Handelman basis times template
+    /// monomials — are a single hash lookup after first computation.
+    pub fn product(&mut self, a: MonoId, b: MonoId) -> MonoId {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        if let Some(&id) = self.products.get(&key) {
+            return id;
+        }
+        let sum: Vec<u32> = self
+            .exponents(key.0)
+            .iter()
+            .zip(self.exponents(key.1))
+            .map(|(&x, &y)| x + y)
+            .collect();
+        let id = self.intern(&sum);
+        self.products.insert(key, id);
+        id
+    }
+
+    /// Evaluates an interned monomial at a point.
+    pub fn eval(&self, id: MonoId, v: &[f64]) -> f64 {
+        self.exponents(id)
+            .iter()
+            .zip(v)
+            .map(|(&e, &x)| x.powi(e as i32))
+            .product()
+    }
+
+    /// Clones out the exponent vector of an id.
+    pub fn resolve(id: MonoId) -> Monomial {
+        Self::with(|t| t.exponents(id).to_vec())
+    }
+}
+
+/// Merges `scale · src` into the sorted term list `dst` (shared kernel of
+/// all polynomial addition): a single pass that moves existing slots
+/// instead of cloning them. `combine` folds a source coefficient into an
+/// existing destination slot; `make` materializes a fresh slot.
+fn merge_sorted<C>(
+    dst: &mut Vec<(MonoId, C)>,
+    src: &[(MonoId, C)],
+    mut combine: impl FnMut(&mut C, &C),
+    mut make: impl FnMut(&C) -> Option<C>,
+    mut is_zero: impl FnMut(&C) -> bool,
+) {
+    if src.is_empty() {
+        return;
+    }
+    let old = std::mem::take(dst);
+    let mut out: Vec<(MonoId, C)> = Vec::with_capacity(old.len() + src.len());
+    let mut it = old.into_iter().peekable();
+    for (id, c) in src {
+        while it.peek().is_some_and(|&(did, _)| did < *id) {
+            out.push(it.next().expect("peeked"));
+        }
+        if it.peek().is_some_and(|&(did, _)| did == *id) {
+            let mut slot = it.next().expect("peeked");
+            combine(&mut slot.1, c);
+            if !is_zero(&slot.1) {
+                out.push(slot);
+            }
+        } else if let Some(v) = make(c) {
+            out.push((*id, v));
+        }
+    }
+    out.extend(it);
+    *dst = out;
+}
 
 /// A polynomial with constant coefficients.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CPoly {
     nvars: usize,
-    terms: BTreeMap<Monomial, f64>,
+    /// Sorted by [`MonoId`]; coefficients are nonzero.
+    terms: Vec<(MonoId, f64)>,
+    _marker: NotSend,
 }
 
 impl CPoly {
     /// The zero polynomial over `nvars` variables.
     pub fn zero(nvars: usize) -> Self {
-        CPoly { nvars, terms: BTreeMap::new() }
+        CPoly { nvars, terms: Vec::new(), _marker: PhantomData }
     }
 
     /// The constant polynomial `k`.
@@ -61,63 +204,95 @@ impl CPoly {
     /// Adds `k · μ`, dropping the term if it cancels to zero.
     pub fn add_term(&mut self, monomial: Monomial, k: f64) {
         debug_assert_eq!(monomial.len(), self.nvars);
-        let entry = self.terms.entry(monomial).or_insert(0.0);
-        *entry += k;
-        if *entry == 0.0 {
-            let key: Vec<u32> = self
-                .terms
-                .iter()
-                .find(|(_, &v)| v == 0.0)
-                .map(|(k, _)| k.clone())
-                .expect("just inserted");
-            self.terms.remove(&key);
+        let id = MonoTable::with(|t| t.intern(&monomial));
+        self.add_term_id(id, k);
+    }
+
+    /// Adds `k · μ` by interned id (the allocation-free hot path).
+    pub fn add_term_id(&mut self, id: MonoId, k: f64) {
+        if k == 0.0 {
+            return;
+        }
+        match self.terms.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => {
+                self.terms[pos].1 += k;
+                if self.terms[pos].1 == 0.0 {
+                    self.terms.remove(pos);
+                }
+            }
+            Err(pos) => self.terms.insert(pos, (id, k)),
         }
     }
 
-    /// Adds `scale · other` in place.
+    /// Adds `scale · other` in place (sorted merge, no interning).
     pub fn add_scaled(&mut self, other: &CPoly, scale: f64) {
-        for (m, &c) in &other.terms {
-            self.add_term(m.clone(), scale * c);
+        if scale == 0.0 {
+            return;
         }
+        merge_sorted(
+            &mut self.terms,
+            &other.terms,
+            |dst, src| *dst += scale * src,
+            |src| {
+                let v = scale * src;
+                (v != 0.0).then_some(v)
+            },
+            |c| *c == 0.0,
+        );
     }
 
-    /// The product `self · other`.
+    /// The product `self · other` (memoized monomial products).
     #[must_use]
     pub fn mul(&self, other: &CPoly) -> CPoly {
         let mut out = CPoly::zero(self.nvars);
-        for (ma, &ca) in &self.terms {
-            for (mb, &cb) in &other.terms {
-                let m: Monomial = ma.iter().zip(mb).map(|(a, b)| a + b).collect();
-                out.add_term(m, ca * cb);
+        MonoTable::with(|t| {
+            let mut raw: Vec<(MonoId, f64)> = Vec::with_capacity(self.terms.len() * other.terms.len());
+            for &(ma, ca) in &self.terms {
+                for &(mb, cb) in &other.terms {
+                    raw.push((t.product(ma, mb), ca * cb));
+                }
             }
-        }
+            raw.sort_unstable_by_key(|&(id, _)| id);
+            for (id, c) in raw {
+                match out.terms.last_mut() {
+                    Some((last, acc)) if *last == id => *acc += c,
+                    _ => out.terms.push((id, c)),
+                }
+            }
+        });
+        out.terms.retain(|&(_, c)| c != 0.0);
         out
     }
 
     /// Total degree (0 for the zero polynomial).
     pub fn degree(&self) -> u32 {
-        self.terms.keys().map(|m| m.iter().sum()).max().unwrap_or(0)
+        MonoTable::with(|t| self.terms.iter().map(|&(id, _)| t.degree(id)).max().unwrap_or(0))
     }
 
     /// Evaluates at a point.
     pub fn eval(&self, v: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|(m, &c)| c * eval_monomial(m, v))
-            .sum()
+        MonoTable::with(|t| self.terms.iter().map(|&(id, c)| c * t.eval(id, v)).sum())
     }
 
-    /// Iterates `(monomial, coefficient)` pairs in monomial order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, f64)> {
-        self.terms.iter().map(|(m, &c)| (m, c))
+    /// Iterates `(monomial, coefficient)` pairs in id (interning) order,
+    /// materializing each exponent vector. Boundary use only — the hot
+    /// paths stay on [`Self::iter_ids`].
+    pub fn iter(&self) -> impl Iterator<Item = (Monomial, f64)> + '_ {
+        self.terms.iter().map(|&(id, c)| (MonoTable::resolve(id), c))
     }
-}
 
-fn eval_monomial(m: &[u32], v: &[f64]) -> f64 {
-    m.iter()
-        .zip(v)
-        .map(|(&e, &x)| x.powi(e as i32))
-        .product()
+    /// Iterates `(id, coefficient)` pairs in id order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (MonoId, f64)> + '_ {
+        self.terms.iter().copied()
+    }
+
+    /// Coefficient of an interned monomial (0 when absent).
+    pub fn coeff_of(&self, id: MonoId) -> f64 {
+        match self.terms.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.terms[pos].1,
+            Err(_) => 0.0,
+        }
+    }
 }
 
 /// A polynomial whose coefficients are affine forms over the template
@@ -126,14 +301,16 @@ fn eval_monomial(m: &[u32], v: &[f64]) -> f64 {
 pub struct UPoly {
     nvars: usize,
     n_unknowns: usize,
-    terms: BTreeMap<Monomial, UCoef>,
+    /// Sorted by [`MonoId`].
+    terms: Vec<(MonoId, UCoef)>,
+    _marker: NotSend,
 }
 
 impl UPoly {
     /// The zero polynomial over `nvars` program variables and `n_unknowns`
     /// template unknowns.
     pub fn zero(nvars: usize, n_unknowns: usize) -> Self {
-        UPoly { nvars, n_unknowns, terms: BTreeMap::new() }
+        UPoly { nvars, n_unknowns, terms: Vec::new(), _marker: PhantomData }
     }
 
     /// Number of program variables.
@@ -149,10 +326,20 @@ impl UPoly {
     /// Adds `coef · μ`.
     pub fn add_term(&mut self, monomial: Monomial, coef: &UCoef) {
         debug_assert_eq!(monomial.len(), self.nvars);
-        self.terms
-            .entry(monomial)
-            .or_insert_with(|| UCoef::zero(self.n_unknowns))
-            .add_scaled(coef, 1.0);
+        let id = MonoTable::with(|t| t.intern(&monomial));
+        self.add_term_id(id, coef);
+    }
+
+    /// Adds `coef · μ` by interned id.
+    pub fn add_term_id(&mut self, id: MonoId, coef: &UCoef) {
+        match self.terms.binary_search_by_key(&id, |(i, _)| *i) {
+            Ok(pos) => self.terms[pos].1.add_scaled(coef, 1.0),
+            Err(pos) => {
+                let mut c = UCoef::zero(self.n_unknowns);
+                c.add_scaled(coef, 1.0);
+                self.terms.insert(pos, (id, c));
+            }
+        }
     }
 
     /// Adds `scale · unknown_idx · μ` (a pure-unknown coefficient).
@@ -162,49 +349,75 @@ impl UPoly {
         self.add_term(monomial, &u);
     }
 
-    /// Adds `scale · other` in place.
+    /// Adds `scale · other` in place (sorted merge, no interning).
     pub fn add_scaled(&mut self, other: &UPoly, scale: f64) {
-        for (m, c) in &other.terms {
-            self.terms
-                .entry(m.clone())
-                .or_insert_with(|| UCoef::zero(self.n_unknowns))
-                .add_scaled(c, scale);
-        }
+        merge_sorted(
+            &mut self.terms,
+            &other.terms,
+            |dst, src| dst.add_scaled(src, scale),
+            |src| {
+                let mut c = UCoef::zero(src.lin.len());
+                c.add_scaled(src, scale);
+                Some(c)
+            },
+            |_| false,
+        );
     }
 
     /// Adds `u · p` where `u` is an unknown-affine coefficient and `p` a
     /// constant polynomial — the linear-in-unknowns product that template
     /// expectation expansion needs.
     pub fn add_ucoef_times_cpoly(&mut self, u: &UCoef, p: &CPoly) {
-        for (m, c) in p.iter() {
-            let mut scaled = UCoef::zero(self.n_unknowns);
-            scaled.add_scaled(u, c);
-            self.add_term(m.clone(), &scaled);
+        for (id, c) in p.iter_ids() {
+            match self.terms.binary_search_by_key(&id, |(i, _)| *i) {
+                Ok(pos) => self.terms[pos].1.add_scaled(u, c),
+                Err(pos) => {
+                    let mut scaled = UCoef::zero(self.n_unknowns);
+                    scaled.add_scaled(u, c);
+                    self.terms.insert(pos, (id, scaled));
+                }
+            }
         }
     }
 
     /// Total degree.
     pub fn degree(&self) -> u32 {
-        self.terms.keys().map(|m| m.iter().sum()).max().unwrap_or(0)
+        MonoTable::with(|t| self.terms.iter().map(|(id, _)| t.degree(*id)).max().unwrap_or(0))
     }
 
     /// Evaluates the polynomial at `(v, x)`: program point and unknown
     /// assignment.
     pub fn eval(&self, v: &[f64], x: &[f64]) -> f64 {
-        self.terms
-            .iter()
-            .map(|(m, c)| c.eval(x) * eval_monomial(m, v))
-            .sum()
+        MonoTable::with(|t| {
+            self.terms
+                .iter()
+                .map(|(id, c)| c.eval(x) * t.eval(*id, v))
+                .sum()
+        })
     }
 
-    /// Iterates `(monomial, coefficient)` pairs in monomial order.
-    pub fn iter(&self) -> impl Iterator<Item = (&Monomial, &UCoef)> {
-        self.terms.iter()
+    /// Iterates `(monomial, coefficient)` pairs in id (interning) order,
+    /// materializing each exponent vector.
+    pub fn iter(&self) -> impl Iterator<Item = (Monomial, &UCoef)> {
+        self.terms.iter().map(|(id, c)| (MonoTable::resolve(*id), c))
+    }
+
+    /// Iterates `(id, coefficient)` pairs in id order.
+    pub fn iter_ids(&self) -> impl Iterator<Item = (MonoId, &UCoef)> {
+        self.terms.iter().map(|(id, c)| (*id, c))
+    }
+
+    /// Coefficient of an interned monomial, if present.
+    pub fn coeff_of(&self, id: MonoId) -> Option<&UCoef> {
+        self.terms
+            .binary_search_by_key(&id, |(i, _)| *i)
+            .ok()
+            .map(|pos| &self.terms[pos].1)
     }
 
     /// The set of monomials with a (possibly) nonzero coefficient.
-    pub fn monomials(&self) -> impl Iterator<Item = &Monomial> {
-        self.terms.keys()
+    pub fn monomials(&self) -> impl Iterator<Item = Monomial> + '_ {
+        self.terms.iter().map(|(id, _)| MonoTable::resolve(*id))
     }
 }
 
@@ -263,5 +476,43 @@ mod tests {
             p
         };
         assert_eq!(p.eval(&[2.0, 3.0, 9.0]), 72.0);
+    }
+
+    #[test]
+    fn interning_dedupes_and_products_memoize() {
+        let (a, b, ab, ab2) = MonoTable::with(|t| {
+            let a = t.intern(&[1, 0]);
+            let b = t.intern(&[0, 1]);
+            let ab = t.product(a, b);
+            let ab2 = t.product(b, a);
+            (a, b, ab, ab2)
+        });
+        assert_ne!(a, b);
+        assert_eq!(ab, ab2, "product memo is symmetric");
+        assert_eq!(MonoTable::resolve(ab), vec![1, 1]);
+        assert_eq!(MonoTable::with(|t| t.intern(&[1, 0])), a, "re-interning hits");
+    }
+
+    #[test]
+    fn add_scaled_merges_sorted_lists() {
+        let mut p = CPoly::zero(1);
+        p.add_term(vec![0], 1.0);
+        p.add_term(vec![2], 3.0);
+        let mut q = CPoly::zero(1);
+        q.add_term(vec![1], 5.0);
+        q.add_term(vec![2], -3.0);
+        p.add_scaled(&q, 1.0);
+        assert_eq!(p.eval(&[2.0]), 1.0 + 10.0);
+        assert_eq!(p.degree(), 1, "x² terms cancelled");
+    }
+
+    #[test]
+    fn coeff_of_lookup() {
+        let mut p = UPoly::zero(1, 1);
+        p.add_unknown_term(vec![2], 0, 4.0);
+        let id = MonoTable::with(|t| t.intern(&[2]));
+        assert_eq!(p.coeff_of(id).unwrap().lin, vec![4.0]);
+        let missing = MonoTable::with(|t| t.intern(&[7]));
+        assert!(p.coeff_of(missing).is_none());
     }
 }

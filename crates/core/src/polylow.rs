@@ -96,10 +96,10 @@ pub fn synthesize_quadratic_lower_bound(pts: &Pts) -> Result<PolyLowResult, Poly
 
     let widen = |p: &UPoly| -> UPoly {
         let mut out = UPoly::zero(nvars, n + 1);
-        for (m, c) in p.iter() {
+        for (id, c) in p.iter_ids() {
             let mut lin = c.lin.clone();
             lin.resize(n + 1, 0.0);
-            out.add_term(m.clone(), &UCoef { lin, constant: c.constant });
+            out.add_term_id(id, &UCoef { lin, constant: c.constant });
         }
         out
     };

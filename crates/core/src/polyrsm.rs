@@ -100,7 +100,7 @@ impl QuadSpace {
         let n = pts.num_vars();
         let per_loc = n * (n + 1) / 2 + n + 1;
         let offsets = (0..pts.num_locations()).map(|i| i * per_loc).collect();
-        QuadSpace { nvars: n, per_loc, offsets: offsets, len: pts.num_locations() * per_loc }
+        QuadSpace { nvars: n, per_loc, offsets, len: pts.num_locations() * per_loc }
     }
 
     /// Total number of template unknowns.
@@ -160,15 +160,15 @@ impl QuadSpace {
         for s in u.samples() {
             let mu = s.dist.mean();
             let m2 = s.dist.second_moment();
-            for i in 0..n {
-                mean_r[i] += mu * s.coeffs[i];
+            for (mri, &ci) in mean_r.iter_mut().zip(&s.coeffs) {
+                *mri += mu * ci;
             }
             // Cross-site independence: E[R_i R_j] picks up m2 on the same
             // site and μ_s·μ_t across sites; the cross part is folded in
             // below via mean_r ⊗ mean_r corrected by per-site covariance.
-            for i in 0..n {
-                for j in 0..n {
-                    second_r[i][j] += (m2 - mu * mu) * s.coeffs[i] * s.coeffs[j];
+            for (row, &ci) in second_r.iter_mut().zip(&s.coeffs) {
+                for (slot, &cj) in row.iter_mut().zip(&s.coeffs) {
+                    *slot += (m2 - mu * mu) * ci * cj;
                 }
             }
         }
@@ -211,8 +211,8 @@ impl QuadSpace {
         let u = &fork.update;
         let mut offset = u.offset().to_vec();
         for (s, &r) in u.samples().iter().zip(draws) {
-            for i in 0..n {
-                offset[i] += r * s.coeffs[i];
+            for (oi, &ci) in offset.iter_mut().zip(&s.coeffs) {
+                *oi += r * ci;
             }
         }
         let l_poly: Vec<CPoly> =
@@ -418,11 +418,11 @@ impl<'a> Generator<'a> {
         };
         let widen = |p: &UPoly, beta_coef: f64, eps_coef: f64, eps_val: f64| -> UPoly {
             let mut out = UPoly::zero(p.nvars(), n + extra);
-            for (m, c) in p.iter() {
+            for (id, c) in p.iter_ids() {
                 let mut lin = c.lin.clone();
                 lin.resize(n + extra, 0.0);
                 let w = UCoef { lin, constant: c.constant };
-                out.add_term(m.clone(), &w);
+                out.add_term_id(id, &w);
             }
             let zero_m = vec![0u32; p.nvars()];
             let mut konst = UCoef::zero(n + extra);

@@ -16,6 +16,7 @@
 //!   `x − ex ≥ dev` observes.
 
 mod programs;
+pub mod runner;
 
 pub use programs::*;
 

@@ -1,0 +1,198 @@
+//! Parallel driver for the benchmark suite.
+//!
+//! The paper's evaluation (Tables 1–2) runs up to four synthesis
+//! algorithms over 36 program rows. Each (row, algorithm) pair is an
+//! independent piece of work: compilation, invariant propagation and
+//! synthesis share nothing across pairs (all caches — monomial interner,
+//! Handelman products, LP warm-start bases — are thread-local by
+//! design). The driver therefore fans the pairs out over a rayon-style
+//! thread pool and reassembles the results **in input order**, so the
+//! emitted tables are byte-identical regardless of scheduling.
+//!
+//! Used by the `tables` binary (`crates/bench`) and the `qava --suite`
+//! CLI mode; the criterion benches keep calling the synthesis entry
+//! points directly so that measured times stay single-threaded.
+
+use crate::logprob::LogProb;
+use crate::suite::{Benchmark, Direction};
+use crate::{explinsyn, explowsyn, hoeffding};
+use rayon::prelude::*;
+use std::time::Instant;
+
+/// A synthesis algorithm the driver can schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algorithm {
+    /// §5.1 RepRSM + Hoeffding upper bound.
+    Hoeffding,
+    /// POPL'17 Azuma baseline (same template class as Hoeffding).
+    Azuma,
+    /// §5.2 complete exponential upper bound.
+    ExpLinSyn,
+    /// §6 exponential lower bound (needs almost-sure termination).
+    ExpLowSyn,
+}
+
+impl std::fmt::Display for Algorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Algorithm::Hoeffding => "hoeffding",
+            Algorithm::Azuma => "azuma",
+            Algorithm::ExpLinSyn => "explinsyn",
+            Algorithm::ExpLowSyn => "explowsyn",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// The algorithms the paper's tables run for a bound direction.
+pub fn default_algorithms(direction: Direction) -> &'static [Algorithm] {
+    match direction {
+        Direction::Upper => &[Algorithm::Hoeffding, Algorithm::ExpLinSyn],
+        Direction::Lower => &[Algorithm::ExpLowSyn],
+    }
+}
+
+/// Outcome of one algorithm on one table row.
+#[derive(Debug, Clone)]
+pub struct AlgoRun {
+    /// Which algorithm ran.
+    pub algorithm: Algorithm,
+    /// Certified bound, or the failure rendered as text.
+    pub bound: Result<LogProb, String>,
+    /// Wall-clock synthesis time (excluding compilation), seconds.
+    pub seconds: f64,
+}
+
+/// All requested algorithm outcomes for one table row, in request order.
+#[derive(Debug, Clone)]
+pub struct RowReport {
+    /// Index of the row in the input slice.
+    pub row: usize,
+    /// Benchmark name (e.g. `Race`).
+    pub name: &'static str,
+    /// Row label (e.g. `Pr[T > 500]`).
+    pub label: String,
+    /// Published "previous results" number, for ratio columns.
+    pub previous: Option<LogProb>,
+    /// Bound direction of the row.
+    pub direction: Direction,
+    /// One entry per requested algorithm.
+    pub runs: Vec<AlgoRun>,
+}
+
+/// Runs one algorithm on a compiled program.
+fn run_algorithm(pts: &qava_pts::Pts, algo: Algorithm) -> Result<LogProb, String> {
+    match algo {
+        Algorithm::Hoeffding => hoeffding::synthesize_reprsm_bound(pts, hoeffding::BoundKind::Hoeffding)
+            .map(|r| r.bound)
+            .map_err(|e| e.to_string()),
+        Algorithm::Azuma => hoeffding::synthesize_reprsm_bound(pts, hoeffding::BoundKind::Azuma)
+            .map(|r| r.bound)
+            .map_err(|e| e.to_string()),
+        Algorithm::ExpLinSyn => explinsyn::synthesize_upper_bound(pts)
+            .map(|r| r.bound)
+            .map_err(|e| e.to_string()),
+        Algorithm::ExpLowSyn => explowsyn::synthesize_lower_bound(pts)
+            .map(|r| r.bound)
+            .map_err(|e| e.to_string()),
+    }
+}
+
+/// Fans `rows × algorithms(row)` out over the thread pool and returns
+/// one report per row, in input order.
+///
+/// `algorithms` picks the algorithm set per row; use
+/// [`default_algorithms`] composed over [`Benchmark::direction`] for the
+/// paper's tables.
+pub fn run_rows(
+    rows: &[Benchmark],
+    algorithms: impl Fn(&Benchmark) -> Vec<Algorithm>,
+) -> Vec<RowReport> {
+    // Flatten to (row, algorithm) tasks so a slow row does not serialize
+    // the algorithms behind it.
+    let tasks: Vec<(usize, Algorithm)> = rows
+        .iter()
+        .enumerate()
+        .flat_map(|(i, b)| algorithms(b).into_iter().map(move |a| (i, a)))
+        .collect();
+
+    let outcomes: Vec<(usize, AlgoRun)> = tasks
+        .par_iter()
+        .map(|&(i, algo)| {
+            // Compile per task: compilation is cheap next to synthesis,
+            // and it keeps every task self-contained on its worker
+            // thread (monomial ids never cross threads).
+            let pts = rows[i].compile();
+            let t0 = Instant::now();
+            let bound = run_algorithm(&pts, algo);
+            let seconds = t0.elapsed().as_secs_f64();
+            (i, AlgoRun { algorithm: algo, bound, seconds })
+        })
+        .collect();
+
+    let mut reports: Vec<RowReport> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, b)| RowReport {
+            row: i,
+            name: b.name,
+            label: b.label.clone(),
+            previous: b.paper.previous,
+            direction: b.direction,
+            runs: Vec::new(),
+        })
+        .collect();
+    // `outcomes` is in task order (the shim's parallel map is
+    // order-preserving), which is row-major by construction.
+    for (i, run) in outcomes {
+        reports[i].runs.push(run);
+    }
+    reports
+}
+
+/// Convenience accessor: the run of a given algorithm, if requested.
+impl RowReport {
+    /// Returns the outcome of `algo` on this row, if it was scheduled.
+    pub fn run(&self, algo: Algorithm) -> Option<&AlgoRun> {
+        self.runs.iter().find(|r| r.algorithm == algo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite::{table1, table2};
+
+    #[test]
+    fn parallel_results_deterministic_and_ordered() {
+        // Three quick rows from table 2 (the affine lower bound is the
+        // fastest synthesis); run twice and compare bounds exactly.
+        let rows: Vec<Benchmark> = table2().into_iter().take(3).collect();
+        let a = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+        let b = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+        assert_eq!(a.len(), 3);
+        for (ra, rb) in a.iter().zip(&b) {
+            assert_eq!(ra.row, rb.row);
+            assert_eq!(ra.name, rb.name);
+            assert_eq!(ra.runs.len(), rb.runs.len());
+            for (xa, xb) in ra.runs.iter().zip(&rb.runs) {
+                match (&xa.bound, &xb.bound) {
+                    (Ok(pa), Ok(pb)) => assert_eq!(pa.ln(), pb.ln(), "{}", ra.name),
+                    (Err(ea), Err(eb)) => assert_eq!(ea, eb),
+                    _ => panic!("{}: run outcomes diverged across executions", ra.name),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn upper_rows_get_two_algorithms() {
+        let rows: Vec<Benchmark> = table1().into_iter().take(1).collect();
+        let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+        assert_eq!(reports[0].runs.len(), 2);
+        assert_eq!(reports[0].runs[0].algorithm, Algorithm::Hoeffding);
+        assert_eq!(reports[0].runs[1].algorithm, Algorithm::ExpLinSyn);
+        assert!(reports[0].run(Algorithm::ExpLinSyn).is_some());
+        assert!(reports[0].run(Algorithm::ExpLowSyn).is_none());
+    }
+}

@@ -78,10 +78,10 @@ impl TemplateSpace {
         let nvars = pts.num_vars();
         let mut offsets = vec![None; pts.num_locations()];
         let mut len = 0usize;
-        for l in 0..pts.num_locations() {
+        for (l, slot) in offsets.iter_mut().enumerate() {
             let live = l >= 2;
             if live || include_absorbing {
-                offsets[l] = Some(len);
+                *slot = Some(len);
                 len += nvars + 1;
             }
         }

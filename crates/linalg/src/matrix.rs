@@ -112,8 +112,8 @@ impl Matrix {
     pub fn mul_vec_transposed(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "mul_vec_transposed: dimension mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            vecops::axpy(x[i], self.row(i), &mut out);
+        for (i, &xi) in x.iter().enumerate() {
+            vecops::axpy(xi, self.row(i), &mut out);
         }
         out
     }

@@ -1,0 +1,236 @@
+//! Compressed-sparse-column storage for LP constraint matrices.
+//!
+//! The revised simplex ([`crate::revised`]) is column-oriented: pricing
+//! computes one dot product per column against the dense simplex
+//! multipliers, and the forward transformation needs one column at a
+//! time. CSC makes both O(nnz of the column) instead of O(m).
+
+/// A sparse `rows × cols` matrix in compressed-sparse-column layout.
+///
+/// Within each column the row indices are strictly increasing and the
+/// stored values are nonzero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CscMatrix {
+    rows: usize,
+    cols: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    vals: Vec<f64>,
+}
+
+impl CscMatrix {
+    /// Builds from sparse rows `rows[i] = [(col, value), …]`.
+    ///
+    /// Entries with value exactly `0.0` are dropped; duplicate
+    /// coordinates within a row are accumulated.
+    pub fn from_sparse_rows(nrows: usize, ncols: usize, rows: &[Vec<(usize, f64)>]) -> Self {
+        assert_eq!(rows.len(), nrows, "from_sparse_rows: row count mismatch");
+        let mut counts = vec![0usize; ncols + 1];
+        for row in rows {
+            for &(c, v) in row {
+                assert!(c < ncols, "from_sparse_rows: column out of bounds");
+                if v != 0.0 {
+                    counts[c + 1] += 1;
+                }
+            }
+        }
+        for c in 0..ncols {
+            counts[c + 1] += counts[c];
+        }
+        let nnz = counts[ncols];
+        let col_ptr = counts;
+        let mut row_idx = vec![0usize; nnz];
+        let mut vals = vec![0.0f64; nnz];
+        let mut cursor = col_ptr.clone();
+        for (r, row) in rows.iter().enumerate() {
+            for &(c, v) in row {
+                if v != 0.0 {
+                    let slot = cursor[c];
+                    row_idx[slot] = r;
+                    vals[slot] = v;
+                    cursor[c] += 1;
+                }
+            }
+        }
+        // Rows were scanned in increasing order, so each column is sorted;
+        // accumulate exact-duplicate coordinates if any slipped in.
+        let mut m = CscMatrix { rows: nrows, cols: ncols, col_ptr, row_idx, vals };
+        m.coalesce();
+        m
+    }
+
+    /// Builds from a dense row-major matrix, dropping zeros.
+    pub fn from_dense(a: &qava_linalg::Matrix) -> Self {
+        let rows: Vec<Vec<(usize, f64)>> = (0..a.rows())
+            .map(|i| {
+                a.row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(j, &v)| (j, v))
+                    .collect()
+            })
+            .collect();
+        CscMatrix::from_sparse_rows(a.rows(), a.cols(), &rows)
+    }
+
+    fn coalesce(&mut self) {
+        let mut needs = false;
+        for j in 0..self.cols {
+            let (idx, _) = self.col(j);
+            if idx.windows(2).any(|w| w[0] >= w[1]) {
+                needs = true;
+                break;
+            }
+        }
+        if !needs {
+            return;
+        }
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        let mut row_idx = Vec::with_capacity(self.row_idx.len());
+        let mut vals = Vec::with_capacity(self.vals.len());
+        for j in 0..self.cols {
+            let (idx, v) = self.col(j);
+            let mut entries: Vec<(usize, f64)> = idx.iter().copied().zip(v.iter().copied()).collect();
+            entries.sort_by_key(|&(r, _)| r);
+            let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+            for (r, val) in entries {
+                match merged.last_mut() {
+                    Some((lr, lv)) if *lr == r => *lv += val,
+                    _ => merged.push((r, val)),
+                }
+            }
+            for (r, val) in merged {
+                if val != 0.0 {
+                    row_idx.push(r);
+                    vals.push(val);
+                }
+            }
+            col_ptr[j + 1] = row_idx.len();
+        }
+        self.col_ptr = col_ptr;
+        self.row_idx = row_idx;
+        self.vals = vals;
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Borrows column `j` as parallel `(row_indices, values)` slices.
+    pub fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let lo = self.col_ptr[j];
+        let hi = self.col_ptr[j + 1];
+        (&self.row_idx[lo..hi], &self.vals[lo..hi])
+    }
+
+    /// Dot product of column `j` with a dense vector.
+    pub fn col_dot(&self, j: usize, x: &[f64]) -> f64 {
+        let (idx, vals) = self.col(j);
+        idx.iter().zip(vals).map(|(&r, &v)| v * x[r]).sum()
+    }
+
+    /// `out += scale · column_j` (dense accumulation).
+    pub fn col_axpy(&self, j: usize, scale: f64, out: &mut [f64]) {
+        let (idx, vals) = self.col(j);
+        for (&r, &v) in idx.iter().zip(vals) {
+            out[r] += scale * v;
+        }
+    }
+
+    /// Applies `f(row, col, value)` to every stored entry, column-major.
+    pub fn for_each(&self, mut f: impl FnMut(usize, usize, f64)) {
+        for j in 0..self.cols {
+            let (idx, vals) = self.col(j);
+            for (&r, &v) in idx.iter().zip(vals) {
+                f(r, j, v);
+            }
+        }
+    }
+
+    /// Scales every entry by `row_scale[row] * col_scale[col]` in place.
+    pub fn scale(&mut self, row_scale: &[f64], col_scale: &[f64]) {
+        for (j, &cs) in col_scale.iter().enumerate().take(self.cols) {
+            let lo = self.col_ptr[j];
+            let hi = self.col_ptr[j + 1];
+            for k in lo..hi {
+                self.vals[k] *= row_scale[self.row_idx[k]] * cs;
+            }
+        }
+    }
+
+    /// Structural fingerprint (dimensions and sparsity pattern, not
+    /// values) — the warm-start cache key for structurally identical LPs.
+    pub fn pattern_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        self.rows.hash(&mut h);
+        self.cols.hash(&mut h);
+        self.col_ptr.hash(&mut h);
+        self.row_idx.hash(&mut h);
+        h.finish()
+    }
+
+    /// Materializes the dense representation (tests and the oracle path).
+    pub fn to_dense(&self) -> qava_linalg::Matrix {
+        let mut m = qava_linalg::Matrix::zeros(self.rows, self.cols);
+        self.for_each(|r, c, v| m[(r, c)] += v);
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qava_linalg::Matrix;
+
+    #[test]
+    fn dense_roundtrip() {
+        let d = Matrix::from_rows(vec![
+            vec![1.0, 0.0, 2.0],
+            vec![0.0, 0.0, 0.0],
+            vec![-3.0, 4.0, 0.0],
+        ]);
+        let s = CscMatrix::from_dense(&d);
+        assert_eq!(s.nnz(), 4);
+        assert_eq!(s.to_dense(), d);
+    }
+
+    #[test]
+    fn column_access_sorted() {
+        let rows = vec![vec![(1, 5.0)], vec![(0, 2.0), (1, 3.0)]];
+        let s = CscMatrix::from_sparse_rows(2, 2, &rows);
+        let (idx, vals) = s.col(1);
+        assert_eq!(idx, &[0, 1]);
+        assert_eq!(vals, &[5.0, 3.0]);
+        assert_eq!(s.col_dot(1, &[2.0, 10.0]), 40.0);
+    }
+
+    #[test]
+    fn duplicate_coordinates_accumulate() {
+        let rows = vec![vec![(0, 1.0), (0, 2.0)]];
+        let s = CscMatrix::from_sparse_rows(1, 1, &rows);
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.to_dense()[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn pattern_hash_ignores_values() {
+        let a = CscMatrix::from_sparse_rows(2, 2, &[vec![(0, 1.0)], vec![(1, 2.0)]]);
+        let b = CscMatrix::from_sparse_rows(2, 2, &[vec![(0, 9.0)], vec![(1, -4.0)]]);
+        let c = CscMatrix::from_sparse_rows(2, 2, &[vec![(1, 1.0)], vec![(0, 2.0)]]);
+        assert_eq!(a.pattern_hash(), b.pattern_hash());
+        assert_ne!(a.pattern_hash(), c.pattern_hash());
+    }
+}

@@ -9,13 +9,21 @@
 //!
 //! * [`LpBuilder`] — incremental model construction with named variables and
 //!   sparse [`LinExpr`] linear expressions;
-//! * a dense **two-phase primal simplex** ([`solve`](LpBuilder::solve)) with
-//!   Dantzig pricing that falls back to Bland's rule once degeneracy is
-//!   detected, so it cannot cycle;
+//! * a **sparse revised simplex** ([`solve`](LpBuilder::solve)): CSC column
+//!   storage, presolve (empty/duplicate-row removal, fixed-variable
+//!   elimination), max-norm equilibration, Dantzig pricing with a Bland
+//!   anti-cycling fallback, and a warm-start basis cache keyed by LP
+//!   sparsity pattern (see [`solve_standard`] for the entry point);
+//!   µs-scale models below a small size cutover take the dense tableau,
+//!   whose constant factor wins there (hybrid dispatch);
+//! * the legacy **dense two-phase tableau** kept as a differential-testing
+//!   oracle ([`solve_standard_dense`]); build with the `dense-simplex`
+//!   feature to route [`solve_standard`] through it;
 //! * exact infeasibility / unboundedness reporting via [`LpError`].
 //!
-//! The LPs produced by the synthesis algorithms have at most a few hundred
-//! rows and columns, so a dense tableau is both simple and fast enough.
+//! The synthesis LPs routinely reach hundreds of rows and thousands of
+//! columns at a few percent density; the revised method prices columns in
+//! O(nnz) and keeps only the m×m basis inverse hot.
 //!
 //! # Examples
 //!
@@ -34,13 +42,62 @@
 //! # Ok::<(), qava_lp::LpError>(())
 //! ```
 
+mod csc;
 mod expr;
+mod presolve;
+mod revised;
 mod simplex;
 
+pub use csc::CscMatrix;
 pub use expr::{LinExpr, VarId};
-pub use simplex::MAX_PIVOTS;
+pub use revised::clear_warm_start_cache;
+pub use simplex::{solve_standard_dense, MAX_PIVOTS};
 
+use presolve::StdRows;
 use qava_linalg::EPS;
+
+/// Row/column cutovers below which [`LpBuilder::solve`] prefers the
+/// dense tableau; see the dispatch comment in `solve`.
+const DENSE_CUTOVER_ROWS: usize = 16;
+const DENSE_CUTOVER_COLS: usize = 96;
+
+/// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) and returns the
+/// optimal `x`.
+///
+/// This is the stable entry point for standard-form systems: it routes to
+/// the sparse revised simplex ([`crate`] docs) by default, or to the dense
+/// tableau oracle when the crate is built with the `dense-simplex`
+/// feature. Both paths perform the same max-norm equilibration.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+/// [`LpError::PivotLimit`].
+pub fn solve_standard(
+    costs: &[f64],
+    a: &qava_linalg::Matrix,
+    b: &[f64],
+) -> Result<Vec<f64>, LpError> {
+    if cfg!(feature = "dense-simplex") {
+        return simplex::solve_standard_dense(costs, a, b);
+    }
+    let rows: Vec<Vec<(usize, f64)>> = (0..a.rows())
+        .map(|i| {
+            a.row(i)
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v != 0.0)
+                .map(|(j, &v)| (j, v))
+                .collect()
+        })
+        .collect();
+    revised::solve_std_rows(StdRows {
+        costs: costs.to_vec(),
+        rows,
+        b: b.to_vec(),
+        ncols: a.cols(),
+    })
+}
 
 /// Comparison operator of a linear constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -199,7 +256,8 @@ impl LpBuilder {
         self.direction = Direction::Maximize;
     }
 
-    /// Runs two-phase simplex.
+    /// Runs the simplex solver (sparse revised by default, the dense
+    /// tableau oracle under the `dense-simplex` feature).
     ///
     /// # Errors
     ///
@@ -207,18 +265,37 @@ impl LpBuilder {
     /// * [`LpError::Unbounded`] — the objective improves without bound;
     /// * [`LpError::PivotLimit`] — the solver gave up (pathological input).
     pub fn solve(&self) -> Result<LpSolution, LpError> {
-        let std = self.to_standard_form();
-        let x_std = simplex::solve_standard(&std.costs, &std.a, &std.b)?;
-        let values = std.recover(&x_std);
+        let (std_rows, map) = self.lower();
+        // Hybrid dispatch: the sparse pipeline's fixed costs (pattern
+        // hashing, CSC assembly, periodic refactorization) dominate on
+        // the µs-scale models that polyhedron emptiness probes and small
+        // lower-bound encodings produce, where the dense tableau's
+        // constant factor wins. Large template LPs take the sparse
+        // revised path, where pricing in O(nnz) and warm starts pay off.
+        let tiny = std_rows.rows.len() <= DENSE_CUTOVER_ROWS
+            && std_rows.ncols <= DENSE_CUTOVER_COLS;
+        let x_std = if cfg!(feature = "dense-simplex") || tiny {
+            let mut a = qava_linalg::Matrix::zeros(std_rows.rows.len(), std_rows.ncols);
+            for (i, row) in std_rows.rows.iter().enumerate() {
+                for &(j, v) in row {
+                    a[(i, j)] += v;
+                }
+            }
+            simplex::solve_standard_dense(&std_rows.costs, &a, &std_rows.b)?
+        } else {
+            revised::solve_std_rows(std_rows)?
+        };
+        let values = map.recover(&x_std);
         let objective: f64 = self.objective.iter().map(|&(j, c)| c * values[j]).sum();
         Ok(LpSolution { objective, values })
     }
 
-    /// Lowers the model to `min cᵀy, A·y = b, y ≥ 0, b ≥ 0`.
-    fn to_standard_form(&self) -> StandardForm {
+    /// Lowers the model to sparse standard form
+    /// `min cᵀy, A·y = b, y ≥ 0, b ≥ 0` without materializing a dense
+    /// matrix: non-negative variables keep one column, free variables get
+    /// a plus and a minus column, and each inequality gets a slack.
+    fn lower(&self) -> (StdRows, ColMap) {
         let n = self.names.len();
-        // Column mapping: non-negative vars keep one column, free vars get a
-        // plus and a minus column.
         let mut col_of_plus = vec![0usize; n];
         let mut col_of_minus = vec![usize::MAX; n];
         let mut ncols = 0usize;
@@ -234,9 +311,10 @@ impl LpBuilder {
         let total = ncols + nslack;
 
         let m = self.rows.len();
-        let mut a = qava_linalg::Matrix::zeros(m, total);
+        let mut rows: Vec<Vec<(usize, f64)>> = Vec::with_capacity(m);
         let mut b = vec![0.0; m];
         let mut slack_idx = ncols;
+        let mut accum: Vec<f64> = vec![0.0; total];
         for (i, row) in self.rows.iter().enumerate() {
             let mut rhs = row.rhs;
             let mut sign = 1.0;
@@ -245,12 +323,31 @@ impl LpBuilder {
                 sign = -1.0;
                 rhs = -rhs;
             }
+            // Coalesce duplicate variables through a dense scratch vector
+            // (columns touched per row are few; only touched slots are
+            // visited and reset).
+            let mut touched: Vec<usize> = Vec::with_capacity(row.coeffs.len() * 2);
             for &(j, c) in &row.coeffs {
                 let c = c * sign;
-                a[(i, col_of_plus[j])] += c;
-                if col_of_minus[j] != usize::MAX {
-                    a[(i, col_of_minus[j])] -= c;
+                if accum[col_of_plus[j]] == 0.0 {
+                    touched.push(col_of_plus[j]);
                 }
+                accum[col_of_plus[j]] += c;
+                if col_of_minus[j] != usize::MAX {
+                    if accum[col_of_minus[j]] == 0.0 {
+                        touched.push(col_of_minus[j]);
+                    }
+                    accum[col_of_minus[j]] -= c;
+                }
+            }
+            let mut sparse: Vec<(usize, f64)> = Vec::with_capacity(touched.len() + 1);
+            touched.sort_unstable();
+            touched.dedup();
+            for &slot in &touched {
+                if accum[slot] != 0.0 {
+                    sparse.push((slot, accum[slot]));
+                }
+                accum[slot] = 0.0;
             }
             b[i] = rhs;
             let effective = match (row.cmp, sign < 0.0) {
@@ -260,15 +357,16 @@ impl LpBuilder {
             };
             match effective {
                 Cmp::Le => {
-                    a[(i, slack_idx)] = 1.0;
+                    sparse.push((slack_idx, 1.0));
                     slack_idx += 1;
                 }
                 Cmp::Ge => {
-                    a[(i, slack_idx)] = -1.0;
+                    sparse.push((slack_idx, -1.0));
                     slack_idx += 1;
                 }
                 Cmp::Eq => {}
             }
+            rows.push(sparse);
         }
 
         let mut costs = vec![0.0; total];
@@ -283,21 +381,21 @@ impl LpBuilder {
             }
         }
 
-        StandardForm { costs, a, b, col_of_plus, col_of_minus, num_orig: n }
+        (
+            StdRows { costs, rows, b, ncols: total },
+            ColMap { col_of_plus, col_of_minus, num_orig: n },
+        )
     }
 }
 
-/// The standard-form lowering of an [`LpBuilder`] model.
-struct StandardForm {
-    costs: Vec<f64>,
-    a: qava_linalg::Matrix,
-    b: Vec<f64>,
+/// Column split bookkeeping of the standard-form lowering.
+struct ColMap {
     col_of_plus: Vec<usize>,
     col_of_minus: Vec<usize>,
     num_orig: usize,
 }
 
-impl StandardForm {
+impl ColMap {
     /// Maps a standard-form solution vector back to original variables.
     fn recover(&self, x: &[f64]) -> Vec<f64> {
         (0..self.num_orig)

@@ -1,0 +1,325 @@
+//! Presolve for standard-form LPs `min cᵀx, A·x = b, x ≥ 0, b ≥ 0`.
+//!
+//! The synthesis pipelines generate thousands of structurally similar
+//! template LPs whose rows are full of easy structure: empty rows from
+//! vacuous coefficient matches, duplicate rows from repeated region
+//! constraints, and singleton rows that outright fix a variable. Removing
+//! them before the simplex both shrinks the basis and removes the
+//! degenerate pivots those rows would cause.
+//!
+//! Reductions, iterated to a fixpoint:
+//!
+//! 1. **Empty rows** — `0 = b` is dropped when `b ≈ 0`, infeasible
+//!    otherwise.
+//! 2. **Singleton rows** — `a·x_j = b` fixes `x_j = b/a` (infeasible if
+//!    negative); the fixed variable is substituted out of every row.
+//! 3. **Duplicate rows** — rows with an identical normalized pattern are
+//!    deduplicated. Equal right-hand sides drop the copy; clearly
+//!    conflicting ones prove infeasibility; borderline ones are kept for
+//!    the simplex to arbitrate.
+//! 4. **Empty columns** — a variable absent from every row is fixed at 0
+//!    (or proves the LP unbounded when its cost is negative).
+//!
+//! The output is the reduced problem plus a [`Restore`] recipe mapping a
+//! reduced solution back onto the original variable space.
+
+use crate::LpError;
+use qava_linalg::EPS;
+
+/// A standard-form LP in sparse row representation.
+#[derive(Debug, Clone)]
+pub struct StdRows {
+    /// Objective coefficients, one per column.
+    pub costs: Vec<f64>,
+    /// Sparse rows `[(col, coeff), …]`; the invariant `b ≥ 0` is kept by
+    /// sign-normalizing rows.
+    pub rows: Vec<Vec<(usize, f64)>>,
+    /// Right-hand side, aligned with `rows`.
+    pub b: Vec<f64>,
+    /// Total number of columns.
+    pub ncols: usize,
+}
+
+/// Recipe to map a reduced solution back to the original columns.
+#[derive(Debug, Clone)]
+pub struct Restore {
+    /// Original column index of each reduced column.
+    pub kept_cols: Vec<usize>,
+    /// `(original column, value)` for variables fixed by presolve.
+    pub fixed: Vec<(usize, f64)>,
+    /// Number of original columns.
+    pub ncols: usize,
+    /// An empty column with negative cost was removed: the objective is
+    /// unbounded **if** the remaining system turns out feasible. The
+    /// caller must check this after solving the reduced LP — reporting
+    /// unboundedness eagerly would mask infeasibility, which takes
+    /// precedence (matching the two-phase oracle).
+    pub unbounded_if_feasible: bool,
+}
+
+impl Restore {
+    /// Expands a reduced solution to the original variable space.
+    pub fn expand(&self, reduced_x: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.ncols];
+        for (&orig, &v) in self.kept_cols.iter().zip(reduced_x) {
+            x[orig] = v;
+        }
+        for &(col, v) in &self.fixed {
+            x[col] = v;
+        }
+        x
+    }
+}
+
+/// Runs the reductions; returns the reduced LP and the restore recipe.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`] when a reduction proves the system has no
+/// solution with `x ≥ 0`; [`LpError::Unbounded`] when an empty column
+/// with negative cost makes the objective unbounded below.
+pub fn reduce(lp: StdRows) -> Result<(StdRows, Restore), LpError> {
+    let ncols = lp.ncols;
+    let mut rows = lp.rows;
+    let mut b = lp.b;
+    let costs = lp.costs;
+    let mut fixed: Vec<(usize, f64)> = Vec::new();
+    let mut removed_col = vec![false; ncols];
+    let b_norm = b.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    let feas_tol = 1e-9 * (1.0 + b_norm);
+
+    // -- Singleton + empty rows, iterated: substitution creates both. --
+    loop {
+        let mut changed = false;
+        let mut i = 0;
+        while i < rows.len() {
+            match rows[i].len() {
+                0 => {
+                    if b[i].abs() > feas_tol {
+                        return Err(LpError::Infeasible);
+                    }
+                    rows.swap_remove(i);
+                    let blen = b.len();
+                    b.swap(i, blen - 1);
+                    b.pop();
+                    changed = true;
+                    // Re-examine the row swapped into slot i.
+                }
+                1 => {
+                    let (col, coeff) = rows[i][0];
+                    let value = b[i] / coeff;
+                    if value < -1e-7 {
+                        return Err(LpError::Infeasible);
+                    }
+                    let value = value.max(0.0);
+                    fixed.push((col, value));
+                    removed_col[col] = true;
+                    rows.swap_remove(i);
+                    let blen = b.len();
+                    b.swap(i, blen - 1);
+                    b.pop();
+                    // Substitute into every remaining row.
+                    for (k, row) in rows.iter_mut().enumerate() {
+                        if let Some(pos) = row.iter().position(|&(c, _)| c == col) {
+                            let (_, a) = row.swap_remove(pos);
+                            b[k] -= a * value;
+                        }
+                        if b[k] < 0.0 {
+                            // Keep the standard-form invariant b ≥ 0.
+                            b[k] = -b[k];
+                            for e in row.iter_mut() {
+                                e.1 = -e.1;
+                            }
+                        }
+                    }
+                    changed = true;
+                }
+                _ => i += 1,
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // -- Duplicate rows (normalized pattern + coefficients). --
+    {
+        use std::collections::HashMap;
+        let mut seen: HashMap<Vec<(usize, u64)>, (usize, f64)> = HashMap::new();
+        let mut keep = vec![true; rows.len()];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row.sort_by_key(|&(c, _)| c);
+            let lead = row[0].1;
+            let key: Vec<(usize, u64)> =
+                row.iter().map(|&(c, v)| (c, (v / lead).to_bits())).collect();
+            let rhs = b[i] / lead;
+            match seen.get(&key) {
+                Some(&(_, prev_rhs)) => {
+                    let diff = (rhs - prev_rhs).abs();
+                    if diff <= 1e-12 * (1.0 + rhs.abs().max(prev_rhs.abs())) {
+                        keep[i] = false;
+                    } else if diff > 1e-7 * (1.0 + rhs.abs().max(prev_rhs.abs())) {
+                        // Same left-hand side, clearly different right-hand
+                        // side. With a positive lead the two equalities
+                        // conflict outright; a negated lead means the rhs
+                        // ratio flipped sign, which is still the same
+                        // equation pair. Either way x would have to satisfy
+                        // both, which is impossible.
+                        return Err(LpError::Infeasible);
+                    }
+                    // Borderline: keep both, the simplex handles it.
+                }
+                None => {
+                    seen.insert(key, (i, rhs));
+                }
+            }
+        }
+        let mut ki = keep.iter();
+        rows.retain(|_| *ki.next().expect("keep mask aligned"));
+        let mut kb = keep.iter();
+        b.retain(|_| *kb.next().expect("keep mask aligned"));
+    }
+
+    // -- Empty columns: fix at 0, or detect an unbounded ray. --
+    let mut present = vec![false; ncols];
+    for row in &rows {
+        for &(c, _) in row {
+            present[c] = true;
+        }
+    }
+    let mut unbounded_if_feasible = false;
+    for c in 0..ncols {
+        if !present[c] && !removed_col[c] {
+            if costs[c] < -EPS {
+                // An improving ray — but only a feasible system makes the
+                // LP unbounded rather than infeasible.
+                unbounded_if_feasible = true;
+            }
+            removed_col[c] = true;
+            // Value 0 is the default in Restore::expand; no entry needed.
+        }
+    }
+
+    // -- Compact the kept columns. --
+    let mut new_index = vec![usize::MAX; ncols];
+    let mut kept_cols = Vec::new();
+    for c in 0..ncols {
+        if !removed_col[c] {
+            new_index[c] = kept_cols.len();
+            kept_cols.push(c);
+        }
+    }
+    let mut out_rows = rows;
+    for row in &mut out_rows {
+        for e in row.iter_mut() {
+            e.0 = new_index[e.0];
+        }
+    }
+    let out_costs: Vec<f64> = kept_cols.iter().map(|&c| costs[c]).collect();
+    let nkept = kept_cols.len();
+
+    Ok((
+        StdRows { costs: out_costs, rows: out_rows, b, ncols: nkept },
+        Restore { kept_cols, fixed, ncols, unbounded_if_feasible },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lp(rows: Vec<Vec<(usize, f64)>>, b: Vec<f64>, costs: Vec<f64>) -> StdRows {
+        let ncols = costs.len();
+        StdRows { costs, rows, b, ncols }
+    }
+
+    #[test]
+    fn empty_row_dropped_or_infeasible() {
+        let (red, _) = reduce(lp(vec![vec![], vec![(0, 1.0)]], vec![0.0, 2.0], vec![1.0])).unwrap();
+        assert!(red.rows.is_empty(), "singleton also fires: {red:?}");
+        let r = reduce(lp(vec![vec![]], vec![1.0], vec![1.0]));
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn singleton_fixes_and_substitutes() {
+        // 2·x0 = 4 fixes x0 = 2; row 1: x0 + x1 = 5 becomes x1 = 3 (also a
+        // singleton, so everything presolves away).
+        let (red, restore) = reduce(lp(
+            vec![vec![(0, 2.0)], vec![(0, 1.0), (1, 1.0)]],
+            vec![4.0, 5.0],
+            vec![0.0, 0.0],
+        ))
+        .unwrap();
+        assert!(red.rows.is_empty());
+        let x = restore.expand(&[]);
+        assert_eq!(x, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn singleton_negative_value_infeasible() {
+        let r = reduce(lp(vec![vec![(0, -1.0)], vec![(0, 1.0), (1, 1.0)]], vec![3.0, 1.0], vec![0.0, 0.0]));
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn substitution_renormalizes_rhs_sign() {
+        // x0 = 3; then x0 + x1 = 1 becomes x1 = −2 < 0: infeasible.
+        let r = reduce(lp(
+            vec![vec![(0, 1.0)], vec![(0, 1.0), (1, 1.0)]],
+            vec![3.0, 1.0],
+            vec![0.0, 0.0],
+        ));
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn duplicate_rows_deduplicated() {
+        let (red, _) = reduce(lp(
+            vec![
+                vec![(0, 1.0), (1, 1.0)],
+                vec![(0, 2.0), (1, 2.0)], // same normalized row, same rhs ratio
+                vec![(0, 1.0), (1, -1.0)],
+            ],
+            vec![2.0, 4.0, 0.0],
+            vec![1.0, 1.0],
+        ))
+        .unwrap();
+        assert_eq!(red.rows.len(), 2);
+    }
+
+    #[test]
+    fn conflicting_duplicate_rows_infeasible() {
+        let r = reduce(lp(
+            vec![vec![(0, 1.0), (1, 1.0)], vec![(0, 1.0), (1, 1.0)]],
+            vec![2.0, 5.0],
+            vec![1.0, 1.0],
+        ));
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn empty_column_zero_or_unbounded() {
+        let (red, restore) =
+            reduce(lp(vec![vec![(0, 1.0)], vec![(0, 1.0), (1, 1.0)]], vec![1.0, 1.0], vec![0.0, 0.0, 3.0])).unwrap();
+        assert_eq!(red.ncols, 0, "x0, x1 fixed by singleton chain; x2 empty");
+        let x = restore.expand(&[]);
+        assert_eq!(x[2], 0.0);
+        let (_, restore) = reduce(lp(vec![vec![(0, 1.0)]], vec![1.0], vec![0.0, -1.0])).unwrap();
+        assert!(restore.unbounded_if_feasible, "negative-cost empty column defers to feasibility");
+    }
+
+    #[test]
+    fn expand_maps_kept_columns() {
+        let (red, restore) = reduce(lp(
+            vec![vec![(0, 1.0), (2, 1.0)]],
+            vec![2.0],
+            vec![1.0, 0.0, 1.0],
+        ))
+        .unwrap();
+        // Column 1 is empty (cost ≥ 0, fixed at 0); columns 0 and 2 kept.
+        assert_eq!(red.ncols, 2);
+        let x = restore.expand(&[1.5, 0.5]);
+        assert_eq!(x, vec![1.5, 0.0, 0.5]);
+    }
+}

@@ -1,0 +1,629 @@
+//! Sparse revised simplex on standard form, with presolve, max-norm
+//! equilibration and a warm-start basis cache.
+//!
+//! The dense tableau ([`crate::simplex`]) updates an `m × (n + m)`
+//! tableau on every pivot. The revised method keeps only the `m × m`
+//! basis inverse `B⁻¹` and reads the constraint matrix in CSC form
+//! ([`crate::csc::CscMatrix`]), so each iteration costs
+//! `O(m² + nnz(A))` instead of `O(m·(n + m))` — a large win on the
+//! sparse Farkas/Handelman LPs where `nnz(A)` is a few percent of
+//! `m·n` — and the working set stays cache-sized.
+//!
+//! Pipeline per solve: presolve ([`crate::presolve`]) → equilibration
+//! (rows then columns to unit max-norm, same `[0.25, 4]` dead-band as
+//! the dense path) → warm start from the cached basis of a structurally
+//! identical LP if available, else textbook phase 1 with one artificial
+//! per row → Dantzig pricing with Bland fallback after degeneracy.
+//!
+//! **Warm-start cache.** Synthesis solves long chains of LPs that share
+//! one sparsity pattern and differ only in a few numbers (the Ser
+//! ternary search re-solves the same model per ε probe). The final
+//! basis of each solve is cached per [`CscMatrix::pattern_hash`]; the
+//! next structurally identical LP refactorizes that basis (one `m × m`
+//! inversion) and — when still primal feasible — skips phase 1 and most
+//! phase-2 pivots. An infeasible or singular cached basis falls back to
+//! the cold path, so caching never changes results, only speed.
+
+use crate::csc::CscMatrix;
+use crate::presolve::{self, StdRows};
+use crate::simplex::MAX_PIVOTS;
+use crate::LpError;
+use qava_linalg::{Matrix, EPS};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Bland-fallback patience, matching the dense path.
+const DEGENERACY_PATIENCE: usize = 40;
+
+/// Cached warm-start bases per LP sparsity pattern (thread local: each
+/// synthesis runs on one thread, and suite parallelism is per-program).
+const CACHE_CAP: usize = 256;
+
+thread_local! {
+    static BASIS_CACHE: RefCell<HashMap<u64, Vec<usize>>> = RefCell::new(HashMap::new());
+}
+
+/// Clears the warm-start cache (benchmarks use this to measure the cold
+/// path deterministically).
+pub fn clear_warm_start_cache() {
+    BASIS_CACHE.with(|c| c.borrow_mut().clear());
+}
+
+/// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) from the sparse row
+/// form, returning the optimal `x` over all original columns.
+///
+/// # Errors
+///
+/// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+/// [`LpError::PivotLimit`].
+pub fn solve_std_rows(lp: StdRows) -> Result<Vec<f64>, LpError> {
+    let (reduced, restore) = presolve::reduce(lp)?;
+    if reduced.rows.is_empty() {
+        // Fully presolved: the (empty) system is trivially feasible.
+        return if restore.unbounded_if_feasible {
+            Err(LpError::Unbounded)
+        } else {
+            Ok(restore.expand(&vec![0.0; reduced.ncols]))
+        };
+    }
+    let a = CscMatrix::from_sparse_rows(reduced.rows.len(), reduced.ncols, &reduced.rows);
+    let x = solve_csc(&reduced.costs, &a, &reduced.b)?;
+    if restore.unbounded_if_feasible {
+        // The reduced system is feasible, so the removed negative-cost
+        // empty column really is an improving ray.
+        return Err(LpError::Unbounded);
+    }
+    Ok(restore.expand(&x))
+}
+
+/// Equilibrates and solves a presolved standard-form LP in CSC form.
+fn solve_csc(costs: &[f64], a: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, LpError> {
+    let m = a.rows();
+    let n = a.cols();
+    debug_assert_eq!(costs.len(), n);
+    debug_assert_eq!(b.len(), m);
+
+    // ---- Equilibration: rows then columns to unit max-norm. ----
+    let mut row_max = vec![0.0f64; m];
+    a.for_each(|r, _, v| row_max[r] = row_max[r].max(v.abs()));
+    let row_scale: Vec<f64> = row_max
+        .iter()
+        .map(|&r| if r > 0.0 && !(0.25..=4.0).contains(&r) { 1.0 / r } else { 1.0 })
+        .collect();
+    let mut col_max = vec![0.0f64; n];
+    a.for_each(|r, c, v| col_max[c] = col_max[c].max((v * row_scale[r]).abs()));
+    let col_scale: Vec<f64> = col_max
+        .iter()
+        .map(|&c| if c > 0.0 && !(0.25..=4.0).contains(&c) { 1.0 / c } else { 1.0 })
+        .collect();
+    let mut sa = a.clone();
+    sa.scale(&row_scale, &col_scale);
+    let sb: Vec<f64> = b.iter().zip(&row_scale).map(|(&v, &s)| v * s).collect();
+    let scaled_costs: Vec<f64> = costs.iter().zip(&col_scale).map(|(&c, &s)| c * s).collect();
+
+    let key = sa.pattern_hash();
+    let warm = BASIS_CACHE.with(|c| c.borrow().get(&key).cloned());
+    let (mut x, basis) = solve_equilibrated(&scaled_costs, &sa, &sb, warm)?;
+    if basis.iter().all(|&j| j < n) {
+        BASIS_CACHE.with(|c| {
+            let mut cache = c.borrow_mut();
+            if cache.len() >= CACHE_CAP {
+                cache.clear();
+            }
+            cache.insert(key, basis);
+        });
+    }
+    // Undo the column scaling (row scaling does not affect x).
+    for (xj, s) in x.iter_mut().zip(&col_scale) {
+        *xj *= s;
+    }
+    Ok(x)
+}
+
+/// The working state of a revised simplex run: basis, basis inverse and
+/// current basic solution. Artificial columns are virtual unit columns
+/// `n ..= n + m - 1`.
+struct Revised<'a> {
+    a: &'a CscMatrix,
+    n: usize,
+    m: usize,
+    basis: Vec<usize>,
+    binv: Matrix,
+    xb: Vec<f64>,
+    /// `in_basis[j]` for real columns: basic columns are skipped by
+    /// pricing. Their exact reduced cost is 0; pricing them anyway can
+    /// pick up rounding noise as "improving" and pivot a column onto its
+    /// own row forever.
+    in_basis: Vec<bool>,
+}
+
+/// Refactorization cadence: rebuilding `B⁻¹` from the basis every so many
+/// pivots bounds the error the rank-one updates accumulate.
+const REFACTOR_EVERY: usize = 64;
+
+/// Preferred minimum pivot element; see [`Revised::leaving`].
+const PIVOT_TOL: f64 = 1e-7;
+
+/// How a simplex phase ended (hard errors go through `Result`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunOutcome {
+    /// No entering column: current basis is optimal.
+    Optimal,
+    /// The feasibility watchdog fired: restart from scratch.
+    LostFeasibility,
+}
+
+impl<'a> Revised<'a> {
+    fn new(a: &'a CscMatrix, basis: Vec<usize>, binv: Matrix, xb: Vec<f64>) -> Self {
+        let n = a.cols();
+        let m = a.rows();
+        let mut in_basis = vec![false; n];
+        for &j in &basis {
+            if j < n {
+                in_basis[j] = true;
+            }
+        }
+        Revised { a, n, m, basis, binv, xb, in_basis }
+    }
+
+    /// Rebuilds `B⁻¹` and `x_B` from scratch off the current basis,
+    /// resetting accumulated update error. Keeps the incremental state on
+    /// a (numerically impossible) singular refactorization.
+    fn refactor(&mut self, b: &[f64]) {
+        let m = self.m;
+        let mut bm = Matrix::zeros(m, m);
+        for (k, &j) in self.basis.iter().enumerate() {
+            if j < self.n {
+                let (idx, vals) = self.a.col(j);
+                for (&r, &v) in idx.iter().zip(vals) {
+                    bm[(r, k)] = v;
+                }
+            } else {
+                bm[(j - self.n, k)] = 1.0;
+            }
+        }
+        if let Some(inv) = bm.inverse() {
+            self.binv = inv;
+            self.xb = self
+                .binv
+                .mul_vec(b)
+                .into_iter()
+                // Degenerate bases put basic variables at 0 whose exact
+                // value re-emerges as ±1e-9 noise; snap those to 0 so the
+                // ratio test stays non-negative.
+                .map(|v| if v.abs() < 1e-7 { 0.0 } else { v })
+                .collect();
+        }
+    }
+    /// `B⁻¹ · column_j` (forward transformation).
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        let m = self.m;
+        if j >= self.n {
+            let r = j - self.n;
+            return (0..m).map(|i| self.binv[(i, r)]).collect();
+        }
+        let mut u = vec![0.0; m];
+        let (idx, vals) = self.a.col(j);
+        for (&r, &v) in idx.iter().zip(vals) {
+            for (i, ui) in u.iter_mut().enumerate() {
+                *ui += v * self.binv[(i, r)];
+            }
+        }
+        u
+    }
+
+    /// Simplex multipliers `yᵀ = c_Bᵀ B⁻¹` for the given full cost
+    /// vector (`costs[j]` for real columns, `art_cost` for artificials).
+    fn multipliers(&self, costs: &[f64], art_cost: f64) -> Vec<f64> {
+        let m = self.m;
+        let mut y = vec![0.0; m];
+        for i in 0..m {
+            let bj = self.basis[i];
+            let cb = if bj < self.n { costs[bj] } else { art_cost };
+            if cb != 0.0 {
+                for (k, yk) in y.iter_mut().enumerate() {
+                    *yk += cb * self.binv[(i, k)];
+                }
+            }
+        }
+        y
+    }
+
+    /// Objective value `c_B · x_B`.
+    fn objective(&self, costs: &[f64], art_cost: f64) -> f64 {
+        self.basis
+            .iter()
+            .zip(&self.xb)
+            .map(|(&bj, &v)| if bj < self.n { costs[bj] * v } else { art_cost * v })
+            .sum()
+    }
+
+    /// Most-negative (Dantzig) or lowest-index (Bland) entering column
+    /// with reduced cost below `-tol`; basic columns and artificials
+    /// never enter.
+    fn entering(&self, costs: &[f64], y: &[f64], bland: bool, tol: f64) -> Option<usize> {
+        let mut best: Option<usize> = None;
+        let mut best_val = -tol;
+        for (j, &cj) in costs.iter().enumerate().take(self.n) {
+            if self.in_basis[j] {
+                continue;
+            }
+            let d = cj - self.a.col_dot(j, y);
+            if d < best_val {
+                if bland {
+                    return Some(j);
+                }
+                best_val = d;
+                best = Some(j);
+            }
+        }
+        best
+    }
+
+    /// Minimum-ratio test on direction `u`; ties break toward the lowest
+    /// basis index under Bland, largest pivot element otherwise
+    /// (mirroring the dense path). Basic values that drifted slightly
+    /// negative are treated as 0 so the ratio test never goes negative.
+    ///
+    /// Two passes on the pivot-element threshold: pivots below
+    /// `PIVOT_TOL` amplify update error catastrophically (dividing the
+    /// pivot row by a near-zero), so eligibility first requires a
+    /// healthy element and only falls back to the loose tolerance when
+    /// no healthy row exists. Skipping a tiny-pivot row can leave it
+    /// `O(PIVOT_TOL·θ)` negative — the feasibility check at the next
+    /// refactorization is the backstop.
+    fn leaving(&self, u: &[f64], bland: bool) -> Option<usize> {
+        self.leaving_with_tol(u, bland, PIVOT_TOL)
+            .or_else(|| self.leaving_with_tol(u, bland, EPS))
+    }
+
+    fn leaving_with_tol(&self, u: &[f64], bland: bool, tol: f64) -> Option<usize> {
+        let mut best: Option<(usize, f64)> = None;
+        for i in 0..self.m {
+            if u[i] > tol {
+                let ratio = self.xb[i].max(0.0) / u[i];
+                let better = match best {
+                    None => true,
+                    Some((bi, br)) => {
+                        ratio < br - 1e-12
+                            || (ratio < br + 1e-12
+                                && if bland {
+                                    self.basis[i] < self.basis[bi]
+                                } else {
+                                    u[i] > u[bi]
+                                })
+                    }
+                };
+                if better {
+                    best = Some((i, ratio));
+                }
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Pivots: column `col` enters, the basic variable of `row` leaves.
+    fn pivot(&mut self, row: usize, col: usize, u: &[f64]) {
+        let m = self.m;
+        debug_assert!(u[row].abs() > EPS, "pivot on (near-)zero element");
+        let leaving = self.basis[row];
+        if leaving < self.n {
+            self.in_basis[leaving] = false;
+        }
+        self.in_basis[col] = true;
+        let inv = 1.0 / u[row];
+        for k in 0..m {
+            self.binv[(row, k)] *= inv;
+        }
+        self.xb[row] *= inv;
+        for (i, &f) in u.iter().enumerate().take(m) {
+            if i != row && f.abs() > EPS {
+                for k in 0..m {
+                    let v = self.binv[(row, k)];
+                    self.binv[(i, k)] -= f * v;
+                }
+                self.xb[i] -= f * self.xb[row];
+                if self.xb[i].abs() < 1e-12 {
+                    self.xb[i] = 0.0;
+                }
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    /// Runs simplex iterations to optimality for the given costs.
+    ///
+    /// Robustness measures on top of the textbook loop:
+    ///
+    /// * **Sticky Bland** — after `DEGENERACY_PATIENCE` non-improving
+    ///   pivots the rule switches to Bland and *stays* there; flipping
+    ///   back to Dantzig on a noise-level objective change can re-enter
+    ///   the same degenerate cycle.
+    /// * **Verified unboundedness** — an unbounded verdict reached from
+    ///   incrementally-updated state is only trusted after a fresh
+    ///   refactorization reproduces it; `B⁻¹` drift must never turn a
+    ///   bounded LP into an "unbounded" one.
+    /// * **Feasibility watchdog** — every refactorization recomputes
+    ///   `x_B` exactly; if it has gone meaningfully negative the update
+    ///   error has corrupted the trajectory, and the caller restarts the
+    ///   solve from scratch ([`RunOutcome::LostFeasibility`]) instead of
+    ///   grinding at a poisoned vertex.
+    fn run(
+        &mut self,
+        costs: &[f64],
+        art_cost: f64,
+        b: &[f64],
+        force_bland: bool,
+    ) -> Result<RunOutcome, LpError> {
+        let b_norm = b.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        let feas_tol = 1e-6 * (1.0 + b_norm);
+        let mut stalled = 0usize;
+        let mut bland = force_bland;
+        let mut just_refactored = false;
+        for it in 0..MAX_PIVOTS {
+            if it > 0 && it % REFACTOR_EVERY == 0 && !just_refactored {
+                self.refactor(b);
+                if self.xb.iter().any(|&v| v < -feas_tol) {
+                    return Ok(RunOutcome::LostFeasibility);
+                }
+            }
+            bland = bland || stalled >= DEGENERACY_PATIENCE;
+            let y = self.multipliers(costs, art_cost);
+            let Some(col) = self.entering(costs, &y, bland, EPS) else {
+                return Ok(RunOutcome::Optimal);
+            };
+            let u = self.ftran(col);
+            let pivoted = if let Some(row) = self.leaving(&u, bland) {
+                Some((row, col, u))
+            } else {
+                // No pivotable row. Equality-heavy systems leave columns
+                // whose reduced cost is barely past the tolerance from
+                // elimination noise; re-price against a much stricter
+                // threshold before considering an unbounded ray (the
+                // dense oracle does the same).
+                match self.entering(costs, &y, bland, 1e-6) {
+                    None => return Ok(RunOutcome::Optimal),
+                    Some(col2) => {
+                        let u2 = self.ftran(col2);
+                        match self.leaving(&u2, bland) {
+                            Some(row2) => Some((row2, col2, u2)),
+                            None if just_refactored => return Err(LpError::Unbounded),
+                            None => {
+                                // Re-derive the verdict from fresh state;
+                                // the watchdog applies here too.
+                                self.refactor(b);
+                                if self.xb.iter().any(|&v| v < -feas_tol) {
+                                    return Ok(RunOutcome::LostFeasibility);
+                                }
+                                just_refactored = true;
+                                None
+                            }
+                        }
+                    }
+                }
+            };
+            let Some((row, col, u)) = pivoted else { continue };
+            let before = self.objective(costs, art_cost);
+            self.pivot(row, col, &u);
+            just_refactored = false;
+            stalled = if (self.objective(costs, art_cost) - before).abs() <= 1e-12 {
+                stalled + 1
+            } else {
+                0
+            };
+        }
+        Err(LpError::PivotLimit)
+    }
+
+    /// Extracts the solution over the real columns.
+    fn solution(&self) -> Vec<f64> {
+        let mut x = vec![0.0; self.n];
+        for (i, &bj) in self.basis.iter().enumerate() {
+            if bj < self.n {
+                x[bj] = self.xb[i];
+            }
+        }
+        x
+    }
+}
+
+/// Dense inverse of the basis matrix assembled from CSC columns;
+/// `None` when the basis is singular (stale warm start).
+fn basis_inverse(a: &CscMatrix, basis: &[usize]) -> Option<Matrix> {
+    let m = a.rows();
+    let mut bm = Matrix::zeros(m, m);
+    for (k, &j) in basis.iter().enumerate() {
+        let (idx, vals) = a.col(j);
+        for (&r, &v) in idx.iter().zip(vals) {
+            bm[(r, k)] = v;
+        }
+    }
+    bm.inverse()
+}
+
+/// Two-phase (or warm-started) revised simplex on an equilibrated
+/// system. Returns the solution and the final basis.
+fn solve_equilibrated(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    warm: Option<Vec<usize>>,
+) -> Result<(Vec<f64>, Vec<usize>), LpError> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 {
+        return if costs.iter().any(|&c| c < -EPS) {
+            Err(LpError::Unbounded)
+        } else {
+            Ok((vec![0.0; n], Vec::new()))
+        };
+    }
+
+    // ---- Warm start: refactorize the cached basis; use it if primal
+    // feasible. A failed warm start costs one m×m inversion. Anything
+    // short of a clean optimum — lost feasibility, a pivot-limit grind
+    // on a stale degenerate basis — falls through to the cold path, so
+    // caching can never change a result, only its speed. (Infeasible
+    // cannot arise here: the warm basis is primal feasible by check;
+    // Unbounded is a verified verdict and is returned.)
+    if let Some(basis) = warm {
+        if basis.len() == m && basis.iter().all(|&j| j < n) {
+            if let Some(binv) = basis_inverse(a, &basis) {
+                let xb = binv.mul_vec(b);
+                if xb.iter().all(|&v| v >= -1e-9) {
+                    let xb = xb.into_iter().map(|v| v.max(0.0)).collect();
+                    let mut state = Revised::new(a, basis, binv, xb);
+                    match state.run(costs, 0.0, b, false) {
+                        Ok(RunOutcome::Optimal) => {
+                            return Ok((state.solution(), state.basis));
+                        }
+                        Ok(RunOutcome::LostFeasibility) | Err(LpError::PivotLimit) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+            }
+        }
+    }
+
+    // Cold two-phase; retried once in all-Bland mode if the feasibility
+    // watchdog fires (pathological conditioning).
+    match cold_two_phase(costs, a, b, false)? {
+        Some(result) => Ok(result),
+        None => match cold_two_phase(costs, a, b, true)? {
+            Some(result) => Ok(result),
+            None => Err(LpError::PivotLimit),
+        },
+    }
+}
+
+/// Textbook two-phase solve. `Ok(None)` means the feasibility watchdog
+/// fired and the caller should retry more conservatively.
+#[allow(clippy::type_complexity)]
+fn cold_two_phase(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    force_bland: bool,
+) -> Result<Option<(Vec<f64>, Vec<usize>)>, LpError> {
+    let m = a.rows();
+    let n = a.cols();
+
+    // ---- Phase 1: artificial identity basis, minimize their sum. ----
+    let mut state = Revised::new(a, (n..n + m).collect(), Matrix::identity(m), b.to_vec());
+    let phase1_costs = vec![0.0; n];
+    if state.run(&phase1_costs, 1.0, b, force_bland)? == RunOutcome::LostFeasibility {
+        return Ok(None);
+    }
+    let b_norm = b.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+    if state.objective(&phase1_costs, 1.0) > 1e-7 * (1.0 + b_norm) {
+        return Err(LpError::Infeasible);
+    }
+
+    // Drive lingering artificials out of the basis where possible; rows
+    // where no real column has a nonzero in B⁻¹A are redundant and keep
+    // their artificial basic at value 0 (it can never re-enter).
+    for i in 0..m {
+        if state.basis[i] >= n {
+            let row_i: Vec<f64> = (0..m).map(|k| state.binv[(i, k)]).collect();
+            let found = (0..n).find(|&j| state.a.col_dot(j, &row_i).abs() > 1e-7);
+            if let Some(j) = found {
+                let u = state.ftran(j);
+                state.pivot(i, j, &u);
+            }
+        }
+    }
+
+    // ---- Phase 2: real costs. Artificials cannot re-enter: `entering`
+    // only prices real columns. ----
+    if state.run(costs, 0.0, b, force_bland)? == RunOutcome::LostFeasibility {
+        return Ok(None);
+    }
+    Ok(Some((state.solution(), state.basis)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows_of(dense: Vec<Vec<f64>>) -> Vec<Vec<(usize, f64)>> {
+        dense
+            .into_iter()
+            .map(|r| r.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect())
+            .collect()
+    }
+
+    fn solve(costs: Vec<f64>, rows: Vec<Vec<f64>>, b: Vec<f64>) -> Result<Vec<f64>, LpError> {
+        let ncols = costs.len();
+        solve_std_rows(StdRows { costs, rows: rows_of(rows), b, ncols })
+    }
+
+    #[test]
+    fn matches_dense_on_textbook_lp() {
+        // min −x1 − x2 s.t. x1 + x2 + s = 1.
+        let x = solve(vec![-1.0, -1.0, 0.0], vec![vec![1.0, 1.0, 1.0]], vec![1.0]).unwrap();
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_and_unbounded() {
+        // x0 = 1 and x0 = 2 (after pattern dedup: conflicting duplicates).
+        let r = solve(vec![0.0], vec![vec![1.0], vec![1.0]], vec![1.0, 2.0]);
+        assert_eq!(r.unwrap_err(), LpError::Infeasible);
+        // min −x with no constraints on x.
+        let r = solve(vec![-1.0], vec![], vec![]);
+        assert_eq!(r.unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn warm_start_reuses_basis() {
+        clear_warm_start_cache();
+        // Same pattern solved twice with nearby numbers; second solve must
+        // produce the same optimum through the warm path.
+        for rhs in [1.0, 1.1] {
+            let x = solve(
+                vec![-1.0, -2.0, 0.0, 0.0],
+                vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0, 1.0]],
+                vec![rhs, 0.5],
+            )
+            .unwrap();
+            let obj = -x[0] - 2.0 * x[1];
+            let expect = -2.0 * rhs;
+            assert!((obj - expect).abs() < 1e-7, "rhs {rhs}: got {obj}, want {expect}");
+        }
+    }
+
+
+    #[test]
+    fn polylow_cycling_repro() {
+        clear_warm_start_cache();
+        let costs = vec![-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
+        let b = vec![-0.0, -0.0, -0.0, 0.0009994998332499509, -0.0, -0.0, -0.0, -0.0, -0.0, -0.0];
+        let rows: Vec<Vec<(usize, f64)>> = vec![
+            vec![(4, -1.0), (5, 1.0), (6, 1.0), (7, -1.0), (8, -1.0), (9, -1000.0), (10, -100.0), (11, -1000000.0), (12, -100000.0), (13, -10000.0)],
+            vec![(2, -1.0), (3, 1.0), (9, -1.0), (10, 1.0), (11, -2000.0), (12, 900.0), (13, 200.0)],
+            vec![(0, -1.0), (1, 1.0), (11, -1.0), (12, 1.0), (13, -1.0)],
+            vec![(0, 0.999), (1, -0.999), (2, 0.49949999999999994), (3, -0.49949999999999994), (14, -1.0), (15, -1000.0), (16, -100.0), (17, -99.0), (18, -1000000.0), (19, -100000.0), (20, -99000.0), (21, -10000.0), (22, -9900.0), (23, -9801.0)],
+            vec![(0, 0.9989999999999999), (1, -0.9989999999999999), (15, -1.0), (16, 1.0), (17, 1.0), (18, -2000.0), (19, 900.0), (20, 901.0), (21, 200.0), (22, 199.0), (23, 198.0)],
+            vec![(18, -1.0), (19, 1.0), (20, 1.0), (21, -1.0), (22, -1.0), (23, -1.0)],
+            vec![(4, -1.0), (5, 1.0), (24, -1.0), (25, -1000.0), (26, -100.0), (27, 100.0), (28, -1000000.0), (29, -100000.0), (30, 100000.0), (31, -10000.0), (32, 10000.0), (33, -10000.0)],
+            vec![(2, -1.0), (3, 1.0), (25, -1.0), (26, 1.0), (27, -1.0), (28, -2000.0), (29, 900.0), (30, -900.0), (31, 200.0), (32, -200.0), (33, 200.0)],
+            vec![(0, -1.0), (1, 1.0), (28, -1.0), (29, 1.0), (30, -1.0), (31, -1.0), (32, 1.0), (33, -1.0)],
+            vec![(0, 1.0), (1, -1.0), (2, 1.0), (3, -1.0), (4, 1.0), (5, -1.0), (34, 1.0)],
+        ];
+        let r = solve_std_rows(StdRows { costs, rows, b, ncols: 35 });
+        assert!(r.is_ok(), "got {r:?}");
+    }
+
+    #[test]
+    fn redundant_zero_row_survives() {
+        // Duplicate rows are presolved away; the optimum is unchanged.
+        let x = solve(
+            vec![1.0, 0.0],
+            vec![vec![1.0, 1.0], vec![2.0, 2.0]],
+            vec![1.0, 2.0],
+        )
+        .unwrap();
+        assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
+        assert!(x[0].abs() < 1e-9);
+    }
+}

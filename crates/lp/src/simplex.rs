@@ -5,6 +5,12 @@
 //! sum; phase 2 continues from the feasible basis with the true costs.
 //! Pricing is Dantzig (most negative reduced cost) until a degeneracy
 //! counter trips, after which Bland's rule guarantees termination.
+//!
+//! This is the **legacy dense path**, superseded by the sparse revised
+//! simplex in [`crate::revised`]. It is kept fully functional as the
+//! differential-testing oracle ([`solve_standard_dense`]) and can be
+//! routed back under [`crate::solve_standard`] with the `dense-simplex`
+//! feature.
 
 use crate::LpError;
 use qava_linalg::{Matrix, EPS};
@@ -17,8 +23,8 @@ pub const MAX_PIVOTS: usize = 50_000;
 /// from Dantzig pricing to Bland's anti-cycling rule.
 const DEGENERACY_PATIENCE: usize = 40;
 
-/// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) and returns the optimal
-/// `x`.
+/// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) with the dense
+/// two-phase tableau and returns the optimal `x`.
 ///
 /// The system is max-norm equilibrated first (rows, then columns): template
 /// LPs routinely mix coefficients like a failure probability `1e-7` with
@@ -29,7 +35,7 @@ const DEGENERACY_PATIENCE: usize = 40;
 ///
 /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
 /// [`LpError::PivotLimit`].
-pub fn solve_standard(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LpError> {
+pub fn solve_standard_dense(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LpError> {
     let m = a.rows();
     let n = a.cols();
     debug_assert_eq!(costs.len(), n);
@@ -48,20 +54,20 @@ pub fn solve_standard(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<f64>, 
     // ---- Equilibration: scale rows then columns to unit max-norm. ----
     let mut sa = a.clone();
     let mut sb = b.to_vec();
-    for i in 0..m {
+    for (i, sbi) in sb.iter_mut().enumerate() {
         let r = sa.row(i).iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
-        if r > 0.0 && (r > 4.0 || r < 0.25) {
+        if r > 0.0 && !(0.25..=4.0).contains(&r) {
             let inv = 1.0 / r;
             for v in sa.row_mut(i) {
                 *v *= inv;
             }
-            sb[i] *= inv;
+            *sbi *= inv;
         }
     }
     let mut col_scale = vec![1.0f64; n];
     for (j, s) in col_scale.iter_mut().enumerate() {
         let c = (0..m).fold(0.0f64, |acc, i| acc.max(sa[(i, j)].abs()));
-        if c > 0.0 && (c > 4.0 || c < 0.25) {
+        if c > 0.0 && !(0.25..=4.0).contains(&c) {
             *s = 1.0 / c;
             for i in 0..m {
                 sa[(i, j)] *= *s;
@@ -96,20 +102,19 @@ fn solve_standard_unscaled(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<f
     // Pivot lingering artificials out of the basis where possible.
     for i in 0..m {
         if t.basis[i] >= n {
-            let col = (0..n).find(|&j| t.body[(i, j)].abs() > 1e-7);
-            match col {
-                Some(j) => t.pivot(i, j),
-                // Row is redundant (all-zero over real columns); it stays
-                // with its artificial basic at value 0, harmless as long as
-                // the artificial never re-enters — enforced below by cost.
-                None => {}
+            // When every real column is zero on this row, the row is
+            // redundant: it keeps its artificial basic at value 0,
+            // harmless as long as the artificial never re-enters —
+            // enforced below by cost.
+            if let Some(j) = (0..n).find(|&j| t.body[(i, j)].abs() > 1e-7) {
+                t.pivot(i, j);
             }
         }
     }
 
     // ---- Phase 2: real costs; artificials are blocked from entering. ----
     let mut phase2_costs = costs.to_vec();
-    phase2_costs.extend(std::iter::repeat(0.0).take(m));
+    phase2_costs.extend(std::iter::repeat_n(0.0, m));
     t.banned_from = n;
     t.install_costs(&phase2_costs);
     t.run()?;
@@ -305,17 +310,17 @@ mod tests {
     fn standard_form_direct() {
         // min -x1 - x2 s.t. x1 + x2 + s = 1 -> optimum -1 at any vertex.
         let a = Matrix::from_rows(vec![vec![1.0, 1.0, 1.0]]);
-        let x = solve_standard(&[-1.0, -1.0, 0.0], &a, &[1.0]).unwrap();
+        let x = solve_standard_dense(&[-1.0, -1.0, 0.0], &a, &[1.0]).unwrap();
         assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
     }
 
     #[test]
     fn empty_constraint_matrix() {
         let a = Matrix::zeros(0, 2);
-        let x = solve_standard(&[1.0, 1.0], &a, &[]).unwrap();
+        let x = solve_standard_dense(&[1.0, 1.0], &a, &[]).unwrap();
         assert_eq!(x, vec![0.0, 0.0]);
         assert_eq!(
-            solve_standard(&[-1.0, 0.0], &a, &[]).unwrap_err(),
+            solve_standard_dense(&[-1.0, 0.0], &a, &[]).unwrap_err(),
             LpError::Unbounded
         );
     }
@@ -324,7 +329,7 @@ mod tests {
     fn redundant_zero_row() {
         // Second row is 0 = 0 after phase 1; must not break phase 2.
         let a = Matrix::from_rows(vec![vec![1.0, 1.0], vec![2.0, 2.0]]);
-        let x = solve_standard(&[1.0, 0.0], &a, &[1.0, 2.0]).unwrap();
+        let x = solve_standard_dense(&[1.0, 0.0], &a, &[1.0, 2.0]).unwrap();
         assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
         assert!(x[0].abs() < 1e-9, "cost pushes x0 to zero");
     }

@@ -130,3 +130,197 @@ proptest! {
         prop_assert!((base - with_redundant).abs() < 1e-7);
     }
 }
+
+// ---------------------------------------------------------------------
+// Differential tests: sparse revised simplex vs the dense tableau
+// oracle on random standard-form LPs. `solve_standard` is the sparse
+// pipeline (presolve + equilibration + revised simplex + warm start);
+// `solve_standard_dense` is the legacy dense path kept exactly for this
+// purpose. The two must agree on the verdict (optimal / infeasible /
+// unbounded) and, when optimal, on the objective value — the argmin may
+// differ when the optimum face is not a vertex singleton.
+// ---------------------------------------------------------------------
+
+use qava_linalg::Matrix;
+use qava_lp::{solve_standard, solve_standard_dense, LpError};
+
+/// A random standard-form LP `min cᵀx, A·x = b, x ≥ 0` that is feasible
+/// by construction (`b = A·x₀` for a non-negative `x₀`).
+#[derive(Debug, Clone)]
+struct StdLpInstance {
+    costs: Vec<f64>,
+    a: Vec<Vec<f64>>,
+    b: Vec<f64>,
+}
+
+impl StdLpInstance {
+    fn matrix(&self) -> Matrix {
+        Matrix::from_rows(self.a.clone())
+    }
+}
+
+fn feasible_std_lp(seed: u64) -> StdLpInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let m = rng.gen_range(1usize..6);
+    let n = m + rng.gen_range(1usize..7);
+    // ~half the entries zero so presolve and CSC actually see sparsity.
+    let a: Vec<Vec<f64>> = (0..m)
+        .map(|_| {
+            (0..n)
+                .map(|_| if rng.gen_bool(0.5) { rng.gen_range(-3.0..3.0) } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let x0: Vec<f64> = (0..n)
+        .map(|_| if rng.gen_bool(0.7) { rng.gen_range(0.0..4.0) } else { 0.0 })
+        .collect();
+    let mut b: Vec<f64> = (0..m)
+        .map(|i| a[i].iter().zip(&x0).map(|(c, x)| c * x).sum())
+        .collect();
+    // Standard form wants b ≥ 0: flip offending rows.
+    let mut a = a;
+    for i in 0..m {
+        if b[i] < 0.0 {
+            b[i] = -b[i];
+            for v in a[i].iter_mut() {
+                *v = -*v;
+            }
+        }
+    }
+    // Bound the feasible region so the minimum exists: one extra row
+    // Σx + s = Σx₀ + margin with a fresh slack keeps every xⱼ bounded.
+    let margin: f64 = rng.gen_range(1.0..5.0);
+    let total: f64 = x0.iter().sum::<f64>() + margin;
+    for row in a.iter_mut() {
+        row.push(0.0);
+    }
+    let mut cap = vec![1.0; n];
+    cap.push(1.0);
+    a.push(cap);
+    b.push(total);
+    let costs: Vec<f64> = (0..n + 1).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    StdLpInstance { costs, a, b }
+}
+
+fn objective(costs: &[f64], x: &[f64]) -> f64 {
+    costs.iter().zip(x).map(|(c, v)| c * v).sum()
+}
+
+fn check_feasible(inst: &StdLpInstance, x: &[f64], tol: f64) -> Result<(), String> {
+    for (i, row) in inst.a.iter().enumerate() {
+        let ax: f64 = row.iter().zip(x).map(|(c, v)| c * v).sum();
+        if (ax - inst.b[i]).abs() > tol {
+            return Err(format!("row {i}: A·x = {ax} vs b = {}", inst.b[i]));
+        }
+    }
+    if let Some(v) = x.iter().find(|&&v| v < -tol) {
+        return Err(format!("negative component {v}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// On feasible bounded LPs both solvers find an optimum of the same
+    /// value, and both report feasible points.
+    #[test]
+    fn differential_feasible(seed in any::<u64>()) {
+        let inst = feasible_std_lp(seed);
+        let sparse = solve_standard(&inst.costs, &inst.matrix(), &inst.b)
+            .expect("sparse: constructed LP is feasible and bounded");
+        let dense = solve_standard_dense(&inst.costs, &inst.matrix(), &inst.b)
+            .expect("dense: constructed LP is feasible and bounded");
+        let tol = 1e-6 * (1.0 + inst.b.iter().fold(0.0f64, |a, &v| a.max(v.abs())));
+        prop_assert!(check_feasible(&inst, &sparse, tol).is_ok(),
+            "sparse infeasible point: {:?}", check_feasible(&inst, &sparse, tol));
+        prop_assert!(check_feasible(&inst, &dense, tol).is_ok(),
+            "dense infeasible point: {:?}", check_feasible(&inst, &dense, tol));
+        let os = objective(&inst.costs, &sparse);
+        let od = objective(&inst.costs, &dense);
+        prop_assert!((os - od).abs() <= 1e-5 * (1.0 + os.abs().max(od.abs())),
+            "objective mismatch: sparse {os} vs dense {od}");
+    }
+
+    /// Appending a contradictory copy of a row makes both solvers report
+    /// infeasibility.
+    #[test]
+    fn differential_infeasible(seed in any::<u64>()) {
+        let mut inst = feasible_std_lp(seed);
+        let clash = inst.a[0].clone();
+        let clash_rhs = inst.b[0] + 3.0; // clearly conflicting duplicate
+        inst.a.push(clash);
+        inst.b.push(clash_rhs);
+        prop_assert_eq!(
+            solve_standard(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
+            LpError::Infeasible
+        );
+        prop_assert_eq!(
+            solve_standard_dense(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
+            LpError::Infeasible
+        );
+    }
+
+    /// Adding a non-negative ray with negative cost makes both solvers
+    /// report unboundedness: the fresh column pair (v, −v) gives
+    /// A·(e_j + e_k) = 0 with cost < 0.
+    #[test]
+    fn differential_unbounded(seed in any::<u64>()) {
+        let mut inst = feasible_std_lp(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xABCD_EF01);
+        let ray: Vec<f64> = inst.a.iter().map(|_| rng.gen_range(-2.0..2.0)).collect();
+        for (i, row) in inst.a.iter_mut().enumerate() {
+            row.push(ray[i]);
+            row.push(-ray[i]);
+        }
+        inst.costs.push(-1.0);
+        inst.costs.push(0.0);
+        prop_assert_eq!(
+            solve_standard(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
+            LpError::Unbounded
+        );
+        prop_assert_eq!(
+            solve_standard_dense(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
+            LpError::Unbounded
+        );
+    }
+}
+
+/// Regression (column-scaling undo): a template-LP-shaped system mixing
+/// `1e-7` failure-probability coefficients with `1e2` invariant bounds in
+/// the same row. The second column's max-norm is `3e-7`, far outside the
+/// `[0.25, 4]` dead-band, so the solver rescales it and must scale the
+/// solution back; a broken undo path reports x₁ off by seven orders of
+/// magnitude.
+#[test]
+fn column_scaling_undo_regression() {
+    let a = Matrix::from_rows(vec![vec![1.0, 1e-7], vec![2.0, 3e-7]]);
+    // Unique solution x = (2, 1e7): b = (2 + 1, 4 + 3).
+    let b = vec![3.0, 7.0];
+    let costs = vec![1.0, 1.0];
+    for (label, x) in [
+        ("sparse", solve_standard(&costs, &a, &b).unwrap()),
+        ("dense", solve_standard_dense(&costs, &a, &b).unwrap()),
+    ] {
+        assert!((x[0] - 2.0).abs() < 1e-5, "{label}: x0 = {}", x[0]);
+        assert!(
+            (x[1] - 1e7).abs() < 1e7 * 1e-6,
+            "{label}: x1 = {} (column-scaling undo broken?)",
+            x[1]
+        );
+    }
+
+    // And the 1e2-heavy variant: rows outside the dead-band upward.
+    let a = Matrix::from_rows(vec![vec![1e2, 0.0, 1.0], vec![0.0, 2e2, 1.0]]);
+    let b = vec![5e2, 8e2];
+    let costs = vec![1.0, 1.0, 0.0];
+    for (label, x) in [
+        ("sparse", solve_standard(&costs, &a, &b).unwrap()),
+        ("dense", solve_standard_dense(&costs, &a, &b).unwrap()),
+    ] {
+        let r1 = 1e2 * x[0] + x[2];
+        let r2 = 2e2 * x[1] + x[2];
+        assert!((r1 - 5e2).abs() < 1e-4, "{label}: row1 = {r1}");
+        assert!((r2 - 8e2).abs() < 1e-4, "{label}: row2 = {r2}");
+    }
+}

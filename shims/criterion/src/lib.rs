@@ -1,0 +1,265 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset the workspace's benches use — groups,
+//! `bench_with_input`/`bench_function`, `BenchmarkId`, `sample_size`,
+//! `criterion_group!`/`criterion_main!` — with a median-of-samples timer.
+//!
+//! On top of upstream's console report, every run **merges its medians
+//! into a machine-readable JSON file** (`BENCH_lp.json` at the workspace
+//! root, override with `QAVA_BENCH_JSON`), mapping full benchmark
+//! names to median nanoseconds. The file is flat one-entry-per-line JSON
+//! so future runs can diff perf without a JSON parser.
+//!
+//! Pass a substring as the first CLI argument (cargo bench passes filter
+//! args through) to run only matching benchmarks.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Returns the argument unchanged while defeating constant propagation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+/// Times the closure handed to [`Bencher::iter`].
+pub struct Bencher {
+    sample_ns: f64,
+}
+
+impl Bencher {
+    /// Measures one sample of the routine. Fast routines are batched until
+    /// the sample is long enough to time reliably.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        let mut elapsed = start.elapsed();
+        let mut iters = 1u32;
+        // Batch sub-100µs routines up to ~1ms per sample.
+        while elapsed < Duration::from_micros(100) && iters < 1 << 20 {
+            let batch = 16u32;
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            elapsed += start.elapsed();
+            iters += batch;
+        }
+        self.sample_ns = elapsed.as_nanos() as f64 / f64::from(iters);
+    }
+}
+
+/// The benchmark harness: collects results across groups and writes the
+/// JSON report when dropped by [`criterion_main!`].
+pub struct Criterion {
+    results: BTreeMap<String, f64>,
+    default_sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { results: BTreeMap::new(), default_sample_size: 10, filter }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size }
+    }
+
+    fn record(&mut self, full_name: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+        if let Some(filter) = &self.filter {
+            if !full_name.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::with_capacity(sample_size);
+        // One warmup sample, discarded.
+        let mut b = Bencher { sample_ns: 0.0 };
+        f(&mut b);
+        for _ in 0..sample_size.max(1) {
+            let mut b = Bencher { sample_ns: 0.0 };
+            f(&mut b);
+            samples.push(b.sample_ns);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("sample times are finite"));
+        let median = samples[samples.len() / 2];
+        println!("{full_name:<60} median {}", format_ns(median));
+        self.results.insert(full_name.to_string(), median);
+    }
+
+    /// Writes the merged JSON report; called by [`criterion_main!`].
+    pub fn final_summary(&self) {
+        let path = std::env::var("QAVA_BENCH_JSON").unwrap_or_else(|_| default_report_path());
+        let mut merged = read_report(&path);
+        for (k, v) in &self.results {
+            merged.insert(k.clone(), *v);
+        }
+        let mut out = String::from("{\n");
+        let total = merged.len();
+        for (i, (k, v)) in merged.iter().enumerate() {
+            let comma = if i + 1 == total { "" } else { "," };
+            out.push_str(&format!("  \"{k}\": {v:.1}{comma}\n"));
+        }
+        out.push_str("}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            println!("wrote {} medians to {path}", self.results.len());
+        }
+    }
+}
+
+/// Default report location: `BENCH_lp.json` at the workspace root
+/// (cargo runs bench binaries with the package directory as cwd, so we
+/// walk up to the first `Cargo.toml` declaring `[workspace]`).
+fn default_report_path() -> String {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir.join("BENCH_lp.json").to_string_lossy().into_owned();
+            }
+        }
+        if !dir.pop() {
+            return "BENCH_lp.json".into();
+        }
+    }
+}
+
+/// Parses the flat one-entry-per-line report written by `final_summary`.
+fn read_report(path: &str) -> BTreeMap<String, f64> {
+    let mut map = BTreeMap::new();
+    let Ok(text) = std::fs::read_to_string(path) else {
+        return map;
+    };
+    for line in text.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else { continue };
+        let Some((name, value)) = rest.split_once("\": ") else { continue };
+        if let Ok(v) = value.parse::<f64>() {
+            map.insert(name.to_string(), v);
+        }
+    }
+    map
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:8.3} s ", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:8.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:8.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:8.1} ns")
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        let sample_size = self.sample_size;
+        self.criterion.record(&full, sample_size, &mut |b| f(b, input));
+        self
+    }
+
+    /// Benchmarks a closure with no input.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.record(&full, sample_size, &mut |b| f(b));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Bundles benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups and writing the JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_recorded_and_reported() {
+        let mut c = Criterion { results: BTreeMap::new(), default_sample_size: 3, filter: None };
+        {
+            let mut g = c.benchmark_group("g");
+            g.bench_function("fast", |b| b.iter(|| black_box(1 + 1)));
+            g.finish();
+        }
+        assert!(c.results["g/fast"] > 0.0);
+    }
+
+    #[test]
+    fn report_roundtrip() {
+        let dir = std::env::temp_dir().join("qava_criterion_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("report.json");
+        std::fs::write(&path, "{\n  \"a/b\": 12.5,\n  \"c/d\": 99.0\n}\n").unwrap();
+        let map = read_report(path.to_str().unwrap());
+        assert_eq!(map.len(), 2);
+        assert_eq!(map["a/b"], 12.5);
+    }
+}

@@ -1,0 +1,231 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! the small slice of the `rand 0.8` API it actually uses: [`Rng`] with
+//! `gen`, `gen_range` and `gen_bool`, [`SeedableRng::seed_from_u64`], the
+//! deterministic [`rngs::StdRng`] and the [`rngs::mock::StepRng`] test rng.
+//!
+//! `StdRng` is xoshiro256++ seeded through SplitMix64 — a different stream
+//! than upstream's ChaCha12, but every consumer in this workspace only
+//! relies on determinism-for-a-seed, not on a specific stream.
+
+use std::ops::Range;
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from `Standard` (the unit interval
+/// for floats, the full domain for integers).
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 high bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types that support uniform sampling from a half-open `Range`.
+pub trait SampleUniform: Sized + PartialOrd {
+    /// Draws uniformly from `[range.start, range.end)`.
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        let u = f64::sample(rng);
+        range.start + u * (range.end - range.start)
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "gen_range: empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Modulo bias is < span / 2^64 — irrelevant for the tiny
+                // spans (< 100) used in this workspace.
+                let off = (rng.next_u64() as u128) % span;
+                (range.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32, u8, i8, u16, i16);
+
+/// The user-facing random-value API, blanket-implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value from the `Standard` distribution.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws uniformly from a half-open range.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample_range(self, range)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Rngs constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for upstream's
+    /// `StdRng`).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion of the seed into the xoshiro state.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+
+    /// Trivial test generators.
+    pub mod mock {
+        use super::super::RngCore;
+
+        /// Returns `initial`, `initial + increment`, … — handy for tests
+        /// that need a fixed, predictable stream.
+        #[derive(Debug, Clone)]
+        pub struct StepRng {
+            value: u64,
+            increment: u64,
+        }
+
+        impl StepRng {
+            /// Creates the generator.
+            pub fn new(initial: u64, increment: u64) -> Self {
+                StepRng { value: initial, increment }
+            }
+        }
+
+        impl RngCore for StepRng {
+            fn next_u64(&mut self) -> u64 {
+                let v = self.value;
+                self.value = self.value.wrapping_add(self.increment);
+                v
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn unit_interval() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut r = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let x = r.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let n = r.gen_range(1usize..7);
+            assert!((1..7).contains(&n));
+        }
+    }
+
+    #[test]
+    fn unsized_rng_usable_through_reference() {
+        fn takes_dyn<R: super::Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut r = StdRng::seed_from_u64(3);
+        let x = takes_dyn(&mut r);
+        assert!((0.0..1.0).contains(&x));
+    }
+}

@@ -1,0 +1,226 @@
+//! Offline stand-in for the `rayon` data-parallelism crate.
+//!
+//! Implements the slice of the rayon API the suite driver uses —
+//! `par_iter().map(..).collect()`, [`join`], [`current_num_threads`] —
+//! on top of `std::thread::scope` with an atomic work-stealing index.
+//! Results are written into their input slot, so **output order is
+//! deterministic** (input order) regardless of scheduling, matching
+//! rayon's indexed-parallel-iterator guarantee that the suite runner
+//! relies on for reproducible table output.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Worker count configured via [`ThreadPoolBuilder::build_global`]
+/// (0 = unset).
+static GLOBAL_NUM_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Number of worker threads used by the parallel operators: an explicit
+/// [`ThreadPoolBuilder::build_global`] configuration wins, then the
+/// standard `RAYON_NUM_THREADS` environment variable, then the
+/// machine's parallelism.
+pub fn current_num_threads() -> usize {
+    let configured = GLOBAL_NUM_THREADS.load(Ordering::Relaxed);
+    if configured > 0 {
+        return configured;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map_or(1, usize::from)
+}
+
+/// Mirror of rayon's global-pool configuration entry point (the subset
+/// this workspace uses). Unlike upstream, repeat configuration is
+/// allowed — the shim has no long-lived pool to rebuild.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Starts a builder with the default (machine) parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count (0 = machine default).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Installs the configuration for the process-global operators.
+    pub fn build_global(self) -> Result<(), std::convert::Infallible> {
+        GLOBAL_NUM_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// A pending parallel iteration over a slice.
+pub struct ParIter<'data, T> {
+    items: &'data [T],
+}
+
+/// A mapped parallel iteration, ready to collect.
+pub struct ParMap<'data, T, F> {
+    items: &'data [T],
+    f: F,
+}
+
+impl<'data, T: Sync> ParIter<'data, T> {
+    /// Applies `f` to every element in parallel.
+    pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+    where
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+    {
+        ParMap { items: self.items, f }
+    }
+}
+
+impl<'data, T, F> ParMap<'data, T, F> {
+    /// Runs the map and collects results in input order.
+    pub fn collect<C, R>(self) -> C
+    where
+        T: Sync,
+        F: Fn(&'data T) -> R + Sync,
+        R: Send,
+        C: FromIndexedParallel<R>,
+    {
+        C::from_ordered(run_indexed(self.items, &self.f))
+    }
+}
+
+/// Collections constructible from an ordered parallel map.
+pub trait FromIndexedParallel<R> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromIndexedParallel<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+fn run_indexed<'data, T, R, F>(items: &'data [T], f: &F) -> Vec<R>
+where
+    T: Sync,
+    F: Fn(&'data T) -> R + Sync,
+    R: Send,
+{
+    let n = items.len();
+    if n <= 1 || current_num_threads() == 1 {
+        return items.iter().map(f).collect();
+    }
+    let workers = current_num_threads().min(n);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|m| {
+            m.into_inner()
+                .expect("result slot poisoned")
+                .expect("parallel worker panicked before filling its slot")
+        })
+        .collect()
+}
+
+/// Extension trait providing `par_iter` on slices and vectors.
+pub trait IntoParallelRefIterator<'data> {
+    /// The element type.
+    type Item: Sync + 'data;
+
+    /// Starts a parallel iteration borrowing the collection.
+    fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The usual rayon imports.
+pub mod prelude {
+    pub use crate::IntoParallelRefIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn ordered_parallel_map() {
+        let input: Vec<usize> = (0..100).collect();
+        let out: Vec<usize> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn build_global_overrides_worker_count() {
+        super::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build_global()
+            .expect("infallible");
+        assert_eq!(super::current_num_threads(), 3);
+        super::ThreadPoolBuilder::new().num_threads(0).build_global().expect("infallible");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = vec![7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -79,10 +79,10 @@ fn no_stuck_states_after_fusion() {
         let pts = compile(src);
         let mut sim = Simulator::new(99);
         for _ in 0..2_000 {
-            match sim.run_trial(&pts, 10_000) {
-                qava::sim::TrialOutcome::Stuck => panic!("stuck state reached"),
-                _ => {}
-            }
+            assert!(
+                sim.run_trial(&pts, 10_000) != qava::sim::TrialOutcome::Stuck,
+                "stuck state reached"
+            );
         }
     }
 }
@@ -158,11 +158,8 @@ fn failure_invariant_covers_observed_failures() {
     let mut failures = 0;
     for _ in 0..20_000 {
         let mut st = pts.initial_state();
-        loop {
-            match pts.step(&st, &mut rng) {
-                StepOutcome::Moved(next) => st = next,
-                StepOutcome::Absorbed | StepOutcome::Stuck => break,
-            }
+        while let StepOutcome::Moved(next) = pts.step(&st, &mut rng) {
+            st = next;
         }
         if st.loc == pts.failure_location() {
             failures += 1;

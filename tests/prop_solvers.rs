@@ -65,8 +65,7 @@ fn solve_with_barrier(lp: &RandomLp) -> Result<f64, qava::convex::ConvexError> {
     for (row, rhs) in &lp.cuts {
         p.add_constraint(ExpSumConstraint::linear(row.clone(), *rhs));
     }
-    let mut opts = SolverOptions::default();
-    opts.tol = 1e-10;
+    let opts = SolverOptions { tol: 1e-10, ..SolverOptions::default() };
     p.solve(&opts).map(|s| s.objective)
 }
 
