@@ -1,0 +1,236 @@
+//! Benchmark-trajectory comparison: diffs a freshly generated
+//! `BENCH_lp.json` against a committed baseline and **warns** on median
+//! regressions beyond a tolerance.
+//!
+//! ```text
+//! cargo run -p qava-bench --bin bench_compare -- \
+//!     [--baseline BENCH_lp.baseline.json] [--fresh BENCH_lp.json] \
+//!     [--tolerance 0.10]
+//! ```
+//!
+//! Intended CI flow: copy the committed `BENCH_lp.json` aside, rerun the
+//! criterion benches (which rewrite it), then run this tool against the
+//! copy. The exit code is **always 0 on comparisons** — shared CI runners
+//! are too noisy for a hard perf gate (see ROADMAP), so regressions are
+//! surfaced as `::warning::`-prefixed lines that GitHub renders as
+//! annotations, and a human decides. Missing files are likewise a notice,
+//! not an error, so the step stays green on fresh clones without bench
+//! results.
+//!
+//! The bench file is a flat `{"name": median_ns, …}` map written by the
+//! vendored criterion shim; the parser below reads exactly that shape
+//! (no external JSON dependency in this offline workspace).
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: bench_compare [--baseline PATH] [--fresh PATH] [--tolerance FRACTION]
+
+defaults: --baseline BENCH_lp.baseline.json --fresh BENCH_lp.json --tolerance 0.10
+Relative paths are resolved against the current directory, then upward to
+the workspace root (cargo runs benches with the package as cwd).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline = "BENCH_lp.baseline.json".to_string();
+    let mut fresh = "BENCH_lp.json".to_string();
+    let mut tolerance = 0.10f64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut take = |what: &str| -> Result<String, String> {
+            it.next().cloned().ok_or_else(|| format!("{what} needs a value"))
+        };
+        let result = match a.as_str() {
+            "--baseline" => take("--baseline").map(|v| baseline = v),
+            "--fresh" => take("--fresh").map(|v| fresh = v),
+            "--tolerance" => take("--tolerance").and_then(|v| {
+                v.parse::<f64>().map(|t| tolerance = t).map_err(|_| format!("bad tolerance `{v}`"))
+            }),
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(msg) = result {
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    }
+
+    let (Some(base_path), Some(fresh_path)) = (resolve(&baseline), resolve(&fresh)) else {
+        println!(
+            "bench_compare: baseline `{baseline}` or fresh `{fresh}` not found; \
+             nothing to compare (ok on runners without bench results)"
+        );
+        return ExitCode::SUCCESS;
+    };
+    let (base, fresh_map) = match (load(&base_path), load(&fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            println!("bench_compare: {e}; skipping comparison");
+            return ExitCode::SUCCESS;
+        }
+    };
+
+    let report = compare(&base, &fresh_map, tolerance);
+    for line in &report.lines {
+        println!("{line}");
+    }
+    println!(
+        "bench_compare: {} benchmarks compared, {} regressions > {:.0}%, {} improvements, \
+         {} only-in-baseline, {} only-in-fresh",
+        report.compared,
+        report.regressions,
+        tolerance * 100.0,
+        report.improvements,
+        report.only_baseline,
+        report.only_fresh,
+    );
+    // Warn-only by design: regressions never fail the build.
+    ExitCode::SUCCESS
+}
+
+/// Resolves `path` against the cwd, then each ancestor (cargo sets the
+/// package directory as cwd for benches; the bench file lives at the
+/// workspace root).
+fn resolve(path: &str) -> Option<PathBuf> {
+    let p = Path::new(path);
+    if p.is_absolute() {
+        return p.exists().then(|| p.to_path_buf());
+    }
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        let candidate = dir.join(p);
+        if candidate.exists() {
+            return Some(candidate);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn load(path: &Path) -> Result<BTreeMap<String, f64>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{}`: {e}", path.display()))?;
+    parse_flat_json(&text).map_err(|e| format!("cannot parse `{}`: {e}", path.display()))
+}
+
+/// Parses the flat `{"name": number, …}` map the criterion shim emits.
+fn parse_flat_json(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let mut out = BTreeMap::new();
+    let mut rest = text.trim();
+    rest = rest.strip_prefix('{').ok_or("expected `{`")?.trim_end();
+    rest = rest.strip_suffix('}').ok_or("expected `}`")?;
+    loop {
+        rest = rest.trim_start_matches([' ', '\t', '\n', '\r', ',']);
+        if rest.is_empty() {
+            return Ok(out);
+        }
+        rest = rest.strip_prefix('"').ok_or("expected `\"` before key")?;
+        let end = rest.find('"').ok_or("unterminated key")?;
+        let key = &rest[..end];
+        rest = rest[end + 1..].trim_start();
+        rest = rest.strip_prefix(':').ok_or("expected `:` after key")?.trim_start();
+        let vend = rest
+            .find([',', '}', '\n', ' ', '\t', '\r'])
+            .unwrap_or(rest.len());
+        let value: f64 = rest[..vend]
+            .parse()
+            .map_err(|_| format!("bad number for `{key}`: `{}`", &rest[..vend]))?;
+        out.insert(key.to_string(), value);
+        rest = &rest[vend..];
+    }
+}
+
+struct Report {
+    lines: Vec<String>,
+    compared: usize,
+    regressions: usize,
+    improvements: usize,
+    only_baseline: usize,
+    only_fresh: usize,
+}
+
+fn compare(base: &BTreeMap<String, f64>, fresh: &BTreeMap<String, f64>, tol: f64) -> Report {
+    let mut r = Report {
+        lines: Vec::new(),
+        compared: 0,
+        regressions: 0,
+        improvements: 0,
+        only_baseline: 0,
+        only_fresh: 0,
+    };
+    for (name, &old) in base {
+        match fresh.get(name) {
+            None => {
+                r.only_baseline += 1;
+                r.lines.push(format!("bench_compare: `{name}` missing from fresh run"));
+            }
+            Some(&new) if old > 0.0 => {
+                r.compared += 1;
+                let delta = new / old - 1.0;
+                if delta > tol {
+                    r.regressions += 1;
+                    // `::warning::` renders as an annotation in GitHub CI
+                    // while remaining plain text elsewhere.
+                    r.lines.push(format!(
+                        "::warning::bench_compare: `{name}` regressed {:+.1}% \
+                         ({old:.0} ns → {new:.0} ns)",
+                        delta * 100.0
+                    ));
+                } else if delta < -tol {
+                    r.improvements += 1;
+                    r.lines.push(format!(
+                        "bench_compare: `{name}` improved {:+.1}% ({old:.0} ns → {new:.0} ns)",
+                        delta * 100.0
+                    ));
+                }
+            }
+            Some(_) => r.compared += 1,
+        }
+    }
+    r.only_fresh = fresh.keys().filter(|k| !base.contains_key(*k)).count();
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shim_format() {
+        let text = "{\n  \"a/b/c\": 123.5,\n  \"d\": 7.0\n}\n";
+        let m = parse_flat_json(text).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["a/b/c"], 123.5);
+        assert_eq!(m["d"], 7.0);
+        assert!(parse_flat_json("nope").is_err());
+        assert_eq!(parse_flat_json("{}").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn flags_only_real_regressions() {
+        let base: BTreeMap<String, f64> =
+            [("fast", 100.0), ("slow", 100.0), ("noisy", 100.0), ("gone", 5.0)]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+        let fresh: BTreeMap<String, f64> =
+            [("fast", 50.0), ("slow", 140.0), ("noisy", 105.0), ("new", 3.0)]
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect();
+        let r = compare(&base, &fresh, 0.10);
+        assert_eq!(r.compared, 3);
+        assert_eq!(r.regressions, 1, "only `slow` is beyond +10%");
+        assert_eq!(r.improvements, 1, "only `fast` is beyond -10%");
+        assert_eq!(r.only_baseline, 1);
+        assert_eq!(r.only_fresh, 1);
+        assert!(r.lines.iter().any(|l| l.contains("::warning::") && l.contains("`slow`")));
+    }
+}

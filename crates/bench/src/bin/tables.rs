@@ -23,7 +23,8 @@ use qava_core::explinsyn::synthesize_upper_bound;
 use qava_core::explowsyn::synthesize_lower_bound;
 use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
 use qava_core::logprob::LogProb;
-use qava_core::suite::runner::{default_algorithms, run_rows, Algorithm};
+use qava_core::suite::runner::{default_algorithms, run_rows_with, suite_lp_stats, Algorithm};
+use qava_lp::BackendChoice;
 use qava_core::suite::{table1, table2, Benchmark};
 
 fn main() {
@@ -37,13 +38,26 @@ fn main() {
             .build_global()
             .expect("configuring the global pool cannot fail");
     }
-    let all = args.iter().all(|a| a == "--serial");
+    // `--lp-backend {auto,sparse,dense}` forwards to every task's solver
+    // session (same flag, same parser, as `qava --lp-backend`).
+    let backend = match BackendChoice::from_args(&args) {
+        Ok(b) => b.unwrap_or_default(),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(1);
+        }
+    };
+    let all = args
+        .iter()
+        .enumerate()
+        .all(|(i, a)| a == "--serial" || a == "--lp-backend"
+            || (i > 0 && args[i - 1] == "--lp-backend"));
 
     if all || has("--table1") {
-        print_table1();
+        print_table1(backend);
     }
     if all || has("--table2") {
-        print_table2();
+        print_table2(backend);
     }
     if has("--symbolic") {
         print_symbolic();
@@ -88,14 +102,14 @@ fn fmt_ratio(ours: LogProb, previous: Option<LogProb>, lower: bool) -> String {
     }
 }
 
-fn print_table1() {
+fn print_table1(backend: BackendChoice) {
     println!("== Table 1: upper bounds on assertion-violation probability ==");
     println!(
         "{:<14} {:<22} {:>10} {:>7}  {:>10} {:>7}  {:>10}  {:>9}",
         "benchmark", "row", "§5.1", "t(s)", "§5.2", "t(s)", "previous", "ratio"
     );
     let rows = table1();
-    let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+    let reports = run_rows_with(&rows, |b| default_algorithms(b.direction).to_vec(), backend);
     let mut current = "";
     for (b, report) in rows.iter().zip(&reports) {
         if b.name != current {
@@ -121,17 +135,18 @@ fn print_table1() {
             ratio,
         );
     }
+    print!("{}", suite_lp_stats(&reports));
     println!();
 }
 
-fn print_table2() {
+fn print_table2(backend: BackendChoice) {
     println!("== Table 2: lower bounds on assertion-violation probability ==");
     println!(
         "{:<14} {:<14} {:>12} {:>7}  {:>12}  {:>9}",
         "benchmark", "row", "§6 lower", "t(s)", "previous", "ratio"
     );
     let rows = table2();
-    let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+    let reports = run_rows_with(&rows, |b| default_algorithms(b.direction).to_vec(), backend);
     let mut current = "";
     for (b, report) in rows.iter().zip(&reports) {
         if b.name != current {
@@ -153,6 +168,7 @@ fn print_table2() {
             ratio,
         );
     }
+    print!("{}", suite_lp_stats(&reports));
     println!();
 }
 

@@ -12,10 +12,11 @@
 //! per (row, algorithm) outcome. Exit code 0 on success, 1 on usage
 //! errors, 2 on compile errors, 3 when a requested analysis fails.
 
-use qava_core::explinsyn::synthesize_upper_bound;
-use qava_core::explowsyn::synthesize_lower_bound;
-use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
-use qava_core::rsm::prove_almost_sure_termination;
+use qava_core::explinsyn::synthesize_upper_bound_in;
+use qava_core::explowsyn::synthesize_lower_bound_in;
+use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind, DEFAULT_SER_ITERATIONS};
+use qava_core::rsm::prove_almost_sure_termination_in;
+use qava_lp::{BackendChoice, LpSolver};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
@@ -37,6 +38,13 @@ output:
   --param k=v      override a `param` declaration (repeatable)
   --seed S         Monte-Carlo seed (default 0)
 
+solver:
+  --lp-backend B   LP backend policy: auto (default; tiny models on the
+                   dense tableau, everything else on the sparse revised
+                   simplex), sparse, or dense — applies to single-file
+                   analyses and to --suite, which also prints per-backend
+                   solve statistics
+
 suite:
   --suite          run the paper's benchmark suite (Tables 1-2) through
                    the parallel driver instead of analyzing one file
@@ -54,6 +62,7 @@ struct Options {
     dump_pts: bool,
     seed: u64,
     params: BTreeMap<String, f64>,
+    lp_backend: BackendChoice,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -69,6 +78,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         dump_pts: false,
         seed: 0,
         params: BTreeMap::new(),
+        lp_backend: BackendChoice::default(),
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -88,6 +98,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 let s = it.next().ok_or("--seed needs a value")?;
                 opts.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            "--lp-backend" => {
+                let s = it.next().ok_or("--lp-backend needs auto, sparse, or dense")?;
+                opts.lp_backend = s.parse()?;
             }
             "--param" => {
                 let kv = it.next().ok_or("--param needs name=value")?;
@@ -122,11 +136,11 @@ fn print_template(kind: &str, t: &qava_core::template::SolvedTemplate) {
 }
 
 /// Runs the full Table 1/2 suite through the parallel driver.
-fn run_suite() -> ExitCode {
-    use qava_core::suite::runner::{default_algorithms, run_rows};
+fn run_suite(backend: BackendChoice) -> ExitCode {
+    use qava_core::suite::runner::{default_algorithms, run_rows_with, suite_lp_stats};
     use qava_core::suite::{table1, table2};
     let rows: Vec<_> = table1().into_iter().chain(table2()).collect();
-    let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+    let reports = run_rows_with(&rows, |b| default_algorithms(b.direction).to_vec(), backend);
     let mut failures = 0usize;
     for report in &reports {
         for run in &report.runs {
@@ -152,13 +166,25 @@ fn run_suite() -> ExitCode {
         }
     }
     println!("{} rows, {} runs, {failures} failures", reports.len(), reports.iter().map(|r| r.runs.len()).sum::<usize>());
+    // Per-backend solver statistics, merged over every task's session.
+    print!("{}", suite_lp_stats(&reports));
     ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--suite") {
-        return run_suite();
+        // --suite ignores the single-file options; only --lp-backend
+        // applies.
+        let backend = match BackendChoice::from_args(&args) {
+            Ok(b) => b.unwrap_or_default(),
+            Err(msg) => {
+                eprintln!("error: {msg}\n");
+                eprintln!("{USAGE}");
+                return ExitCode::from(1);
+            }
+        };
+        return run_suite(backend);
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -198,9 +224,12 @@ fn main() -> ExitCode {
     }
 
     let mut failures = 0u32;
+    // One solver session for the whole invocation: every analysis below
+    // shares its warm-start cache and contributes to one stats report.
+    let mut solver = LpSolver::with_choice(opts.lp_backend);
 
     if opts.upper {
-        match synthesize_upper_bound(&pts) {
+        match synthesize_upper_bound_in(&pts, &mut solver) {
             Ok(r) => {
                 if r.floored {
                     println!("upper bound (§5.2, complete): ≈ 0 (objective floored)");
@@ -224,7 +253,7 @@ fn main() -> ExitCode {
         if !flag {
             continue;
         }
-        match synthesize_reprsm_bound(&pts, kind) {
+        match synthesize_reprsm_bound_in(&pts, kind, DEFAULT_SER_ITERATIONS, &mut solver) {
             Ok(r) => {
                 println!("upper bound ({label}): {} (ε = {:.4}, {} LPs)", r.bound, r.epsilon, r.lp_solves);
                 if opts.symbolic {
@@ -238,13 +267,13 @@ fn main() -> ExitCode {
         }
     }
     if opts.lower {
-        match prove_almost_sure_termination(&pts) {
+        match prove_almost_sure_termination_in(&pts, &mut solver) {
             Ok(cert) => {
                 println!(
                     "almost-sure termination: certified (expected steps ≤ {:.1})",
                     cert.initial_rank
                 );
-                match synthesize_lower_bound(&pts) {
+                match synthesize_lower_bound_in(&pts, &mut solver) {
                     Ok(r) => {
                         println!("lower bound (§6): {:.6}", r.bound.to_f64());
                         if opts.symbolic {
@@ -266,10 +295,11 @@ fn main() -> ExitCode {
         }
     }
     if opts.quadratic {
-        match qava_core::polyrsm::synthesize_quadratic_bound(
+        match qava_core::polyrsm::synthesize_quadratic_bound_in(
             &pts,
             BoundKind::Hoeffding,
-            qava_core::hoeffding::DEFAULT_SER_ITERATIONS,
+            DEFAULT_SER_ITERATIONS,
+            &mut solver,
         ) {
             Ok(r) => println!(
                 "upper bound (Remark 3, quadratic RepRSM): {} (ε = {:.4}, {} LPs)",
@@ -280,7 +310,7 @@ fn main() -> ExitCode {
                 failures += 1;
             }
         }
-        match qava_core::polylow::synthesize_quadratic_lower_bound(&pts) {
+        match qava_core::polylow::synthesize_quadratic_lower_bound_in(&pts, &mut solver) {
             Ok(r) => println!(
                 "lower bound (Remark 5, quadratic): {:.6} (needs a.s. termination)",
                 r.bound.to_f64()
@@ -297,6 +327,11 @@ fn main() -> ExitCode {
             "simulation: {:.6} over {} trials (99% CI ± {:.2e}, {} timeouts)",
             est.probability, est.trials, est.ci_half_width, est.timeouts
         );
+    }
+
+    let stats = solver.stats();
+    if stats.solves > 0 {
+        print!("{stats}");
     }
 
     if failures > 0 {
@@ -342,6 +377,16 @@ mod tests {
     #[test]
     fn missing_file_rejected() {
         assert!(parse_args(&args(&["--upper"])).is_err());
+    }
+
+    #[test]
+    fn lp_backend_parses() {
+        let o = parse_args(&args(&["p.qava", "--lp-backend", "sparse"])).unwrap();
+        assert_eq!(o.lp_backend, BackendChoice::Sparse);
+        let o = parse_args(&args(&["p.qava"])).unwrap();
+        assert_eq!(o.lp_backend, BackendChoice::default());
+        assert!(parse_args(&args(&["p.qava", "--lp-backend", "cuda"])).is_err());
+        assert!(parse_args(&args(&["p.qava", "--lp-backend"])).is_err());
     }
 
     #[test]

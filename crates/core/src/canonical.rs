@@ -59,17 +59,28 @@ impl CanonicalConstraint {
     }
 }
 
-/// Canonicalizes every transition of `pts` whose `Ψ` is nonempty.
+/// Canonicalizes every transition of `pts` whose `Ψ` is nonempty, probing
+/// emptiness on this thread's default solver session.
 ///
 /// The `space` must have been created with `include_absorbing = false`:
 /// absorbing locations have no template in the exponential algorithms.
 pub fn canonicalize(pts: &Pts, space: &TemplateSpace) -> Vec<CanonicalConstraint> {
+    qava_lp::with_default_solver(|s| canonicalize_in(pts, space, s))
+}
+
+/// [`canonicalize`] with the `Ψ`-emptiness probes threaded through an
+/// explicit solver session.
+pub fn canonicalize_in(
+    pts: &Pts,
+    space: &TemplateSpace,
+    solver: &mut qava_lp::LpSolver,
+) -> Vec<CanonicalConstraint> {
     let n = space.len();
     let nvars = pts.num_vars();
     let mut out = Vec::new();
     for (ti, t) in pts.transitions().iter().enumerate() {
         let psi = pts.invariant(t.src).intersection(&t.guard);
-        if psi.is_empty() {
+        if psi.is_empty_in(solver) {
             continue;
         }
         let mut terms = Vec::new();

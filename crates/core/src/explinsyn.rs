@@ -21,12 +21,13 @@
 //! (D1) directly on rays and lines — an equivalent but smaller encoding
 //! (documented deviation, see DESIGN.md).
 
-use crate::canonical::{canonicalize, expand_term_at_vertex};
+use crate::canonical::{canonicalize_in, expand_term_at_vertex};
 use crate::logprob::LogProb;
 use crate::template::{SolvedTemplate, TemplateSpace, UCoef};
 use qava_convex::{
     ConvexError, ConvexProblem, ExpSumConstraint, ExpTerm, SolverOptions, UniformMgf,
 };
+use qava_lp::LpSolver;
 use qava_pts::Pts;
 
 /// Errors from [`synthesize_upper_bound`].
@@ -84,6 +85,21 @@ pub fn synthesize_upper_bound(pts: &Pts) -> Result<ExpLinSynResult, ExpLinSynErr
     synthesize_upper_bound_with(pts, &SolverOptions::default())
 }
 
+/// Runs ExpLinSyn with default convex-solver options, threading the
+/// canonicalization emptiness-probe LPs through the given session. (The
+/// convex program itself is solved by the interior-point method in
+/// `qava-convex`, not by an LP backend.)
+///
+/// # Errors
+///
+/// See [`ExpLinSynError`].
+pub fn synthesize_upper_bound_in(
+    pts: &Pts,
+    solver: &mut LpSolver,
+) -> Result<ExpLinSynResult, ExpLinSynError> {
+    synthesize_upper_bound_with_in(pts, &SolverOptions::default(), solver)
+}
+
 /// Runs ExpLinSyn with explicit solver options.
 ///
 /// # Errors
@@ -93,12 +109,25 @@ pub fn synthesize_upper_bound_with(
     pts: &Pts,
     opts: &SolverOptions,
 ) -> Result<ExpLinSynResult, ExpLinSynError> {
+    synthesize_upper_bound_with_in(pts, opts, &mut LpSolver::new())
+}
+
+/// [`synthesize_upper_bound_with`] inside an explicit LP session.
+///
+/// # Errors
+///
+/// See [`ExpLinSynError`].
+pub fn synthesize_upper_bound_with_in(
+    pts: &Pts,
+    opts: &SolverOptions,
+    solver: &mut LpSolver,
+) -> Result<ExpLinSynResult, ExpLinSynError> {
     let init = pts.initial_state();
     if pts.is_absorbing(init.loc) {
         return Err(ExpLinSynError::TrivialInitial);
     }
     let space = TemplateSpace::new(pts, false);
-    let problem = build_convex_program(pts, &space)?;
+    let problem = build_convex_program_in(pts, &space, solver)?;
 
     let sol = match problem.solve(opts) {
         Ok(s) => s,
@@ -122,6 +151,16 @@ pub fn build_convex_program(
     pts: &Pts,
     space: &TemplateSpace,
 ) -> Result<ConvexProblem, ExpLinSynError> {
+    build_convex_program_in(pts, space, &mut LpSolver::new())
+}
+
+/// [`build_convex_program`] with the canonicalization emptiness probes
+/// threaded through an explicit LP session.
+pub fn build_convex_program_in(
+    pts: &Pts,
+    space: &TemplateSpace,
+    solver: &mut LpSolver,
+) -> Result<ConvexProblem, ExpLinSynError> {
     let n = space.len();
     let mut problem = ConvexProblem::new(n);
 
@@ -131,7 +170,7 @@ pub fn build_convex_program(
     let obj = space.eta_at(init.loc, &init.vals);
     problem.set_objective(obj.lin);
 
-    for con in canonicalize(pts, space) {
+    for con in canonicalize_in(pts, space, solver) {
         if con.terms.is_empty() {
             continue; // all mass to ℓ_t: the constraint is `0 ≤ 1`.
         }

@@ -19,11 +19,11 @@
 //! Callers are responsible for the almost-sure-termination side condition
 //! (provable with [`crate::rsm`]).
 
-use crate::canonical::canonicalize;
+use crate::canonical::canonicalize_in;
 use crate::farkas::encode_implication;
 use crate::logprob::LogProb;
 use crate::template::{SolvedTemplate, TemplateSpace, UCoef};
-use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, VarId};
+use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, LpSolver, VarId};
 use qava_pts::Pts;
 
 /// Errors from [`synthesize_lower_bound`].
@@ -87,6 +87,20 @@ pub struct ExpLowSynResult {
 ///
 /// See [`ExpLowSynError`].
 pub fn synthesize_lower_bound(pts: &Pts) -> Result<ExpLowSynResult, ExpLowSynError> {
+    synthesize_lower_bound_in(pts, &mut LpSolver::new())
+}
+
+/// [`synthesize_lower_bound`] threading the canonicalization emptiness
+/// probes and the Jensen-strengthened LP through the given solver
+/// session.
+///
+/// # Errors
+///
+/// See [`ExpLowSynError`].
+pub fn synthesize_lower_bound_in(
+    pts: &Pts,
+    solver: &mut LpSolver,
+) -> Result<ExpLowSynResult, ExpLowSynError> {
     let init = pts.initial_state();
     if pts.is_absorbing(init.loc) {
         return Err(ExpLowSynError::TrivialInitial);
@@ -115,7 +129,7 @@ pub fn synthesize_lower_bound(pts: &Pts) -> Result<ExpLowSynResult, ExpLowSynErr
     }
 
     // Steps 3–4: Jensen-strengthened post fixed-point rows.
-    for con in canonicalize(pts, &space) {
+    for con in canonicalize_in(pts, &space, solver) {
         let q = con.live_mass();
         if q <= 1e-12 {
             return Err(ExpLowSynError::DeadEndTransition {
@@ -153,7 +167,7 @@ pub fn synthesize_lower_bound(pts: &Pts) -> Result<ExpLowSynResult, ExpLowSynErr
     lp.constrain(cut.clone(), Cmp::Le, -eta_init.constant);
 
     lp.maximize(cut);
-    let sol = match lp.solve() {
+    let sol = match solver.solve(&lp) {
         Ok(s) => s,
         Err(LpError::Infeasible) => return Err(ExpLowSynError::NoTemplate),
         Err(e) => return Err(ExpLowSynError::Lp(e)),

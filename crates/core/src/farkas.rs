@@ -18,6 +18,10 @@
 //! [`encode_implication`] emits exactly these rows into an [`LpBuilder`],
 //! allocating the fresh multipliers. The empty-`A` degenerate case (`P` is
 //! the whole space) compiles to `c(x) = 0 ∧ 0 ≤ d(x)`.
+//!
+//! This module only *encodes*; solving happens wherever the synthesis
+//! layer threads its [`qava_lp::LpSolver`] session, so consecutive Farkas
+//! LPs of one run share that session's warm-start cache.
 
 use crate::template::UCoef;
 use qava_lp::{Cmp, LinExpr, LpBuilder, VarId};
@@ -94,12 +98,14 @@ mod tests {
     use qava_polyhedra::Halfspace;
 
     /// Solves: does there exist a template value making the implication
-    /// hold, optimizing `objective` over the single unknown?
+    /// hold, optimizing `objective` over the single unknown? Solved
+    /// through an explicit session, as the synthesis layers do.
     fn probe(
         poly: &Polyhedron,
         mk: impl Fn(usize) -> (Vec<UCoef>, UCoef),
         maximize: bool,
     ) -> Result<f64, qava_lp::LpError> {
+        let mut solver = qava_lp::LpSolver::new();
         let mut lp = LpBuilder::new();
         let x = lp.add_var("x0");
         let (c, d) = mk(1);
@@ -109,7 +115,7 @@ mod tests {
         } else {
             lp.minimize(LinExpr::var(x, 1.0));
         }
-        lp.solve().map(|s| s.value(x))
+        solver.solve(&lp).map(|s| s.value(x))
     }
 
     #[test]
@@ -200,7 +206,7 @@ mod tests {
         d.add_unknown(0, 1.0);
         encode_nonnegativity(&mut lp, &[x], &poly, &c, &d);
         lp.minimize(LinExpr::var(x, 1.0));
-        let sol = lp.solve().unwrap();
+        let sol = qava_lp::LpSolver::new().solve(&lp).unwrap();
         assert!((sol.value(x) + 2.0).abs() < 1e-7, "got {}", sol.value(x));
     }
 }

@@ -30,6 +30,10 @@
 //! rows. Degree-0 (`λ_∅ · 1`) is always included, which subsumes the
 //! trivial "p is a non-negative constant" certificate.
 //!
+//! Like [`crate::farkas`], this module only *encodes*; the built model is
+//! solved through whatever [`qava_lp::LpSolver`] session the synthesis
+//! layer (e.g. [`crate::polyrsm`], [`crate::polylow`]) is threading.
+//!
 //! # Performance
 //!
 //! Everything here runs on interned monomials ([`crate::poly::MonoId`]):
@@ -195,13 +199,15 @@ mod tests {
 
     /// Probe: is there a value of the single unknown `x0` making
     /// `p(v; x0) ≥ 0` on the region certifiable at the given degree, while
-    /// optimizing `x0`?
+    /// optimizing `x0`? Solved through an explicit session, as the
+    /// synthesis layers do.
     fn probe(
         region: &Polyhedron,
         build: impl Fn(usize) -> UPoly,
         degree: u32,
         maximize: bool,
     ) -> Result<f64, LpError> {
+        let mut solver = qava_lp::LpSolver::new();
         let mut lp = LpBuilder::new();
         let x = lp.add_var("x0");
         let p = build(1);
@@ -211,7 +217,7 @@ mod tests {
         } else {
             lp.minimize(LinExpr::var(x, 1.0));
         }
-        lp.solve().map(|s| s.value(x))
+        solver.solve(&lp).map(|s| s.value(x))
     }
 
     fn interval(lo: f64, hi: f64) -> Polyhedron {

@@ -23,7 +23,7 @@
 use crate::farkas::encode_implication;
 use crate::logprob::LogProb;
 use crate::template::{SolvedTemplate, TemplateSpace, UCoef};
-use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, VarId};
+use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, LpSolver, VarId};
 use qava_pts::{Fork, Pts, Transition};
 use qava_polyhedra::{Halfspace, Polyhedron};
 
@@ -123,12 +123,29 @@ pub fn synthesize_reprsm_bound_with(
     kind: BoundKind,
     ser_iterations: usize,
 ) -> Result<RepRsmResult, RepRsmError> {
+    synthesize_reprsm_bound_in(pts, kind, ser_iterations, &mut LpSolver::new())
+}
+
+/// [`synthesize_reprsm_bound_with`] threading every LP of the Ser search
+/// through the given solver session: the ε probes share one sparsity
+/// pattern, so each probe beyond the first warm-starts from its
+/// predecessor's basis.
+///
+/// # Errors
+///
+/// See [`RepRsmError`].
+pub fn synthesize_reprsm_bound_in(
+    pts: &Pts,
+    kind: BoundKind,
+    ser_iterations: usize,
+    solver: &mut LpSolver,
+) -> Result<RepRsmResult, RepRsmError> {
     let init = pts.initial_state();
     if pts.is_absorbing(init.loc) {
         return Err(RepRsmError::TrivialInitial);
     }
     let space = TemplateSpace::new(pts, true);
-    let gen = ConstraintGen::new(pts, &space, kind)?;
+    let gen = ConstraintGen::new(pts, &space, kind, solver)?;
     let mut lp_solves = 0usize;
 
     // εmax: maximize ε subject to everything (ε itself capped for
@@ -136,7 +153,7 @@ pub fn synthesize_reprsm_bound_with(
     let eps_max = {
         let (lp, _, eps_var) = gen.build_lp(None);
         lp_solves += 1;
-        match lp.solve() {
+        match solver.solve(&lp) {
             Ok(sol) => sol.value(eps_var.expect("eps is a variable here")).min(EPS_CAP),
             Err(LpError::Infeasible) => return Err(RepRsmError::NoRepRsm),
             Err(e) => return Err(RepRsmError::Lp(e)),
@@ -144,15 +161,16 @@ pub fn synthesize_reprsm_bound_with(
     };
 
     // f(ε) = ε·ω_opt(ε); ternary search on [0, εmax] (Appendix C.2).
-    let omega_at = |eps: f64, count: &mut usize| -> Result<f64, RepRsmError> {
-        let (lp, _, _) = gen.build_lp(Some(eps));
-        *count += 1;
-        match lp.solve() {
-            Ok(sol) => Ok(sol.objective.min(0.0)),
-            Err(LpError::Infeasible) => Ok(f64::INFINITY), // probe outside feasible ε range
-            Err(e) => Err(RepRsmError::Lp(e)),
-        }
-    };
+    let omega_at =
+        |eps: f64, count: &mut usize, solver: &mut LpSolver| -> Result<f64, RepRsmError> {
+            let (lp, _, _) = gen.build_lp(Some(eps));
+            *count += 1;
+            match solver.solve(&lp) {
+                Ok(sol) => Ok(sol.objective.min(0.0)),
+                Err(LpError::Infeasible) => Ok(f64::INFINITY), // probe outside feasible ε range
+                Err(e) => Err(RepRsmError::Lp(e)),
+            }
+        };
 
     let mut lo = 0.0f64;
     let mut hi = eps_max;
@@ -162,8 +180,8 @@ pub fn synthesize_reprsm_bound_with(
         }
         let m1 = lo + (hi - lo) / 3.0;
         let m2 = hi - (hi - lo) / 3.0;
-        let f1 = m1 * omega_at(m1, &mut lp_solves)?;
-        let f2 = m2 * omega_at(m2, &mut lp_solves)?;
+        let f1 = m1 * omega_at(m1, &mut lp_solves, solver)?;
+        let f2 = m2 * omega_at(m2, &mut lp_solves, solver)?;
         if f1 < f2 {
             hi = m2;
         } else {
@@ -175,7 +193,7 @@ pub fn synthesize_reprsm_bound_with(
     // Final solve at ε*.
     let (lp, unknowns, _) = gen.build_lp(Some(eps_star));
     lp_solves += 1;
-    let sol = match lp.solve() {
+    let sol = match solver.solve(&lp) {
         Ok(s) => s,
         Err(LpError::Infeasible) => return Err(RepRsmError::NoRepRsm),
         Err(e) => return Err(RepRsmError::Lp(e)),
@@ -218,12 +236,17 @@ struct C4Instance {
 }
 
 impl<'a> ConstraintGen<'a> {
-    fn new(pts: &'a Pts, space: &'a TemplateSpace, kind: BoundKind) -> Result<Self, RepRsmError> {
+    fn new(
+        pts: &'a Pts,
+        space: &'a TemplateSpace,
+        kind: BoundKind,
+        solver: &mut LpSolver,
+    ) -> Result<Self, RepRsmError> {
         let mut c3 = Vec::new();
         let mut c4 = Vec::new();
         for (ti, t) in pts.transitions().iter().enumerate() {
             let psi = pts.invariant(t.src).intersection(&t.guard);
-            if psi.is_empty() {
+            if psi.is_empty_in(solver) {
                 continue;
             }
             c3.push(Self::c3_instance(pts, space, t, &psi));

@@ -24,7 +24,7 @@ use crate::logprob::LogProb;
 use crate::poly::UPoly;
 use crate::polyrsm::QuadSpace;
 use crate::template::UCoef;
-use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, VarId};
+use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, LpSolver, VarId};
 use qava_pts::Pts;
 
 /// Errors from [`synthesize_quadratic_lower_bound`].
@@ -74,12 +74,26 @@ pub struct PolyLowResult {
 /// Handelman product degree (quadratic targets).
 const HANDELMAN_DEGREE: u32 = 2;
 
-/// Runs the quadratic lower-bound synthesis.
+/// Runs the quadratic lower-bound synthesis with a private solver
+/// session; see [`synthesize_quadratic_lower_bound_in`].
 ///
 /// # Errors
 ///
 /// See [`PolyLowError`].
 pub fn synthesize_quadratic_lower_bound(pts: &Pts) -> Result<PolyLowResult, PolyLowError> {
+    synthesize_quadratic_lower_bound_in(pts, &mut LpSolver::new())
+}
+
+/// Runs the quadratic lower-bound synthesis, threading the emptiness
+/// probes and the Handelman LP through the given solver session.
+///
+/// # Errors
+///
+/// See [`PolyLowError`].
+pub fn synthesize_quadratic_lower_bound_in(
+    pts: &Pts,
+    solver: &mut LpSolver,
+) -> Result<PolyLowResult, PolyLowError> {
     let init = pts.initial_state();
     if pts.is_absorbing(init.loc) {
         return Err(PolyLowError::TrivialInitial);
@@ -119,7 +133,7 @@ pub fn synthesize_quadratic_lower_bound(pts: &Pts) -> Result<PolyLowResult, Poly
     // θ(ℓ_f) ≡ 1 contributes an exponent of 0.
     for (ti, t) in pts.transitions().iter().enumerate() {
         let psi = pts.invariant(t.src).intersection(&t.guard);
-        if psi.is_empty() {
+        if psi.is_empty_in(solver) {
             continue;
         }
         let mut live_mass = 0.0;
@@ -167,7 +181,7 @@ pub fn synthesize_quadratic_lower_bound(pts: &Pts) -> Result<PolyLowResult, Poly
     lp.constrain(obj.clone(), Cmp::Le, -obj_const);
     lp.maximize(obj);
 
-    let sol = match lp.solve() {
+    let sol = match solver.solve(&lp) {
         Ok(s) => s,
         Err(LpError::Infeasible) => return Err(PolyLowError::NoTemplate),
         Err(e) => return Err(PolyLowError::Lp(e)),

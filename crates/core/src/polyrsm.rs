@@ -24,7 +24,7 @@ use crate::hoeffding::BoundKind;
 use crate::logprob::LogProb;
 use crate::poly::{CPoly, UPoly};
 use crate::template::UCoef;
-use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, VarId};
+use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, LpSolver, VarId};
 use qava_pts::{Fork, LocId, Pts};
 use qava_polyhedra::Polyhedron;
 
@@ -259,33 +259,49 @@ pub fn synthesize_quadratic_bound(
     kind: BoundKind,
     ser_iterations: usize,
 ) -> Result<PolyRsmResult, PolyRsmError> {
+    synthesize_quadratic_bound_in(pts, kind, ser_iterations, &mut LpSolver::new())
+}
+
+/// [`synthesize_quadratic_bound`] threading every Handelman LP of the Ser
+/// search through the given solver session.
+///
+/// # Errors
+///
+/// See [`PolyRsmError`].
+pub fn synthesize_quadratic_bound_in(
+    pts: &Pts,
+    kind: BoundKind,
+    ser_iterations: usize,
+    solver: &mut LpSolver,
+) -> Result<PolyRsmResult, PolyRsmError> {
     let init = pts.initial_state();
     if pts.is_absorbing(init.loc) {
         return Err(PolyRsmError::TrivialInitial);
     }
     let space = QuadSpace::new(pts);
-    let gen = Generator::new(pts, &space, kind)?;
+    let gen = Generator::new(pts, &space, kind, solver)?;
     let mut lp_solves = 0usize;
 
     let eps_max = {
         let (lp, _, eps_var) = gen.build_lp(None);
         lp_solves += 1;
-        match lp.solve() {
+        match solver.solve(&lp) {
             Ok(sol) => sol.value(eps_var.expect("eps variable present")).min(EPS_CAP),
             Err(LpError::Infeasible) => return Err(PolyRsmError::NoQuadraticRepRsm),
             Err(e) => return Err(PolyRsmError::Lp(e)),
         }
     };
 
-    let omega_at = |eps: f64, count: &mut usize| -> Result<f64, PolyRsmError> {
-        let (lp, _, _) = gen.build_lp(Some(eps));
-        *count += 1;
-        match lp.solve() {
-            Ok(sol) => Ok(sol.objective.min(0.0)),
-            Err(LpError::Infeasible) => Ok(f64::INFINITY),
-            Err(e) => Err(PolyRsmError::Lp(e)),
-        }
-    };
+    let omega_at =
+        |eps: f64, count: &mut usize, solver: &mut LpSolver| -> Result<f64, PolyRsmError> {
+            let (lp, _, _) = gen.build_lp(Some(eps));
+            *count += 1;
+            match solver.solve(&lp) {
+                Ok(sol) => Ok(sol.objective.min(0.0)),
+                Err(LpError::Infeasible) => Ok(f64::INFINITY),
+                Err(e) => Err(PolyRsmError::Lp(e)),
+            }
+        };
 
     let mut lo = 0.0f64;
     let mut hi = eps_max;
@@ -295,8 +311,8 @@ pub fn synthesize_quadratic_bound(
         }
         let m1 = lo + (hi - lo) / 3.0;
         let m2 = hi - (hi - lo) / 3.0;
-        let f1 = m1 * omega_at(m1, &mut lp_solves)?;
-        let f2 = m2 * omega_at(m2, &mut lp_solves)?;
+        let f1 = m1 * omega_at(m1, &mut lp_solves, solver)?;
+        let f2 = m2 * omega_at(m2, &mut lp_solves, solver)?;
         if f1 < f2 {
             hi = m2;
         } else {
@@ -307,7 +323,7 @@ pub fn synthesize_quadratic_bound(
 
     let (lp, unknowns, _) = gen.build_lp(Some(eps_star));
     lp_solves += 1;
-    let sol = match lp.solve() {
+    let sol = match solver.solve(&lp) {
         Ok(s) => s,
         Err(LpError::Infeasible) => return Err(PolyRsmError::NoQuadraticRepRsm),
         Err(e) => return Err(PolyRsmError::Lp(e)),
@@ -340,12 +356,17 @@ struct Generator<'a> {
 }
 
 impl<'a> Generator<'a> {
-    fn new(pts: &'a Pts, space: &'a QuadSpace, kind: BoundKind) -> Result<Self, PolyRsmError> {
+    fn new(
+        pts: &'a Pts,
+        space: &'a QuadSpace,
+        kind: BoundKind,
+        solver: &mut LpSolver,
+    ) -> Result<Self, PolyRsmError> {
         let mut c3 = Vec::new();
         let mut c4 = Vec::new();
         for (ti, t) in pts.transitions().iter().enumerate() {
             let psi = pts.invariant(t.src).intersection(&t.guard);
-            if psi.is_empty() {
+            if psi.is_empty_in(solver) {
                 continue;
             }
             // (C3): η(src) − Σ_j p_j·E[η(dst_j)] − ε ≥ 0 on Ψ.

@@ -17,7 +17,7 @@
 
 use crate::farkas::{encode_implication, encode_nonnegativity};
 use crate::template::{SolvedTemplate, TemplateSpace, UCoef};
-use qava_lp::{LpBuilder, LpError, VarId};
+use qava_lp::{LpBuilder, LpError, LpSolver, VarId};
 use qava_pts::Pts;
 
 /// A successfully synthesized ranking supermartingale.
@@ -51,12 +51,27 @@ impl std::fmt::Display for RsmError {
 
 impl std::error::Error for RsmError {}
 
-/// Attempts to certify positive almost-sure termination.
+/// Attempts to certify positive almost-sure termination with a private
+/// solver session; see [`prove_almost_sure_termination_in`].
 ///
 /// # Errors
 ///
 /// See [`RsmError`].
 pub fn prove_almost_sure_termination(pts: &Pts) -> Result<RsmCertificate, RsmError> {
+    prove_almost_sure_termination_in(pts, &mut LpSolver::new())
+}
+
+/// Attempts to certify positive almost-sure termination, threading all
+/// LP work (satisfiability probes and the synthesis LP) through the
+/// given solver session.
+///
+/// # Errors
+///
+/// See [`RsmError`].
+pub fn prove_almost_sure_termination_in(
+    pts: &Pts,
+    solver: &mut LpSolver,
+) -> Result<RsmCertificate, RsmError> {
     let space = TemplateSpace::new(pts, false);
     let n = space.len();
     let nvars = pts.num_vars();
@@ -80,7 +95,7 @@ pub fn prove_almost_sure_termination(pts: &Pts) -> Result<RsmCertificate, RsmErr
     // Expected decrease ≥ 1 along every transition with satisfiable Ψ.
     for t in pts.transitions() {
         let psi = pts.invariant(t.src).intersection(&t.guard);
-        if psi.is_empty() {
+        if psi.is_empty_in(solver) {
             continue;
         }
         // Σ_j p_j·E[η(dst_j)] − η(src) ≤ −1, absorbing dsts contribute 0.
@@ -130,7 +145,7 @@ pub fn prove_almost_sure_termination(pts: &Pts) -> Result<RsmCertificate, RsmErr
         }
     }
     lp.minimize(obj);
-    match lp.solve() {
+    match solver.solve(&lp) {
         Ok(sol) => {
             let x: Vec<f64> = unknowns.iter().map(|&v| sol.value(v)).collect();
             Ok(RsmCertificate {

@@ -3,19 +3,24 @@
 //! The paper's evaluation (Tables 1–2) runs up to four synthesis
 //! algorithms over 36 program rows. Each (row, algorithm) pair is an
 //! independent piece of work: compilation, invariant propagation and
-//! synthesis share nothing across pairs (all caches — monomial interner,
-//! Handelman products, LP warm-start bases — are thread-local by
-//! design). The driver therefore fans the pairs out over a rayon-style
-//! thread pool and reassembles the results **in input order**, so the
-//! emitted tables are byte-identical regardless of scheduling.
+//! synthesis share nothing across pairs (the monomial interner and
+//! Handelman product caches are thread-local by design, and every task
+//! owns its private [`LpSolver`] session — warm-start bases and solver
+//! statistics live in the session, not in ambient state). The driver
+//! therefore fans the pairs out over a rayon-style thread pool and
+//! reassembles the results **in input order**, so the emitted tables are
+//! byte-identical regardless of scheduling; the per-task [`LpStats`] are
+//! merged into one suite-wide total for the stats footer.
 //!
 //! Used by the `tables` binary (`crates/bench`) and the `qava --suite`
-//! CLI mode; the criterion benches keep calling the synthesis entry
-//! points directly so that measured times stay single-threaded.
+//! CLI mode (both expose `--lp-backend` and forward it here); the
+//! criterion benches keep calling the synthesis entry points directly so
+//! that measured times stay single-threaded.
 
 use crate::logprob::LogProb;
 use crate::suite::{Benchmark, Direction};
 use crate::{explinsyn, explowsyn, hoeffding};
+use qava_lp::{BackendChoice, LpSolver, LpStats};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -61,6 +66,8 @@ pub struct AlgoRun {
     pub bound: Result<LogProb, String>,
     /// Wall-clock synthesis time (excluding compilation), seconds.
     pub seconds: f64,
+    /// LP solver statistics of this run's private session.
+    pub lp: LpStats,
 }
 
 /// All requested algorithm outcomes for one table row, in request order.
@@ -80,33 +87,60 @@ pub struct RowReport {
     pub runs: Vec<AlgoRun>,
 }
 
-/// Runs one algorithm on a compiled program.
-fn run_algorithm(pts: &qava_pts::Pts, algo: Algorithm) -> Result<LogProb, String> {
+/// Runs one algorithm on a compiled program inside an explicit solver
+/// session.
+fn run_algorithm(
+    pts: &qava_pts::Pts,
+    algo: Algorithm,
+    solver: &mut LpSolver,
+) -> Result<LogProb, String> {
     match algo {
-        Algorithm::Hoeffding => hoeffding::synthesize_reprsm_bound(pts, hoeffding::BoundKind::Hoeffding)
+        Algorithm::Hoeffding => hoeffding::synthesize_reprsm_bound_in(
+            pts,
+            hoeffding::BoundKind::Hoeffding,
+            hoeffding::DEFAULT_SER_ITERATIONS,
+            solver,
+        )
+        .map(|r| r.bound)
+        .map_err(|e| e.to_string()),
+        Algorithm::Azuma => hoeffding::synthesize_reprsm_bound_in(
+            pts,
+            hoeffding::BoundKind::Azuma,
+            hoeffding::DEFAULT_SER_ITERATIONS,
+            solver,
+        )
+        .map(|r| r.bound)
+        .map_err(|e| e.to_string()),
+        Algorithm::ExpLinSyn => explinsyn::synthesize_upper_bound_in(pts, solver)
             .map(|r| r.bound)
             .map_err(|e| e.to_string()),
-        Algorithm::Azuma => hoeffding::synthesize_reprsm_bound(pts, hoeffding::BoundKind::Azuma)
-            .map(|r| r.bound)
-            .map_err(|e| e.to_string()),
-        Algorithm::ExpLinSyn => explinsyn::synthesize_upper_bound(pts)
-            .map(|r| r.bound)
-            .map_err(|e| e.to_string()),
-        Algorithm::ExpLowSyn => explowsyn::synthesize_lower_bound(pts)
+        Algorithm::ExpLowSyn => explowsyn::synthesize_lower_bound_in(pts, solver)
             .map(|r| r.bound)
             .map_err(|e| e.to_string()),
     }
 }
 
+/// [`run_rows`] with the default backend policy.
+pub fn run_rows(
+    rows: &[Benchmark],
+    algorithms: impl Fn(&Benchmark) -> Vec<Algorithm>,
+) -> Vec<RowReport> {
+    run_rows_with(rows, algorithms, BackendChoice::default())
+}
+
 /// Fans `rows × algorithms(row)` out over the thread pool and returns
-/// one report per row, in input order.
+/// one report per row, in input order. Every task runs inside its own
+/// [`LpSolver`] session created with the given backend policy; the
+/// session's statistics are attached to the task's [`AlgoRun`] (merge
+/// them with [`suite_lp_stats`] for a fleet-wide total).
 ///
 /// `algorithms` picks the algorithm set per row; use
 /// [`default_algorithms`] composed over [`Benchmark::direction`] for the
 /// paper's tables.
-pub fn run_rows(
+pub fn run_rows_with(
     rows: &[Benchmark],
     algorithms: impl Fn(&Benchmark) -> Vec<Algorithm>,
+    backend: BackendChoice,
 ) -> Vec<RowReport> {
     // Flatten to (row, algorithm) tasks so a slow row does not serialize
     // the algorithms behind it.
@@ -121,12 +155,16 @@ pub fn run_rows(
         .map(|&(i, algo)| {
             // Compile per task: compilation is cheap next to synthesis,
             // and it keeps every task self-contained on its worker
-            // thread (monomial ids never cross threads).
+            // thread (monomial ids never cross threads). The solver
+            // session is equally task-private: one synthesis run is
+            // exactly the scope over which warm starts are sound ideas
+            // and statistics are attributable.
             let pts = rows[i].compile();
+            let mut solver = LpSolver::with_choice(backend);
             let t0 = Instant::now();
-            let bound = run_algorithm(&pts, algo);
+            let bound = run_algorithm(&pts, algo, &mut solver);
             let seconds = t0.elapsed().as_secs_f64();
-            (i, AlgoRun { algorithm: algo, bound, seconds })
+            (i, AlgoRun { algorithm: algo, bound, seconds, lp: solver.take_stats() })
         })
         .collect();
 
@@ -148,6 +186,18 @@ pub fn run_rows(
         reports[i].runs.push(run);
     }
     reports
+}
+
+/// Merges every run's LP session statistics into one suite-wide total
+/// (the `qava --suite` stats footer).
+pub fn suite_lp_stats(reports: &[RowReport]) -> LpStats {
+    let mut total = LpStats::default();
+    for report in reports {
+        for run in &report.runs {
+            total.merge(&run.lp);
+        }
+    }
+    total
 }
 
 /// Convenience accessor: the run of a given algorithm, if requested.
@@ -183,6 +233,26 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn suite_collects_lp_stats_per_backend() {
+        let rows: Vec<Benchmark> = table2().into_iter().take(1).collect();
+        let reports = run_rows_with(
+            &rows,
+            |b| default_algorithms(b.direction).to_vec(),
+            BackendChoice::Sparse,
+        );
+        let stats = suite_lp_stats(&reports);
+        assert!(stats.solves > 0, "lower-bound synthesis must solve LPs");
+        assert_eq!(stats.backends.len(), 1, "forced policy uses one backend");
+        assert_eq!(stats.backends[0].name, "sparse");
+        let per_run: usize = reports
+            .iter()
+            .flat_map(|r| &r.runs)
+            .map(|run| run.lp.backends.iter().map(|t| t.solves).sum::<usize>())
+            .sum();
+        assert_eq!(stats.backends[0].solves, per_run, "merge must preserve totals");
     }
 
     #[test]

@@ -2,6 +2,12 @@
 //!
 //! Vectors flow between crates as plain `Vec<f64>`; these helpers keep the
 //! call sites short without committing the whole workspace to a wrapper type.
+//!
+//! The `dot`/`axpy`/`gather_dot` kernels are the inner loops of the revised
+//! simplex (`B⁻¹` row updates, simplex-multiplier accumulation, column
+//! pricing) and are unrolled four-wide: independent accumulators break the
+//! serial dependence of a naive fold so the FP pipelines stay full, and the
+//! chunked slices give the compiler bounds-check-free bodies to vectorize.
 
 /// Dot product of two equal-length slices.
 ///
@@ -14,7 +20,17 @@
 /// ```
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    a.iter().zip(b).map(|(x, y)| x * y).sum()
+    let mut ca = a.chunks_exact(4);
+    let mut cb = b.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
+        s0 += xa[0] * xb[0];
+        s1 += xa[1] * xb[1];
+        s2 += xa[2] * xb[2];
+        s3 += xa[3] * xb[3];
+    }
+    let tail: f64 = ca.remainder().iter().zip(cb.remainder()).map(|(x, y)| x * y).sum();
+    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// `y += alpha * x`, the classic axpy update.
@@ -24,9 +40,45 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, xi) in y.iter_mut().zip(x) {
+    let mut cx = x.chunks_exact(4);
+    let mut cy = y.chunks_exact_mut(4);
+    for (xs, ys) in cx.by_ref().zip(cy.by_ref()) {
+        ys[0] += alpha * xs[0];
+        ys[1] += alpha * xs[1];
+        ys[2] += alpha * xs[2];
+        ys[3] += alpha * xs[3];
+    }
+    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
         *yi += alpha * xi;
     }
+}
+
+/// Sparse gather dot product `Σ_k vals[k] · x[idx[k]]` — the pricing and
+/// forward-transformation kernel of the revised simplex, where one operand
+/// is a CSC column and the other a dense vector.
+///
+/// # Panics
+///
+/// Panics if `idx` and `vals` have different lengths, or if an index is out
+/// of bounds for `x`.
+pub fn gather_dot(idx: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+    assert_eq!(idx.len(), vals.len(), "gather_dot: length mismatch");
+    let mut ci = idx.chunks_exact(4);
+    let mut cv = vals.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    for (is, vs) in ci.by_ref().zip(cv.by_ref()) {
+        s0 += vs[0] * x[is[0]];
+        s1 += vs[1] * x[is[1]];
+        s2 += vs[2] * x[is[2]];
+        s3 += vs[3] * x[is[3]];
+    }
+    let tail: f64 = ci
+        .remainder()
+        .iter()
+        .zip(cv.remainder())
+        .map(|(&r, &v)| v * x[r])
+        .sum();
+    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// Returns `alpha * x` as a new vector.
@@ -91,10 +143,54 @@ mod tests {
     }
 
     #[test]
+    fn dot_unrolled_matches_naive_at_every_remainder_length() {
+        // Lengths 0..13 cross the 4-wide chunk boundary at every offset.
+        for len in 0..13usize {
+            let a: Vec<f64> = (0..len).map(|i| (i as f64) * 0.75 - 3.0).collect();
+            let b: Vec<f64> = (0..len).map(|i| 1.5 - (i as f64) * 0.25).collect();
+            let naive: f64 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            assert!((dot(&a, &b) - naive).abs() < 1e-12, "len {len}");
+        }
+    }
+
+    #[test]
     fn axpy_accumulates() {
         let mut y = vec![1.0, 1.0];
         axpy(2.0, &[3.0, -1.0], &mut y);
         assert_eq!(y, vec![7.0, -1.0]);
+    }
+
+    #[test]
+    fn axpy_unrolled_matches_naive_at_every_remainder_length() {
+        for len in 0..13usize {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64) - 2.0).collect();
+            let mut y: Vec<f64> = (0..len).map(|i| 0.5 * (i as f64)).collect();
+            let mut naive = y.clone();
+            for (ni, xi) in naive.iter_mut().zip(&x) {
+                *ni += -1.75 * xi;
+            }
+            axpy(-1.75, &x, &mut y);
+            assert_eq!(y, naive, "len {len}");
+        }
+    }
+
+    #[test]
+    fn gather_dot_matches_dense_dot() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        // Sparse vector with entries at 0, 2, 3, 5 (crosses the unroll
+        // boundary at length 4) plus shorter prefixes.
+        let idx = [0usize, 2, 3, 5, 1];
+        let vals = [2.0, -1.0, 0.5, 4.0, 3.0];
+        for take in 0..=idx.len() {
+            let naive: f64 = idx[..take].iter().zip(&vals[..take]).map(|(&r, &v)| v * x[r]).sum();
+            assert_eq!(gather_dot(&idx[..take], &vals[..take], &x), naive, "take {take}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn gather_dot_length_mismatch_panics() {
+        gather_dot(&[0], &[1.0, 2.0], &[1.0]);
     }
 
     #[test]

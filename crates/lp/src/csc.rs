@@ -135,10 +135,11 @@ impl CscMatrix {
         (&self.row_idx[lo..hi], &self.vals[lo..hi])
     }
 
-    /// Dot product of column `j` with a dense vector.
+    /// Dot product of column `j` with a dense vector (the pricing kernel;
+    /// unrolled via [`qava_linalg::vecops::gather_dot`]).
     pub fn col_dot(&self, j: usize, x: &[f64]) -> f64 {
         let (idx, vals) = self.col(j);
-        idx.iter().zip(vals).map(|(&r, &v)| v * x[r]).sum()
+        qava_linalg::vecops::gather_dot(idx, vals, x)
     }
 
     /// `out += scale · column_j` (dense accumulation).

@@ -1,35 +1,50 @@
 #![warn(missing_docs)]
 
-//! A self-contained linear-programming solver.
+//! A self-contained linear-programming solver with runtime-pluggable
+//! backends.
 //!
 //! Everything in `qava` that goes through Farkas' lemma — repulsing-ranking-
-//! supermartingale synthesis (§5.1 of the paper), the Jensen-strengthened
-//! lower-bound LP (§6), polyhedron emptiness and implication checks — ends in
-//! a linear program. This crate provides:
+//! supermartingale synthesis (§5.1 of the paper), Handelman certificates,
+//! the Jensen-strengthened lower-bound LP (§6), polyhedron emptiness and
+//! implication checks — ends in a linear program. This crate provides:
 //!
 //! * [`LpBuilder`] — incremental model construction with named variables and
 //!   sparse [`LinExpr`] linear expressions;
-//! * a **sparse revised simplex** ([`solve`](LpBuilder::solve)): CSC column
-//!   storage, presolve (empty/duplicate-row removal, fixed-variable
-//!   elimination), max-norm equilibration, Dantzig pricing with a Bland
-//!   anti-cycling fallback, and a warm-start basis cache keyed by LP
-//!   sparsity pattern (see [`solve_standard`] for the entry point);
-//!   µs-scale models below a small size cutover take the dense tableau,
-//!   whose constant factor wins there (hybrid dispatch);
-//! * the legacy **dense two-phase tableau** kept as a differential-testing
-//!   oracle ([`solve_standard_dense`]); build with the `dense-simplex`
-//!   feature to route [`solve_standard`] through it;
+//! * the [`LpBackend`] **trait** — the runtime-dispatchable core-solver
+//!   interface — with two built-in implementations: [`SparseRevised`]
+//!   (CSC column storage, Dantzig pricing with a Bland anti-cycling
+//!   fallback, warm-startable basis) and [`DenseTableau`] (the two-phase
+//!   tableau, also exported standalone as the differential-testing oracle
+//!   [`solve_standard_dense`]);
+//! * the [`LpSolver`] **session** — one per synthesis run — owning the
+//!   shared pipeline (presolve: empty/duplicate-row removal and
+//!   fixed-variable elimination; max-norm equilibration), the backend
+//!   selection policy ([`BackendChoice`]: `auto` routes µs-scale models
+//!   to the dense tableau and everything else to the sparse revised
+//!   simplex), a bounded-LRU warm-start basis cache keyed by LP sparsity
+//!   pattern, and per-solve statistics ([`LpStats`]: pivots, presolve
+//!   reductions, warm-start hits, wall time);
 //! * exact infeasibility / unboundedness reporting via [`LpError`].
 //!
 //! The synthesis LPs routinely reach hundreds of rows and thousands of
 //! columns at a few percent density; the revised method prices columns in
 //! O(nnz) and keeps only the m×m basis inverse hot.
 //!
+//! The `dense-simplex` cargo feature is a thin default-backend switch: it
+//! only changes [`BackendChoice::default`] (and thus new sessions and the
+//! free-function shims) to the dense tableau. Both backends are always
+//! compiled and always selectable at runtime.
+//!
 //! # Examples
 //!
-//! ```
-//! use qava_lp::{Cmp, LinExpr, LpBuilder};
+//! Building and solving through an explicit session (what the synthesis
+//! layers do — every LP of a run shares one session, so structurally
+//! identical solves warm-start each other):
 //!
+//! ```
+//! use qava_lp::{Cmp, LinExpr, LpBuilder, LpSolver};
+//!
+//! let mut solver = LpSolver::new();
 //! let mut lp = LpBuilder::new();
 //! let x = lp.add_var("x");
 //! let y = lp.add_var("y");
@@ -37,9 +52,40 @@
 //! lp.constrain(LinExpr::new().term(x, 3.0).term(y, -1.0), Cmp::Ge, 0.0);
 //! lp.constrain(LinExpr::new().term(x, 1.0).term(y, -1.0), Cmp::Le, 2.0);
 //! lp.maximize(LinExpr::new().term(x, 3.0).term(y, 4.0));
-//! let sol = lp.solve()?;
+//! let sol = solver.solve(&lp)?;
 //! assert!((sol.objective - 34.0).abs() < 1e-7);
+//! assert_eq!(solver.stats().solves, 1);
 //! # Ok::<(), qava_lp::LpError>(())
+//! ```
+//!
+//! # Registering and selecting backends
+//!
+//! Sessions are born with the two built-ins, selected by policy or by
+//! name; external backends implement [`LpBackend`] against the
+//! presolved/equilibrated core form and plug in without touching any
+//! synthesis code:
+//!
+//! ```
+//! use qava_lp::{BackendChoice, CoreSolution, CscMatrix, LpBackend, LpError, LpSolver};
+//!
+//! struct MyBackend;
+//! impl LpBackend for MyBackend {
+//!     fn name(&self) -> &'static str { "mine" }
+//!     fn solve_core(
+//!         &self,
+//!         _costs: &[f64],
+//!         _a: &CscMatrix,
+//!         _b: &[f64],
+//!         _warm: Option<&[usize]>,
+//!     ) -> Result<CoreSolution, LpError> {
+//!         Err(LpError::PivotLimit) // a real backend solves here
+//!     }
+//! }
+//!
+//! let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+//! solver.register_backend(Box::new(MyBackend)); // registered AND selected
+//! assert_eq!(solver.backend_names(), vec!["sparse", "dense", "mine"]);
+//! assert!(solver.select_backend("sparse")); // …and back to a built-in
 //! ```
 
 mod csc;
@@ -47,27 +93,48 @@ mod expr;
 mod presolve;
 mod revised;
 mod simplex;
+mod solver;
 
 pub use csc::CscMatrix;
 pub use expr::{LinExpr, VarId};
-pub use revised::clear_warm_start_cache;
 pub use simplex::{solve_standard_dense, MAX_PIVOTS};
+pub use solver::{
+    BackendChoice, BackendTally, CoreSolution, DenseTableau, LpBackend, LpSolver, LpStats,
+    SparseRevised,
+};
 
 use presolve::StdRows;
 use qava_linalg::EPS;
+use std::cell::RefCell;
 
-/// Row/column cutovers below which [`LpBuilder::solve`] prefers the
-/// dense tableau; see the dispatch comment in `solve`.
-const DENSE_CUTOVER_ROWS: usize = 16;
-const DENSE_CUTOVER_COLS: usize = 96;
+thread_local! {
+    /// Per-thread default session backing the compatibility shims
+    /// ([`solve_standard`], [`LpBuilder::solve`]). In-workspace synthesis
+    /// threads explicit sessions instead; the default session keeps
+    /// external callers and quick tests working with warm starts intact.
+    static DEFAULT_SESSION: RefCell<LpSolver> = RefCell::new(LpSolver::new());
+}
+
+/// Runs `f` against this thread's default [`LpSolver`] session (the one
+/// behind [`solve_standard`] and [`LpBuilder::solve`]).
+pub fn with_default_solver<R>(f: impl FnOnce(&mut LpSolver) -> R) -> R {
+    DEFAULT_SESSION.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Clears the default session's warm-start cache (benchmarks use this to
+/// measure the cold path deterministically). Explicit sessions use
+/// [`LpSolver::clear_warm_start_cache`].
+pub fn clear_warm_start_cache() {
+    with_default_solver(|s| s.clear_warm_start_cache());
+}
 
 /// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) and returns the
 /// optimal `x`.
 ///
-/// This is the stable entry point for standard-form systems: it routes to
-/// the sparse revised simplex ([`crate`] docs) by default, or to the dense
-/// tableau oracle when the crate is built with the `dense-simplex`
-/// feature. Both paths perform the same max-norm equilibration.
+/// Compatibility shim: delegates to this thread's default [`LpSolver`]
+/// session (default backend policy, so the `dense-simplex` feature routes
+/// it through the dense tableau). New code should hold an explicit
+/// session and call [`LpSolver::solve_standard`].
 ///
 /// # Errors
 ///
@@ -78,25 +145,7 @@ pub fn solve_standard(
     a: &qava_linalg::Matrix,
     b: &[f64],
 ) -> Result<Vec<f64>, LpError> {
-    if cfg!(feature = "dense-simplex") {
-        return simplex::solve_standard_dense(costs, a, b);
-    }
-    let rows: Vec<Vec<(usize, f64)>> = (0..a.rows())
-        .map(|i| {
-            a.row(i)
-                .iter()
-                .enumerate()
-                .filter(|(_, &v)| v != 0.0)
-                .map(|(j, &v)| (j, v))
-                .collect()
-        })
-        .collect();
-    revised::solve_std_rows(StdRows {
-        costs: costs.to_vec(),
-        rows,
-        b: b.to_vec(),
-        ncols: a.cols(),
-    })
+    with_default_solver(|s| s.solve_standard(costs, a, b))
 }
 
 /// Comparison operator of a linear constraint.
@@ -256,8 +305,12 @@ impl LpBuilder {
         self.direction = Direction::Maximize;
     }
 
-    /// Runs the simplex solver (sparse revised by default, the dense
-    /// tableau oracle under the `dense-simplex` feature).
+    /// Runs the solver through this thread's **default session**.
+    ///
+    /// Compatibility shim for quick tests and external callers; synthesis
+    /// code threads an explicit [`LpSolver`] and calls
+    /// [`LpSolver::solve`] so warm starts and statistics stay with the
+    /// run.
     ///
     /// # Errors
     ///
@@ -265,26 +318,18 @@ impl LpBuilder {
     /// * [`LpError::Unbounded`] — the objective improves without bound;
     /// * [`LpError::PivotLimit`] — the solver gave up (pathological input).
     pub fn solve(&self) -> Result<LpSolution, LpError> {
+        with_default_solver(|s| self.solve_in(s))
+    }
+
+    /// Runs the solver inside an explicit session (equivalently,
+    /// [`LpSolver::solve`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`solve`](Self::solve).
+    pub fn solve_in(&self, solver: &mut LpSolver) -> Result<LpSolution, LpError> {
         let (std_rows, map) = self.lower();
-        // Hybrid dispatch: the sparse pipeline's fixed costs (pattern
-        // hashing, CSC assembly, periodic refactorization) dominate on
-        // the µs-scale models that polyhedron emptiness probes and small
-        // lower-bound encodings produce, where the dense tableau's
-        // constant factor wins. Large template LPs take the sparse
-        // revised path, where pricing in O(nnz) and warm starts pay off.
-        let tiny = std_rows.rows.len() <= DENSE_CUTOVER_ROWS
-            && std_rows.ncols <= DENSE_CUTOVER_COLS;
-        let x_std = if cfg!(feature = "dense-simplex") || tiny {
-            let mut a = qava_linalg::Matrix::zeros(std_rows.rows.len(), std_rows.ncols);
-            for (i, row) in std_rows.rows.iter().enumerate() {
-                for &(j, v) in row {
-                    a[(i, j)] += v;
-                }
-            }
-            simplex::solve_standard_dense(&std_rows.costs, &a, &std_rows.b)?
-        } else {
-            revised::solve_std_rows(std_rows)?
-        };
+        let x_std = solver.solve_std_rows(std_rows)?;
         let values = map.recover(&x_std);
         let objective: f64 = self.objective.iter().map(|&(j, c)| c * values[j]).sum();
         Ok(LpSolution { objective, values })

@@ -1,5 +1,5 @@
-//! Sparse revised simplex on standard form, with presolve, max-norm
-//! equilibration and a warm-start basis cache.
+//! Sparse revised simplex on equilibrated standard form — the
+//! [`SparseRevised`](crate::SparseRevised) backend core.
 //!
 //! The dense tableau ([`crate::simplex`]) updates an `m × (n + m)`
 //! tableau on every pivot. The revised method keeps only the `m × m`
@@ -9,116 +9,27 @@
 //! sparse Farkas/Handelman LPs where `nnz(A)` is a few percent of
 //! `m·n` — and the working set stays cache-sized.
 //!
-//! Pipeline per solve: presolve ([`crate::presolve`]) → equilibration
-//! (rows then columns to unit max-norm, same `[0.25, 4]` dead-band as
-//! the dense path) → warm start from the cached basis of a structurally
-//! identical LP if available, else textbook phase 1 with one artificial
-//! per row → Dantzig pricing with Bland fallback after degeneracy.
+//! Presolve, equilibration and the warm-start basis cache live in the
+//! [`LpSolver`](crate::LpSolver) session ([`crate::solver`]): this module
+//! only sees the scaled core system plus an optional warm basis, and
+//! reports the solution, the final basis (the session caches it per
+//! sparsity pattern) and the pivot count. A warm basis is refactorized
+//! (one `m × m` inversion) and — when still primal feasible — skips
+//! phase 1 and most phase-2 pivots; an infeasible or singular warm basis
+//! falls back to the cold two-phase path, so warm starts never change
+//! results, only speed.
 //!
-//! **Warm-start cache.** Synthesis solves long chains of LPs that share
-//! one sparsity pattern and differ only in a few numbers (the Ser
-//! ternary search re-solves the same model per ε probe). The final
-//! basis of each solve is cached per [`CscMatrix::pattern_hash`]; the
-//! next structurally identical LP refactorizes that basis (one `m × m`
-//! inversion) and — when still primal feasible — skips phase 1 and most
-//! phase-2 pivots. An infeasible or singular cached basis falls back to
-//! the cold path, so caching never changes results, only speed.
+//! The hot loops (`B⁻¹` row updates in [`Revised::pivot`], multiplier
+//! accumulation, pricing) run on the unrolled
+//! [`qava_linalg::vecops`] kernels.
 
 use crate::csc::CscMatrix;
-use crate::presolve::{self, StdRows};
 use crate::simplex::MAX_PIVOTS;
 use crate::LpError;
-use qava_linalg::{Matrix, EPS};
-use std::cell::RefCell;
-use std::collections::HashMap;
+use qava_linalg::{vecops, Matrix, EPS};
 
 /// Bland-fallback patience, matching the dense path.
 const DEGENERACY_PATIENCE: usize = 40;
-
-/// Cached warm-start bases per LP sparsity pattern (thread local: each
-/// synthesis runs on one thread, and suite parallelism is per-program).
-const CACHE_CAP: usize = 256;
-
-thread_local! {
-    static BASIS_CACHE: RefCell<HashMap<u64, Vec<usize>>> = RefCell::new(HashMap::new());
-}
-
-/// Clears the warm-start cache (benchmarks use this to measure the cold
-/// path deterministically).
-pub fn clear_warm_start_cache() {
-    BASIS_CACHE.with(|c| c.borrow_mut().clear());
-}
-
-/// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) from the sparse row
-/// form, returning the optimal `x` over all original columns.
-///
-/// # Errors
-///
-/// [`LpError::Infeasible`], [`LpError::Unbounded`], or
-/// [`LpError::PivotLimit`].
-pub fn solve_std_rows(lp: StdRows) -> Result<Vec<f64>, LpError> {
-    let (reduced, restore) = presolve::reduce(lp)?;
-    if reduced.rows.is_empty() {
-        // Fully presolved: the (empty) system is trivially feasible.
-        return if restore.unbounded_if_feasible {
-            Err(LpError::Unbounded)
-        } else {
-            Ok(restore.expand(&vec![0.0; reduced.ncols]))
-        };
-    }
-    let a = CscMatrix::from_sparse_rows(reduced.rows.len(), reduced.ncols, &reduced.rows);
-    let x = solve_csc(&reduced.costs, &a, &reduced.b)?;
-    if restore.unbounded_if_feasible {
-        // The reduced system is feasible, so the removed negative-cost
-        // empty column really is an improving ray.
-        return Err(LpError::Unbounded);
-    }
-    Ok(restore.expand(&x))
-}
-
-/// Equilibrates and solves a presolved standard-form LP in CSC form.
-fn solve_csc(costs: &[f64], a: &CscMatrix, b: &[f64]) -> Result<Vec<f64>, LpError> {
-    let m = a.rows();
-    let n = a.cols();
-    debug_assert_eq!(costs.len(), n);
-    debug_assert_eq!(b.len(), m);
-
-    // ---- Equilibration: rows then columns to unit max-norm. ----
-    let mut row_max = vec![0.0f64; m];
-    a.for_each(|r, _, v| row_max[r] = row_max[r].max(v.abs()));
-    let row_scale: Vec<f64> = row_max
-        .iter()
-        .map(|&r| if r > 0.0 && !(0.25..=4.0).contains(&r) { 1.0 / r } else { 1.0 })
-        .collect();
-    let mut col_max = vec![0.0f64; n];
-    a.for_each(|r, c, v| col_max[c] = col_max[c].max((v * row_scale[r]).abs()));
-    let col_scale: Vec<f64> = col_max
-        .iter()
-        .map(|&c| if c > 0.0 && !(0.25..=4.0).contains(&c) { 1.0 / c } else { 1.0 })
-        .collect();
-    let mut sa = a.clone();
-    sa.scale(&row_scale, &col_scale);
-    let sb: Vec<f64> = b.iter().zip(&row_scale).map(|(&v, &s)| v * s).collect();
-    let scaled_costs: Vec<f64> = costs.iter().zip(&col_scale).map(|(&c, &s)| c * s).collect();
-
-    let key = sa.pattern_hash();
-    let warm = BASIS_CACHE.with(|c| c.borrow().get(&key).cloned());
-    let (mut x, basis) = solve_equilibrated(&scaled_costs, &sa, &sb, warm)?;
-    if basis.iter().all(|&j| j < n) {
-        BASIS_CACHE.with(|c| {
-            let mut cache = c.borrow_mut();
-            if cache.len() >= CACHE_CAP {
-                cache.clear();
-            }
-            cache.insert(key, basis);
-        });
-    }
-    // Undo the column scaling (row scaling does not affect x).
-    for (xj, s) in x.iter_mut().zip(&col_scale) {
-        *xj *= s;
-    }
-    Ok(x)
-}
 
 /// The working state of a revised simplex run: basis, basis inverse and
 /// current basic solution. Artificial columns are virtual unit columns
@@ -135,6 +46,11 @@ struct Revised<'a> {
     /// pick up rounding noise as "improving" and pivot a column onto its
     /// own row forever.
     in_basis: Vec<bool>,
+    /// Total pivots performed, for solver-session statistics.
+    pivots: usize,
+    /// Reusable copy of the pivot row of `B⁻¹` so the rank-one update can
+    /// run as slice `axpy`s without aliasing the matrix.
+    pivot_row: Vec<f64>,
 }
 
 /// Refactorization cadence: rebuilding `B⁻¹` from the basis every so many
@@ -163,7 +79,7 @@ impl<'a> Revised<'a> {
                 in_basis[j] = true;
             }
         }
-        Revised { a, n, m, basis, binv, xb, in_basis }
+        Revised { a, n, m, basis, binv, xb, in_basis, pivots: 0, pivot_row: vec![0.0; m] }
     }
 
     /// Rebuilds `B⁻¹` and `x_B` from scratch off the current basis,
@@ -195,21 +111,17 @@ impl<'a> Revised<'a> {
                 .collect();
         }
     }
-    /// `B⁻¹ · column_j` (forward transformation).
+    /// `B⁻¹ · column_j` (forward transformation). Computed row-wise —
+    /// `u_i = Σ_r B⁻¹[i, r]·a[r, j]` is a gather dot against the `i`-th
+    /// row of `B⁻¹` — so the row-major matrix is walked contiguously.
     fn ftran(&self, j: usize) -> Vec<f64> {
         let m = self.m;
         if j >= self.n {
             let r = j - self.n;
             return (0..m).map(|i| self.binv[(i, r)]).collect();
         }
-        let mut u = vec![0.0; m];
         let (idx, vals) = self.a.col(j);
-        for (&r, &v) in idx.iter().zip(vals) {
-            for (i, ui) in u.iter_mut().enumerate() {
-                *ui += v * self.binv[(i, r)];
-            }
-        }
-        u
+        (0..m).map(|i| vecops::gather_dot(idx, vals, self.binv.row(i))).collect()
     }
 
     /// Simplex multipliers `yᵀ = c_Bᵀ B⁻¹` for the given full cost
@@ -221,9 +133,7 @@ impl<'a> Revised<'a> {
             let bj = self.basis[i];
             let cb = if bj < self.n { costs[bj] } else { art_cost };
             if cb != 0.0 {
-                for (k, yk) in y.iter_mut().enumerate() {
-                    *yk += cb * self.binv[(i, k)];
-                }
+                vecops::axpy(cb, self.binv.row(i), &mut y);
             }
         }
         y
@@ -303,25 +213,26 @@ impl<'a> Revised<'a> {
     }
 
     /// Pivots: column `col` enters, the basic variable of `row` leaves.
+    /// The `B⁻¹` rank-one update runs as one `axpy` per row against a
+    /// snapshot of the scaled pivot row.
     fn pivot(&mut self, row: usize, col: usize, u: &[f64]) {
         let m = self.m;
         debug_assert!(u[row].abs() > EPS, "pivot on (near-)zero element");
+        self.pivots += 1;
         let leaving = self.basis[row];
         if leaving < self.n {
             self.in_basis[leaving] = false;
         }
         self.in_basis[col] = true;
         let inv = 1.0 / u[row];
-        for k in 0..m {
-            self.binv[(row, k)] *= inv;
+        for v in self.binv.row_mut(row) {
+            *v *= inv;
         }
         self.xb[row] *= inv;
+        self.pivot_row.copy_from_slice(self.binv.row(row));
         for (i, &f) in u.iter().enumerate().take(m) {
             if i != row && f.abs() > EPS {
-                for k in 0..m {
-                    let v = self.binv[(row, k)];
-                    self.binv[(i, k)] -= f * v;
-                }
+                vecops::axpy(-f, &self.pivot_row, self.binv.row_mut(i));
                 self.xb[i] -= f * self.xb[row];
                 if self.xb[i].abs() < 1e-12 {
                     self.xb[i] = 0.0;
@@ -441,21 +352,36 @@ fn basis_inverse(a: &CscMatrix, basis: &[usize]) -> Option<Matrix> {
     bm.inverse()
 }
 
+/// Outcome of a revised-simplex core solve, reported back to the
+/// [`LpSolver`](crate::LpSolver) session.
+pub(crate) struct CoreOutcome {
+    /// Solution over the real columns.
+    pub x: Vec<f64>,
+    /// Final basis (cached by the session when artificial-free).
+    pub basis: Vec<usize>,
+    /// Pivots spent, including failed warm-start and watchdog-restart
+    /// attempts.
+    pub pivots: usize,
+    /// The supplied warm basis was accepted and ran to optimality.
+    pub warm_start_used: bool,
+}
+
 /// Two-phase (or warm-started) revised simplex on an equilibrated
-/// system. Returns the solution and the final basis.
-fn solve_equilibrated(
+/// system.
+pub(crate) fn solve_equilibrated(
     costs: &[f64],
     a: &CscMatrix,
     b: &[f64],
-    warm: Option<Vec<usize>>,
-) -> Result<(Vec<f64>, Vec<usize>), LpError> {
+    warm: Option<&[usize]>,
+) -> Result<CoreOutcome, LpError> {
     let m = a.rows();
     let n = a.cols();
+    let mut pivots = 0usize;
     if m == 0 {
         return if costs.iter().any(|&c| c < -EPS) {
             Err(LpError::Unbounded)
         } else {
-            Ok((vec![0.0; n], Vec::new()))
+            Ok(CoreOutcome { x: vec![0.0; n], basis: Vec::new(), pivots, warm_start_used: false })
         };
     }
 
@@ -468,14 +394,21 @@ fn solve_equilibrated(
     // Unbounded is a verified verdict and is returned.)
     if let Some(basis) = warm {
         if basis.len() == m && basis.iter().all(|&j| j < n) {
-            if let Some(binv) = basis_inverse(a, &basis) {
+            if let Some(binv) = basis_inverse(a, basis) {
                 let xb = binv.mul_vec(b);
                 if xb.iter().all(|&v| v >= -1e-9) {
                     let xb = xb.into_iter().map(|v| v.max(0.0)).collect();
-                    let mut state = Revised::new(a, basis, binv, xb);
-                    match state.run(costs, 0.0, b, false) {
+                    let mut state = Revised::new(a, basis.to_vec(), binv, xb);
+                    let run = state.run(costs, 0.0, b, false);
+                    pivots += state.pivots;
+                    match run {
                         Ok(RunOutcome::Optimal) => {
-                            return Ok((state.solution(), state.basis));
+                            return Ok(CoreOutcome {
+                                x: state.solution(),
+                                basis: state.basis,
+                                pivots,
+                                warm_start_used: true,
+                            });
                         }
                         Ok(RunOutcome::LostFeasibility) | Err(LpError::PivotLimit) => {}
                         Err(e) => return Err(e),
@@ -486,13 +419,20 @@ fn solve_equilibrated(
     }
 
     // Cold two-phase; retried once in all-Bland mode if the feasibility
-    // watchdog fires (pathological conditioning).
-    match cold_two_phase(costs, a, b, false)? {
-        Some(result) => Ok(result),
-        None => match cold_two_phase(costs, a, b, true)? {
-            Some(result) => Ok(result),
-            None => Err(LpError::PivotLimit),
-        },
+    // watchdog fires (pathological conditioning) — or if the Dantzig
+    // attempt ground into the pivot limit: the pathological walk3d-style
+    // LPs can cycle for tens of thousands of degenerate pivots under
+    // Dantzig pricing, while Bland's rule terminates by construction.
+    match cold_two_phase(costs, a, b, false, &mut pivots) {
+        Ok(Some((x, basis))) => {
+            return Ok(CoreOutcome { x, basis, pivots, warm_start_used: false })
+        }
+        Ok(None) | Err(LpError::PivotLimit) => {}
+        Err(e) => return Err(e),
+    }
+    match cold_two_phase(costs, a, b, true, &mut pivots)? {
+        Some((x, basis)) => Ok(CoreOutcome { x, basis, pivots, warm_start_used: false }),
+        None => Err(LpError::PivotLimit),
     }
 }
 
@@ -504,6 +444,7 @@ fn cold_two_phase(
     a: &CscMatrix,
     b: &[f64],
     force_bland: bool,
+    pivots: &mut usize,
 ) -> Result<Option<(Vec<f64>, Vec<usize>)>, LpError> {
     let m = a.rows();
     let n = a.cols();
@@ -511,11 +452,20 @@ fn cold_two_phase(
     // ---- Phase 1: artificial identity basis, minimize their sum. ----
     let mut state = Revised::new(a, (n..n + m).collect(), Matrix::identity(m), b.to_vec());
     let phase1_costs = vec![0.0; n];
-    if state.run(&phase1_costs, 1.0, b, force_bland)? == RunOutcome::LostFeasibility {
+    let phase1 = match state.run(&phase1_costs, 1.0, b, force_bland) {
+        Ok(outcome) => outcome,
+        Err(e) => {
+            *pivots += state.pivots;
+            return Err(e);
+        }
+    };
+    if phase1 == RunOutcome::LostFeasibility {
+        *pivots += state.pivots;
         return Ok(None);
     }
     let b_norm = b.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
     if state.objective(&phase1_costs, 1.0) > 1e-7 * (1.0 + b_norm) {
+        *pivots += state.pivots;
         return Err(LpError::Infeasible);
     }
 
@@ -524,7 +474,7 @@ fn cold_two_phase(
     // their artificial basic at value 0 (it can never re-enter).
     for i in 0..m {
         if state.basis[i] >= n {
-            let row_i: Vec<f64> = (0..m).map(|k| state.binv[(i, k)]).collect();
+            let row_i: Vec<f64> = state.binv.row(i).to_vec();
             let found = (0..n).find(|&j| state.a.col_dot(j, &row_i).abs() > 1e-7);
             if let Some(j) = found {
                 let u = state.ftran(j);
@@ -535,7 +485,9 @@ fn cold_two_phase(
 
     // ---- Phase 2: real costs. Artificials cannot re-enter: `entering`
     // only prices real columns. ----
-    if state.run(costs, 0.0, b, force_bland)? == RunOutcome::LostFeasibility {
+    let phase2 = state.run(costs, 0.0, b, force_bland);
+    *pivots += state.pivots;
+    if phase2? == RunOutcome::LostFeasibility {
         return Ok(None);
     }
     Ok(Some((state.solution(), state.basis)))
@@ -543,13 +495,18 @@ fn cold_two_phase(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    use crate::presolve::StdRows;
+    use crate::{BackendChoice, LpError, LpSolver};
 
     fn rows_of(dense: Vec<Vec<f64>>) -> Vec<Vec<(usize, f64)>> {
         dense
             .into_iter()
             .map(|r| r.iter().enumerate().filter(|(_, &v)| v != 0.0).map(|(j, &v)| (j, v)).collect())
             .collect()
+    }
+
+    fn solve_std_rows(lp: StdRows) -> Result<Vec<f64>, LpError> {
+        LpSolver::with_choice(BackendChoice::Sparse).solve_std_rows(lp)
     }
 
     fn solve(costs: Vec<f64>, rows: Vec<Vec<f64>>, b: Vec<f64>) -> Result<Vec<f64>, LpError> {
@@ -576,26 +533,29 @@ mod tests {
 
     #[test]
     fn warm_start_reuses_basis() {
-        clear_warm_start_cache();
-        // Same pattern solved twice with nearby numbers; second solve must
-        // produce the same optimum through the warm path.
+        // Same pattern solved twice with nearby numbers in ONE session;
+        // the second solve must produce the same optimum through the warm
+        // path, and the session must record the cache hit.
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
         for rhs in [1.0, 1.1] {
-            let x = solve(
-                vec![-1.0, -2.0, 0.0, 0.0],
-                vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0, 1.0]],
-                vec![rhs, 0.5],
-            )
-            .unwrap();
+            let x = solver
+                .solve_std_rows(StdRows {
+                    costs: vec![-1.0, -2.0, 0.0, 0.0],
+                    rows: rows_of(vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0, 1.0]]),
+                    b: vec![rhs, 0.5],
+                    ncols: 4,
+                })
+                .unwrap();
             let obj = -x[0] - 2.0 * x[1];
             let expect = -2.0 * rhs;
             assert!((obj - expect).abs() < 1e-7, "rhs {rhs}: got {obj}, want {expect}");
         }
+        assert_eq!(solver.stats().warm_start_hits, 1, "second solve warm-starts");
     }
 
 
     #[test]
     fn polylow_cycling_repro() {
-        clear_warm_start_cache();
         let costs = vec![-1.0, 1.0, -1.0, 1.0, -1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0];
         let b = vec![-0.0, -0.0, -0.0, 0.0009994998332499509, -0.0, -0.0, -0.0, -0.0, -0.0, -0.0];
         let rows: Vec<Vec<(usize, f64)>> = vec![

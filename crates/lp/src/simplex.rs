@@ -6,11 +6,14 @@
 //! Pricing is Dantzig (most negative reduced cost) until a degeneracy
 //! counter trips, after which Bland's rule guarantees termination.
 //!
-//! This is the **legacy dense path**, superseded by the sparse revised
-//! simplex in [`crate::revised`]. It is kept fully functional as the
-//! differential-testing oracle ([`solve_standard_dense`]) and can be
-//! routed back under [`crate::solve_standard`] with the `dense-simplex`
-//! feature.
+//! This is the **dense tableau backend**: registered as the
+//! [`DenseTableau`](crate::DenseTableau) implementation of the
+//! [`LpBackend`](crate::LpBackend) trait (where it receives
+//! already-presolved, already-equilibrated systems from the
+//! [`LpSolver`](crate::LpSolver) session), and kept fully functional as a
+//! standalone differential-testing oracle ([`solve_standard_dense`]).
+//! Building with the `dense-simplex` feature makes it the default backend
+//! of new sessions.
 
 use crate::LpError;
 use qava_linalg::{Matrix, EPS};
@@ -75,16 +78,34 @@ pub fn solve_standard_dense(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<
         }
     }
     let scaled_costs: Vec<f64> = costs.iter().zip(&col_scale).map(|(c, s)| c * s).collect();
-    let mut x = solve_standard_unscaled(&scaled_costs, &sa, &sb)?;
+    let mut pivots = 0usize;
+    let mut x = solve_standard_unscaled(&scaled_costs, &sa, &sb, &mut pivots)?;
     for (xj, s) in x.iter_mut().zip(&col_scale) {
         *xj *= s;
     }
     Ok(x)
 }
 
-fn solve_standard_unscaled(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<f64>, LpError> {
+/// Core two-phase solve on an **already equilibrated** system; entry point
+/// of the [`DenseTableau`](crate::DenseTableau) backend, which receives
+/// scaled systems from the session pipeline. Adds the pivots spent to
+/// `pivots`.
+pub(crate) fn solve_standard_unscaled(
+    costs: &[f64],
+    a: &Matrix,
+    b: &[f64],
+    pivots: &mut usize,
+) -> Result<Vec<f64>, LpError> {
     let m = a.rows();
     let n = a.cols();
+
+    if m == 0 {
+        return if costs.iter().any(|&c| c < -EPS) {
+            Err(LpError::Unbounded)
+        } else {
+            Ok(vec![0.0; n])
+        };
+    }
 
     // ---- Phase 1: artificial columns n..n+m with identity basis. ----
     let mut t = Tableau::new(a, b, n + m);
@@ -118,6 +139,7 @@ fn solve_standard_unscaled(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<f
     t.banned_from = n;
     t.install_costs(&phase2_costs);
     t.run()?;
+    *pivots += t.pivots;
 
     let mut x = vec![0.0; n];
     for i in 0..m {
@@ -141,6 +163,8 @@ struct Tableau {
     /// Columns `>= banned_from` may never enter the basis (artificials in
     /// phase 2).
     banned_from: usize,
+    /// Total pivots performed, for solver-session statistics.
+    pivots: usize,
 }
 
 impl Tableau {
@@ -157,6 +181,7 @@ impl Tableau {
             obj: 0.0,
             basis: vec![usize::MAX; m],
             banned_from: total_cols,
+            pivots: 0,
         }
     }
 
@@ -184,6 +209,7 @@ impl Tableau {
     /// Pivots on `(row, col)`: `col` enters the basis, the old basic of
     /// `row` leaves.
     fn pivot(&mut self, row: usize, col: usize) {
+        self.pivots += 1;
         let pv = self.body[(row, col)];
         debug_assert!(pv.abs() > EPS, "pivot on (near-)zero element");
         let inv = 1.0 / pv;

@@ -1,0 +1,800 @@
+//! Runtime LP backend dispatch: the [`LpBackend`] trait and the
+//! [`LpSolver`] session.
+//!
+//! Backend choice used to be a compile-time cargo feature and every
+//! caller went through a bare free function, which made per-problem-class
+//! dispatch, cross-solve warm starting and solver telemetry impossible.
+//! This module promotes the choice to runtime:
+//!
+//! * [`LpBackend`] is the pluggable core-solver interface. A backend
+//!   receives a **presolved, equilibrated** standard-form system
+//!   `min cᵀx, A·x = b, x ≥ 0` (`b ≥ 0`) in CSC form plus an optional
+//!   warm-start basis, and reports the solution, the final basis (when it
+//!   supports warm starts) and the pivots it spent. [`SparseRevised`] and
+//!   [`DenseTableau`] are the built-in implementations; external backends
+//!   (LU-update simplex, interior point, …) implement the same trait and
+//!   are attached with [`LpSolver::register_backend`].
+//! * [`LpSolver`] is the per-synthesis **session**: it owns the shared
+//!   pipeline (presolve → equilibration → warm-start lookup → backend →
+//!   solution restore), the selection policy ([`BackendChoice`]), the
+//!   bounded LRU warm-start basis cache, and cumulative [`LpStats`].
+//!
+//! One synthesis run threads a single session through every LP it
+//! creates, so warm starts flow across the whole ε ternary search instead
+//! of through ambient per-thread globals, and `qava --suite` can report
+//! per-backend solve statistics.
+
+use crate::csc::CscMatrix;
+use crate::presolve::{self, StdRows};
+use crate::{revised, simplex, LpBuilder, LpError, LpSolution};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Row/column cutovers below which [`BackendChoice::Auto`] prefers the
+/// dense tableau: the sparse pipeline's fixed costs (pattern hashing,
+/// basis refactorization) dominate on the µs-scale models that
+/// polyhedron emptiness probes produce, where the dense tableau's
+/// constant factor wins. Measured on the reduced (post-presolve) system.
+const DENSE_CUTOVER_ROWS: usize = 16;
+const DENSE_CUTOVER_COLS: usize = 96;
+
+/// Default capacity of the session's warm-start basis cache.
+const DEFAULT_CACHE_CAPACITY: usize = 256;
+
+/// What a backend returns for one core solve.
+#[derive(Debug, Clone)]
+pub struct CoreSolution {
+    /// Optimal solution over the real columns of the core system.
+    pub x: Vec<f64>,
+    /// Final basis, if the backend can produce one for warm starting the
+    /// next structurally identical solve; `None` for basis-free backends
+    /// (the session then simply never caches).
+    pub basis: Option<Vec<usize>>,
+    /// Simplex pivots (or backend iterations) spent.
+    pub pivots: usize,
+    /// The supplied warm basis was accepted and drove the solve.
+    pub warm_start_used: bool,
+}
+
+/// A pluggable LP core solver.
+///
+/// Implementations solve `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) on a
+/// system the session has already presolved and max-norm equilibrated.
+/// They must be deterministic: the differential property tests run every
+/// instance through all registered backends and require verdict and
+/// objective agreement.
+pub trait LpBackend {
+    /// Short stable name, used for selection ([`LpSolver::select_backend`])
+    /// and statistics ([`LpStats::backends`]).
+    fn name(&self) -> &'static str;
+
+    /// Whether this backend consumes warm-start bases. When `false` (the
+    /// default) the session skips the pattern-hash and cache machinery
+    /// entirely for solves routed here — the per-solve fixed cost matters
+    /// on the µs-scale models the dense tableau exists for.
+    fn supports_warm_start(&self) -> bool {
+        false
+    }
+
+    /// Solves one equilibrated core system.
+    ///
+    /// `warm` is the final basis of a previous solve with the same
+    /// sparsity pattern; backends without warm-start support ignore it.
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::PivotLimit`].
+    fn solve_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        warm: Option<&[usize]>,
+    ) -> Result<CoreSolution, LpError>;
+}
+
+/// The sparse revised simplex backend (CSC pricing, `B⁻¹` updates,
+/// warm-startable; see [`crate::revised`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SparseRevised;
+
+impl LpBackend for SparseRevised {
+    fn name(&self) -> &'static str {
+        "sparse"
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn solve_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        warm: Option<&[usize]>,
+    ) -> Result<CoreSolution, LpError> {
+        let out = revised::solve_equilibrated(costs, a, b, warm)?;
+        Ok(CoreSolution {
+            x: out.x,
+            basis: Some(out.basis),
+            pivots: out.pivots,
+            warm_start_used: out.warm_start_used,
+        })
+    }
+}
+
+/// The dense two-phase tableau backend (see [`crate::simplex`]). No
+/// warm-start support; kept both as the small-model fast path of
+/// [`BackendChoice::Auto`] and as the differential-testing oracle.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DenseTableau;
+
+impl LpBackend for DenseTableau {
+    fn name(&self) -> &'static str {
+        "dense"
+    }
+
+    fn solve_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        _warm: Option<&[usize]>,
+    ) -> Result<CoreSolution, LpError> {
+        let dense = a.to_dense();
+        let mut pivots = 0usize;
+        let x = simplex::solve_standard_unscaled(costs, &dense, b, &mut pivots)?;
+        Ok(CoreSolution { x, basis: None, pivots, warm_start_used: false })
+    }
+}
+
+/// Backend selection policy of a session.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendChoice {
+    /// Hybrid dispatch: tiny reduced systems (≤ 16 rows, ≤ 96 columns)
+    /// take the dense tableau, everything else the sparse revised
+    /// simplex. This is the default unless the crate is built with the
+    /// `dense-simplex` feature, which flips the default to
+    /// [`BackendChoice::Dense`].
+    #[cfg_attr(not(feature = "dense-simplex"), default)]
+    Auto,
+    /// Always the sparse revised simplex.
+    Sparse,
+    /// Always the dense tableau.
+    #[cfg_attr(feature = "dense-simplex", default)]
+    Dense,
+}
+
+impl std::str::FromStr for BackendChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "auto" => Ok(BackendChoice::Auto),
+            "sparse" => Ok(BackendChoice::Sparse),
+            "dense" => Ok(BackendChoice::Dense),
+            other => Err(format!("unknown LP backend `{other}` (expected auto, sparse, or dense)")),
+        }
+    }
+}
+
+impl BackendChoice {
+    /// Scans raw CLI arguments for `--lp-backend <value>` (last
+    /// occurrence wins) — the one shared implementation of the flag for
+    /// every binary that exposes it. Returns `Ok(None)` when absent.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the flag has no value or an unknown
+    /// one.
+    pub fn from_args(args: &[String]) -> Result<Option<BackendChoice>, String> {
+        let mut found = None;
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if a == "--lp-backend" {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--lp-backend needs auto, sparse, or dense".to_string())?;
+                found = Some(v.parse()?);
+            }
+        }
+        Ok(found)
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            BackendChoice::Auto => "auto",
+            BackendChoice::Sparse => "sparse",
+            BackendChoice::Dense => "dense",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Per-backend share of a session's statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BackendTally {
+    /// Backend name ([`LpBackend::name`]).
+    pub name: &'static str,
+    /// Core solves routed to this backend.
+    pub solves: usize,
+    /// Pivots spent by this backend.
+    pub pivots: usize,
+    /// Wall time inside the backend, seconds.
+    pub wall_seconds: f64,
+}
+
+/// Cumulative statistics of an [`LpSolver`] session. Mergeable across
+/// sessions ([`LpStats::merge`]) so the parallel suite driver can report
+/// fleet-wide totals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LpStats {
+    /// Standard-form solves requested (including presolve-only ones).
+    pub solves: usize,
+    /// Total simplex pivots across all backends.
+    pub pivots: usize,
+    /// Constraint rows removed by presolve.
+    pub presolve_rows_removed: usize,
+    /// Columns removed by presolve (fixed or empty).
+    pub presolve_cols_removed: usize,
+    /// Cached warm-start bases that were accepted and drove a solve.
+    pub warm_start_hits: usize,
+    /// Core solves on warm-capable backends that ran cold (no cached
+    /// basis, or it was rejected). Backends without warm-start support
+    /// are not counted here.
+    pub warm_start_misses: usize,
+    /// Warm-start cache entries evicted by the LRU capacity bound.
+    pub cache_evictions: usize,
+    /// Total wall time in the solve pipeline, seconds.
+    pub wall_seconds: f64,
+    /// Per-backend breakdown, in first-use order.
+    pub backends: Vec<BackendTally>,
+}
+
+impl LpStats {
+    /// Folds another session's counters into this one (suite aggregation).
+    pub fn merge(&mut self, other: &LpStats) {
+        self.solves += other.solves;
+        self.pivots += other.pivots;
+        self.presolve_rows_removed += other.presolve_rows_removed;
+        self.presolve_cols_removed += other.presolve_cols_removed;
+        self.warm_start_hits += other.warm_start_hits;
+        self.warm_start_misses += other.warm_start_misses;
+        self.cache_evictions += other.cache_evictions;
+        self.wall_seconds += other.wall_seconds;
+        for t in &other.backends {
+            self.tally_mut(t.name).fold(t);
+        }
+    }
+
+    fn tally_mut(&mut self, name: &'static str) -> &mut BackendTally {
+        if let Some(pos) = self.backends.iter().position(|t| t.name == name) {
+            return &mut self.backends[pos];
+        }
+        self.backends.push(BackendTally { name, solves: 0, pivots: 0, wall_seconds: 0.0 });
+        self.backends.last_mut().expect("just pushed")
+    }
+}
+
+impl std::fmt::Display for LpStats {
+    /// Human-readable multi-line summary (the `qava --suite` footer).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "lp: {} solves, {} pivots, {:.3}s; presolve removed {} rows / {} cols; \
+             warm start {} hits / {} misses, {} evictions",
+            self.solves,
+            self.pivots,
+            self.wall_seconds,
+            self.presolve_rows_removed,
+            self.presolve_cols_removed,
+            self.warm_start_hits,
+            self.warm_start_misses,
+            self.cache_evictions,
+        )?;
+        for t in &self.backends {
+            writeln!(
+                f,
+                "lp[{}]: {} solves, {} pivots, {:.3}s",
+                t.name, t.solves, t.pivots, t.wall_seconds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Bounded LRU map from LP sparsity pattern to final basis.
+#[derive(Debug, Default)]
+struct BasisCache {
+    capacity: usize,
+    /// Logical clock for recency; bumped on every touch.
+    tick: u64,
+    map: HashMap<u64, (Vec<usize>, u64)>,
+}
+
+impl BasisCache {
+    fn new(capacity: usize) -> Self {
+        BasisCache { capacity, tick: 0, map: HashMap::new() }
+    }
+
+    fn get(&mut self, key: u64) -> Option<Vec<usize>> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(&key).map(|(basis, used)| {
+            *used = tick;
+            basis.clone()
+        })
+    }
+
+    /// Inserts, returning the number of entries evicted to stay bounded.
+    fn put(&mut self, key: u64, basis: Vec<usize>) -> usize {
+        if self.capacity == 0 {
+            return 0;
+        }
+        self.tick += 1;
+        let mut evicted = 0;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity && self.evict_lru() {
+            evicted = 1;
+        }
+        self.map.insert(key, (basis, self.tick));
+        evicted
+    }
+
+    /// Removes the least-recently-used entry (linear scan: the cache is
+    /// small by construction). Returns `false` when empty.
+    fn evict_lru(&mut self) -> bool {
+        match self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(&k, _)| k) {
+            Some(victim) => {
+                self.map.remove(&victim);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+/// An LP solver **session**: backend registry and selection policy, the
+/// warm-start basis cache, and cumulative statistics.
+///
+/// Synthesis code creates one session per run and threads it through
+/// every LP (`solver.solve(&builder)`), so structurally identical LPs
+/// warm-start each other within the run without any ambient state. See
+/// the crate docs for a registration/selection example.
+pub struct LpSolver {
+    backends: Vec<Box<dyn LpBackend>>,
+    /// `Auto` applies the size cutover between `sparse_idx`/`dense_idx`;
+    /// `Fixed` pins one registered backend.
+    selection: Selection,
+    sparse_idx: usize,
+    dense_idx: usize,
+    cache: BasisCache,
+    stats: LpStats,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Selection {
+    Auto,
+    Fixed(usize),
+}
+
+impl Default for LpSolver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for LpSolver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LpSolver")
+            .field("backends", &self.backend_names())
+            .field("selection", &self.selection)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl LpSolver {
+    /// Creates a session with the built-in backends and the default
+    /// policy: [`BackendChoice::Auto`], or [`BackendChoice::Dense`] when
+    /// the crate is built with the `dense-simplex` feature.
+    pub fn new() -> Self {
+        Self::with_choice(BackendChoice::default())
+    }
+
+    /// Creates a session with an explicit built-in selection policy.
+    pub fn with_choice(choice: BackendChoice) -> Self {
+        let mut s = LpSolver {
+            backends: vec![Box::new(SparseRevised), Box::new(DenseTableau)],
+            selection: Selection::Auto,
+            sparse_idx: 0,
+            dense_idx: 1,
+            cache: BasisCache::new(DEFAULT_CACHE_CAPACITY),
+            stats: LpStats::default(),
+        };
+        s.set_choice(choice);
+        s
+    }
+
+    /// Switches between the built-in policies at runtime.
+    pub fn set_choice(&mut self, choice: BackendChoice) {
+        self.selection = match choice {
+            BackendChoice::Auto => Selection::Auto,
+            BackendChoice::Sparse => Selection::Fixed(self.sparse_idx),
+            BackendChoice::Dense => Selection::Fixed(self.dense_idx),
+        };
+    }
+
+    /// Registers an additional backend and selects it. The backend stays
+    /// registered (and re-selectable by name) if the policy is changed
+    /// later.
+    pub fn register_backend(&mut self, backend: Box<dyn LpBackend>) {
+        self.backends.push(backend);
+        self.selection = Selection::Fixed(self.backends.len() - 1);
+    }
+
+    /// Pins the backend with the given [`name`](LpBackend::name); returns
+    /// `false` (leaving the selection unchanged) when no such backend is
+    /// registered.
+    pub fn select_backend(&mut self, name: &str) -> bool {
+        match self.backends.iter().position(|b| b.name() == name) {
+            Some(idx) => {
+                self.selection = Selection::Fixed(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Names of all registered backends, in registration order.
+    pub fn backend_names(&self) -> Vec<&'static str> {
+        self.backends.iter().map(|b| b.name()).collect()
+    }
+
+    /// Cumulative statistics since creation (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> &LpStats {
+        &self.stats
+    }
+
+    /// Returns the accumulated statistics, leaving zeroed counters behind.
+    pub fn take_stats(&mut self) -> LpStats {
+        std::mem::take(&mut self.stats)
+    }
+
+    /// Zeroes the statistics.
+    pub fn reset_stats(&mut self) {
+        self.stats = LpStats::default();
+    }
+
+    /// Re-bounds the warm-start cache, evicting least-recently-used
+    /// entries down to the new capacity immediately. Capacity 0 disables
+    /// caching.
+    pub fn set_cache_capacity(&mut self, capacity: usize) {
+        self.cache.capacity = capacity;
+        while self.cache.map.len() > capacity && self.cache.evict_lru() {
+            self.stats.cache_evictions += 1;
+        }
+    }
+
+    /// Drops every cached warm-start basis (benchmarks use this to
+    /// measure the cold path deterministically).
+    pub fn clear_warm_start_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    /// Solves a built model; the session-threaded equivalent of
+    /// [`LpBuilder::solve`].
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::PivotLimit`].
+    pub fn solve(&mut self, lp: &LpBuilder) -> Result<LpSolution, LpError> {
+        lp.solve_in(self)
+    }
+
+    /// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) and returns the
+    /// optimal `x`; the session-threaded equivalent of
+    /// [`crate::solve_standard`].
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::PivotLimit`].
+    pub fn solve_standard(
+        &mut self,
+        costs: &[f64],
+        a: &qava_linalg::Matrix,
+        b: &[f64],
+    ) -> Result<Vec<f64>, LpError> {
+        let rows: Vec<Vec<(usize, f64)>> = (0..a.rows())
+            .map(|i| {
+                a.row(i)
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &v)| v != 0.0)
+                    .map(|(j, &v)| (j, v))
+                    .collect()
+            })
+            .collect();
+        self.solve_std_rows(StdRows {
+            costs: costs.to_vec(),
+            rows,
+            b: b.to_vec(),
+            ncols: a.cols(),
+        })
+    }
+
+    /// The shared solve pipeline: presolve → equilibration → warm-start
+    /// lookup → selected backend → cache update → solution restore.
+    pub(crate) fn solve_std_rows(&mut self, lp: StdRows) -> Result<Vec<f64>, LpError> {
+        let started = Instant::now();
+        self.stats.solves += 1;
+        let out = self.pipeline(lp);
+        self.stats.wall_seconds += started.elapsed().as_secs_f64();
+        out
+    }
+
+    fn pipeline(&mut self, lp: StdRows) -> Result<Vec<f64>, LpError> {
+        let orig_rows = lp.rows.len();
+        let orig_cols = lp.ncols;
+        let (reduced, restore) = presolve::reduce(lp)?;
+        self.stats.presolve_rows_removed += orig_rows - reduced.rows.len();
+        self.stats.presolve_cols_removed += orig_cols - reduced.ncols;
+        if reduced.rows.is_empty() {
+            // Fully presolved: the (empty) system is trivially feasible.
+            return if restore.unbounded_if_feasible {
+                Err(LpError::Unbounded)
+            } else {
+                Ok(restore.expand(&vec![0.0; reduced.ncols]))
+            };
+        }
+
+        let a = CscMatrix::from_sparse_rows(reduced.rows.len(), reduced.ncols, &reduced.rows);
+        let m = a.rows();
+        let n = a.cols();
+
+        // ---- Equilibration: rows then columns to unit max-norm, with the
+        // [0.25, 4] dead-band shared by every backend. ----
+        let mut row_max = vec![0.0f64; m];
+        a.for_each(|r, _, v| row_max[r] = row_max[r].max(v.abs()));
+        let row_scale: Vec<f64> = row_max
+            .iter()
+            .map(|&r| if r > 0.0 && !(0.25..=4.0).contains(&r) { 1.0 / r } else { 1.0 })
+            .collect();
+        let mut col_max = vec![0.0f64; n];
+        a.for_each(|r, c, v| col_max[c] = col_max[c].max((v * row_scale[r]).abs()));
+        let col_scale: Vec<f64> = col_max
+            .iter()
+            .map(|&c| if c > 0.0 && !(0.25..=4.0).contains(&c) { 1.0 / c } else { 1.0 })
+            .collect();
+        let mut sa = a;
+        sa.scale(&row_scale, &col_scale);
+        let sb: Vec<f64> = reduced.b.iter().zip(&row_scale).map(|(&v, &s)| v * s).collect();
+        let scaled_costs: Vec<f64> =
+            reduced.costs.iter().zip(&col_scale).map(|(&c, &s)| c * s).collect();
+
+        // ---- Backend selection and warm-start lookup. ----
+        let idx = match self.selection {
+            Selection::Fixed(idx) => idx,
+            Selection::Auto => {
+                if m <= DENSE_CUTOVER_ROWS && n <= DENSE_CUTOVER_COLS {
+                    self.dense_idx
+                } else {
+                    self.sparse_idx
+                }
+            }
+        };
+        let backend = &self.backends[idx];
+        // Warm-start bookkeeping (pattern hash, cache lookup, hit/miss
+        // counters) only for backends that can consume a basis; the
+        // dense tableau's whole point is a minimal per-solve fixed cost.
+        let warm_capable = backend.supports_warm_start();
+        let key = if warm_capable { sa.pattern_hash() } else { 0 };
+        let warm = if warm_capable { self.cache.get(key) } else { None };
+
+        let backend_started = Instant::now();
+        let core = backend.solve_core(&scaled_costs, &sa, &sb, warm.as_deref());
+        let backend_wall = backend_started.elapsed().as_secs_f64();
+        let name = backend.name();
+        let pivots = core.as_ref().map(|c| c.pivots).unwrap_or(0);
+        self.stats.pivots += pivots;
+        let tally = self.stats.tally_mut(name);
+        tally.solves += 1;
+        tally.pivots += pivots;
+        tally.wall_seconds += backend_wall;
+        let core = core?;
+        if warm_capable {
+            if core.warm_start_used {
+                self.stats.warm_start_hits += 1;
+            } else {
+                self.stats.warm_start_misses += 1;
+            }
+            if let Some(basis) = core.basis {
+                // Only artificial-free bases are reusable.
+                if basis.iter().all(|&j| j < n) {
+                    self.stats.cache_evictions += self.cache.put(key, basis);
+                }
+            }
+        }
+
+        // Undo the column scaling (row scaling does not affect x).
+        let mut x = core.x;
+        for (xj, s) in x.iter_mut().zip(&col_scale) {
+            *xj *= s;
+        }
+        if restore.unbounded_if_feasible {
+            // The reduced system is feasible, so the removed negative-cost
+            // empty column really is an improving ray.
+            return Err(LpError::Unbounded);
+        }
+        Ok(restore.expand(&x))
+    }
+}
+
+impl BackendTally {
+    fn fold(&mut self, other: &BackendTally) {
+        self.solves += other.solves;
+        self.pivots += other.pivots;
+        self.wall_seconds += other.wall_seconds;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Cmp, LinExpr};
+
+    fn simple_lp(rhs: f64) -> LpBuilder {
+        let mut lp = LpBuilder::new();
+        let x = lp.add_var_nonneg("x");
+        let y = lp.add_var_nonneg("y");
+        lp.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, rhs);
+        lp.maximize(LinExpr::new().term(x, 2.0).term(y, 1.0));
+        lp
+    }
+
+    #[test]
+    fn all_choices_agree_on_the_optimum() {
+        for choice in [BackendChoice::Auto, BackendChoice::Sparse, BackendChoice::Dense] {
+            let mut solver = LpSolver::with_choice(choice);
+            let sol = solver.solve(&simple_lp(3.0)).unwrap();
+            assert!((sol.objective - 6.0).abs() < 1e-7, "{choice}: {}", sol.objective);
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_reset() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        for rhs in [3.0, 4.0, 5.0] {
+            solver.solve(&simple_lp(rhs)).unwrap();
+        }
+        let stats = solver.stats().clone();
+        assert_eq!(stats.solves, 3);
+        assert_eq!(stats.backends.len(), 1);
+        assert_eq!(stats.backends[0].name, "sparse");
+        assert_eq!(stats.backends[0].solves, 3);
+        assert!(stats.warm_start_hits >= 1, "identical patterns must warm-start");
+        let taken = solver.take_stats();
+        assert_eq!(taken, stats);
+        assert_eq!(solver.stats().solves, 0);
+    }
+
+    #[test]
+    fn auto_routes_tiny_models_to_dense() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Auto);
+        solver.solve(&simple_lp(3.0)).unwrap();
+        assert_eq!(solver.stats().backends.len(), 1);
+        assert_eq!(solver.stats().backends[0].name, "dense");
+    }
+
+    #[test]
+    fn select_backend_by_name() {
+        let mut solver = LpSolver::new();
+        assert!(solver.select_backend("sparse"));
+        assert!(!solver.select_backend("interior-point"));
+        solver.solve(&simple_lp(3.0)).unwrap();
+        assert_eq!(solver.stats().backends[0].name, "sparse");
+    }
+
+    #[test]
+    fn lru_cache_bounded_with_correct_eviction() {
+        // Capacity 2, three distinct sparsity patterns solved round-robin
+        // repeatedly: the cache must evict, never exceed its bound, and
+        // every solve must stay correct.
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        solver.set_cache_capacity(2);
+        // Three patterns: different numbers of active columns.
+        let build = |pattern: usize, rhs: f64| {
+            let mut lp = LpBuilder::new();
+            let vars: Vec<_> =
+                (0..3 + pattern).map(|j| lp.add_var_nonneg(format!("x{j}"))).collect();
+            let mut e = LinExpr::new();
+            for (j, &v) in vars.iter().enumerate() {
+                e = e.term(v, 1.0 + j as f64);
+            }
+            lp.constrain(e, Cmp::Le, rhs);
+            for (j, &v) in vars.iter().enumerate() {
+                lp.constrain(LinExpr::var(v, 1.0), Cmp::Le, rhs / (1.0 + j as f64));
+            }
+            lp.maximize(LinExpr::var(vars[0], 1.0));
+            lp
+        };
+        for round in 0..4 {
+            for pattern in 0..3 {
+                let rhs = 6.0 + round as f64 + pattern as f64;
+                let sol = solver.solve(&build(pattern, rhs)).unwrap();
+                // x0 is capped by the singleton row x0 ≤ rhs.
+                assert!(
+                    (sol.objective - rhs).abs() < 1e-7,
+                    "round {round} pattern {pattern}: {}",
+                    sol.objective
+                );
+            }
+        }
+        assert!(solver.cache.map.len() <= 2, "cache exceeded its capacity");
+        assert!(solver.stats().cache_evictions > 0, "rotation through 3 patterns must evict");
+    }
+
+    #[test]
+    fn shrinking_capacity_evicts_down() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        for pattern in 0..3 {
+            let mut lp = LpBuilder::new();
+            let vars: Vec<_> =
+                (0..3 + pattern).map(|j| lp.add_var_nonneg(format!("x{j}"))).collect();
+            let mut e = LinExpr::new();
+            for &v in &vars {
+                e = e.term(v, 1.0);
+            }
+            lp.constrain(e, Cmp::Le, 1.0);
+            for &v in &vars {
+                lp.constrain(LinExpr::var(v, 1.0), Cmp::Le, 0.75);
+            }
+            lp.minimize(LinExpr::var(vars[0], 1.0));
+            solver.solve(&lp).unwrap();
+        }
+        assert!(solver.cache.map.len() >= 2, "distinct patterns fill the cache");
+        solver.set_cache_capacity(1);
+        assert!(solver.cache.map.len() <= 1);
+    }
+
+    #[test]
+    fn backend_choice_from_args() {
+        let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<String>>();
+        assert_eq!(BackendChoice::from_args(&args(&["--other"])).unwrap(), None);
+        assert_eq!(
+            BackendChoice::from_args(&args(&["--lp-backend", "dense"])).unwrap(),
+            Some(BackendChoice::Dense)
+        );
+        assert_eq!(
+            BackendChoice::from_args(&args(&["--lp-backend", "sparse", "--lp-backend", "auto"]))
+                .unwrap(),
+            Some(BackendChoice::Auto),
+            "last occurrence wins"
+        );
+        assert!(BackendChoice::from_args(&args(&["--lp-backend"])).is_err());
+        assert!(BackendChoice::from_args(&args(&["--lp-backend", "cuda"])).is_err());
+    }
+
+    #[test]
+    fn merge_combines_backend_tallies() {
+        let mut a = LpSolver::with_choice(BackendChoice::Sparse);
+        a.solve(&simple_lp(3.0)).unwrap();
+        let mut b = LpSolver::with_choice(BackendChoice::Dense);
+        b.solve(&simple_lp(4.0)).unwrap();
+        let mut total = a.take_stats();
+        total.merge(b.stats());
+        assert_eq!(total.solves, 2);
+        let names: Vec<_> = total.backends.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["sparse", "dense"]);
+    }
+}

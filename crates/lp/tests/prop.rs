@@ -132,17 +132,28 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------
-// Differential tests: sparse revised simplex vs the dense tableau
-// oracle on random standard-form LPs. `solve_standard` is the sparse
-// pipeline (presolve + equilibration + revised simplex + warm start);
-// `solve_standard_dense` is the legacy dense path kept exactly for this
-// purpose. The two must agree on the verdict (optimal / infeasible /
+// Differential tests: every backend registered through the `LpBackend`
+// trait on random standard-form LPs. Backends are selected **at
+// runtime** via `LpSolver` sessions — not via the `dense-simplex` cargo
+// feature — so both cores are exercised unconditionally in every build.
+// All backends must agree on the verdict (optimal / infeasible /
 // unbounded) and, when optimal, on the objective value — the argmin may
 // differ when the optimum face is not a vertex singleton.
 // ---------------------------------------------------------------------
 
 use qava_linalg::Matrix;
-use qava_lp::{solve_standard, solve_standard_dense, LpError};
+use qava_lp::{
+    BackendChoice, CoreSolution, CscMatrix, LpBackend, LpError, LpSolver, solve_standard_dense,
+};
+
+/// The runtime-selected backends every differential case runs through.
+const DIFF_BACKENDS: [BackendChoice; 2] = [BackendChoice::Sparse, BackendChoice::Dense];
+
+/// One fresh session per (case, backend): differential cases must not
+/// warm-start each other across proptest iterations.
+fn solve_with(choice: BackendChoice, inst: &StdLpInstance) -> Result<Vec<f64>, LpError> {
+    LpSolver::with_choice(choice).solve_standard(&inst.costs, &inst.matrix(), &inst.b)
+}
 
 /// A random standard-form LP `min cᵀx, A·x = b, x ≥ 0` that is feasible
 /// by construction (`b = A·x₀` for a non-negative `x₀`).
@@ -222,27 +233,28 @@ fn check_feasible(inst: &StdLpInstance, x: &[f64], tol: f64) -> Result<(), Strin
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(96))]
 
-    /// On feasible bounded LPs both solvers find an optimum of the same
-    /// value, and both report feasible points.
+    /// On feasible bounded LPs every backend finds an optimum of the same
+    /// value, and all report feasible points.
     #[test]
     fn differential_feasible(seed in any::<u64>()) {
         let inst = feasible_std_lp(seed);
-        let sparse = solve_standard(&inst.costs, &inst.matrix(), &inst.b)
-            .expect("sparse: constructed LP is feasible and bounded");
-        let dense = solve_standard_dense(&inst.costs, &inst.matrix(), &inst.b)
-            .expect("dense: constructed LP is feasible and bounded");
         let tol = 1e-6 * (1.0 + inst.b.iter().fold(0.0f64, |a, &v| a.max(v.abs())));
-        prop_assert!(check_feasible(&inst, &sparse, tol).is_ok(),
-            "sparse infeasible point: {:?}", check_feasible(&inst, &sparse, tol));
-        prop_assert!(check_feasible(&inst, &dense, tol).is_ok(),
-            "dense infeasible point: {:?}", check_feasible(&inst, &dense, tol));
-        let os = objective(&inst.costs, &sparse);
-        let od = objective(&inst.costs, &dense);
-        prop_assert!((os - od).abs() <= 1e-5 * (1.0 + os.abs().max(od.abs())),
-            "objective mismatch: sparse {os} vs dense {od}");
+        let mut objectives: Vec<(BackendChoice, f64)> = Vec::new();
+        for choice in DIFF_BACKENDS {
+            let x = solve_with(choice, &inst)
+                .expect("constructed LP is feasible and bounded");
+            prop_assert!(check_feasible(&inst, &x, tol).is_ok(),
+                "{choice} infeasible point: {:?}", check_feasible(&inst, &x, tol));
+            objectives.push((choice, objective(&inst.costs, &x)));
+        }
+        let (_, o0) = objectives[0];
+        for &(choice, o) in &objectives[1..] {
+            prop_assert!((o0 - o).abs() <= 1e-5 * (1.0 + o0.abs().max(o.abs())),
+                "objective mismatch: {} {o0} vs {choice} {o}", objectives[0].0);
+        }
     }
 
-    /// Appending a contradictory copy of a row makes both solvers report
+    /// Appending a contradictory copy of a row makes every backend report
     /// infeasibility.
     #[test]
     fn differential_infeasible(seed in any::<u64>()) {
@@ -251,17 +263,13 @@ proptest! {
         let clash_rhs = inst.b[0] + 3.0; // clearly conflicting duplicate
         inst.a.push(clash);
         inst.b.push(clash_rhs);
-        prop_assert_eq!(
-            solve_standard(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
-            LpError::Infeasible
-        );
-        prop_assert_eq!(
-            solve_standard_dense(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
-            LpError::Infeasible
-        );
+        for choice in DIFF_BACKENDS {
+            prop_assert_eq!(solve_with(choice, &inst).unwrap_err(), LpError::Infeasible,
+                "backend {}", choice);
+        }
     }
 
-    /// Adding a non-negative ray with negative cost makes both solvers
+    /// Adding a non-negative ray with negative cost makes every backend
     /// report unboundedness: the fresh column pair (v, −v) gives
     /// A·(e_j + e_k) = 0 with cost < 0.
     #[test]
@@ -275,15 +283,81 @@ proptest! {
         }
         inst.costs.push(-1.0);
         inst.costs.push(0.0);
-        prop_assert_eq!(
-            solve_standard(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
-            LpError::Unbounded
-        );
-        prop_assert_eq!(
-            solve_standard_dense(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
-            LpError::Unbounded
-        );
+        for choice in DIFF_BACKENDS {
+            prop_assert_eq!(solve_with(choice, &inst).unwrap_err(), LpError::Unbounded,
+                "backend {}", choice);
+        }
     }
+
+    /// Warm-started re-solves agree with cold solves of every backend:
+    /// one sparse session solves a drifting sequence of same-pattern LPs
+    /// (hitting the basis cache) and each solve is cross-checked against
+    /// a cold dense session.
+    #[test]
+    fn differential_warm_start_chain(seed in any::<u64>()) {
+        let inst = feasible_std_lp(seed);
+        let mut warm = LpSolver::with_choice(BackendChoice::Sparse);
+        for step in 0..4 {
+            let mut drifted = inst.clone();
+            for v in drifted.b.iter_mut() {
+                *v *= 1.0 + 0.05 * step as f64;
+            }
+            let xw = warm.solve_standard(&drifted.costs, &drifted.matrix(), &drifted.b)
+                .expect("scaled instance stays feasible and bounded");
+            let xc = solve_with(BackendChoice::Dense, &drifted)
+                .expect("cold dense solve of the same instance");
+            let ow = objective(&drifted.costs, &xw);
+            let oc = objective(&drifted.costs, &xc);
+            prop_assert!((ow - oc).abs() <= 1e-5 * (1.0 + ow.abs().max(oc.abs())),
+                "step {step}: warm sparse {ow} vs cold dense {oc}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Error-path plumbing through the trait object: a registered custom
+// backend's verdicts must surface unchanged through the session pipeline.
+// ---------------------------------------------------------------------
+
+/// A mock backend that always gives up — the PivotLimit error path, which
+/// no reasonably-sized real instance triggers deterministically.
+struct GivesUp;
+
+impl LpBackend for GivesUp {
+    fn name(&self) -> &'static str {
+        "gives-up"
+    }
+
+    fn solve_core(
+        &self,
+        _costs: &[f64],
+        _a: &CscMatrix,
+        _b: &[f64],
+        _warm: Option<&[usize]>,
+    ) -> Result<CoreSolution, LpError> {
+        Err(LpError::PivotLimit)
+    }
+}
+
+#[test]
+fn pivot_limit_propagates_through_registered_backend() {
+    let inst = feasible_std_lp(7);
+    let mut solver = LpSolver::new();
+    solver.register_backend(Box::new(GivesUp));
+    assert_eq!(
+        solver.solve_standard(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
+        LpError::PivotLimit
+    );
+    // The failed solve is still accounted to the backend that ran it.
+    let stats = solver.stats();
+    assert_eq!(stats.solves, 1);
+    assert_eq!(stats.backends.len(), 1);
+    assert_eq!(stats.backends[0].name, "gives-up");
+    // Selecting a real backend afterwards recovers the optimum.
+    assert!(solver.select_backend("sparse"));
+    solver
+        .solve_standard(&inst.costs, &inst.matrix(), &inst.b)
+        .expect("sparse backend solves the same instance");
 }
 
 /// Regression (column-scaling undo): a template-LP-shaped system mixing
@@ -299,7 +373,10 @@ fn column_scaling_undo_regression() {
     let b = vec![3.0, 7.0];
     let costs = vec![1.0, 1.0];
     for (label, x) in [
-        ("sparse", solve_standard(&costs, &a, &b).unwrap()),
+        (
+            "sparse",
+            LpSolver::with_choice(BackendChoice::Sparse).solve_standard(&costs, &a, &b).unwrap(),
+        ),
         ("dense", solve_standard_dense(&costs, &a, &b).unwrap()),
     ] {
         assert!((x[0] - 2.0).abs() < 1e-5, "{label}: x0 = {}", x[0]);
@@ -315,7 +392,10 @@ fn column_scaling_undo_regression() {
     let b = vec![5e2, 8e2];
     let costs = vec![1.0, 1.0, 0.0];
     for (label, x) in [
-        ("sparse", solve_standard(&costs, &a, &b).unwrap()),
+        (
+            "sparse",
+            LpSolver::with_choice(BackendChoice::Sparse).solve_standard(&costs, &a, &b).unwrap(),
+        ),
         ("dense", solve_standard_dense(&costs, &a, &b).unwrap()),
     ] {
         let r1 = 1e2 * x[0] + x[2];

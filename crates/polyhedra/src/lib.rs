@@ -40,7 +40,7 @@ pub mod dd;
 pub use dd::ConeGenerators;
 
 use qava_linalg::{vecops, EPS};
-use qava_lp::{Cmp, LinExpr, LpBuilder, LpError};
+use qava_lp::{Cmp, LinExpr, LpBuilder, LpError, LpSolver};
 
 /// A single linear constraint `coeffs · x ≤ rhs` (or `<` when `strict`).
 #[derive(Debug, Clone, PartialEq)]
@@ -222,9 +222,17 @@ impl Polyhedron {
         Polyhedron { dim: new_dim, constraints }
     }
 
-    /// Emptiness of the **closure**, decided by an LP feasibility probe.
+    /// Emptiness of the **closure**, decided by an LP feasibility probe
+    /// on this thread's default solver session.
     pub fn is_empty(&self) -> bool {
-        match self.feasibility_lp().solve() {
+        qava_lp::with_default_solver(|s| self.is_empty_in(s))
+    }
+
+    /// [`is_empty`](Self::is_empty) inside an explicit solver session, so
+    /// a synthesis run's emptiness probes share its warm-start cache and
+    /// statistics.
+    pub fn is_empty_in(&self, solver: &mut LpSolver) -> bool {
+        match solver.solve(&self.feasibility_lp()) {
             Ok(_) => false,
             Err(LpError::Infeasible) => true,
             Err(e) => panic!("feasibility probe failed unexpectedly: {e}"),
@@ -233,13 +241,24 @@ impl Polyhedron {
 
     /// Returns a point of the closure, or `None` when empty.
     pub fn any_point(&self) -> Option<Vec<f64>> {
-        self.feasibility_lp().solve().ok().map(|s| s.values()[..self.dim].to_vec())
+        qava_lp::with_default_solver(|s| self.any_point_in(s))
+    }
+
+    /// [`any_point`](Self::any_point) inside an explicit solver session.
+    pub fn any_point_in(&self, solver: &mut LpSolver) -> Option<Vec<f64>> {
+        solver.solve(&self.feasibility_lp()).ok().map(|s| s.values()[..self.dim].to_vec())
     }
 
     /// Returns a point with slack at least `margin` on every constraint, or
     /// `None` when no such point exists. Used to detect full-dimensional
     /// overlap between transition guards.
     pub fn interior_point(&self, margin: f64) -> Option<Vec<f64>> {
+        qava_lp::with_default_solver(|s| self.interior_point_in(margin, s))
+    }
+
+    /// [`interior_point`](Self::interior_point) inside an explicit solver
+    /// session.
+    pub fn interior_point_in(&self, margin: f64, solver: &mut LpSolver) -> Option<Vec<f64>> {
         let mut lp = LpBuilder::new();
         let vars: Vec<_> = (0..self.dim).map(|j| lp.add_var(format!("x{j}"))).collect();
         let t = lp.add_var("slackness");
@@ -254,7 +273,7 @@ impl Polyhedron {
         // Maximize the common slack, capped so the LP stays bounded.
         lp.constrain(LinExpr::var(t, 1.0), Cmp::Le, 1.0);
         lp.maximize(LinExpr::var(t, 1.0));
-        let sol = lp.solve().ok()?;
+        let sol = solver.solve(&lp).ok()?;
         if sol.value(t) >= margin {
             Some(vars.iter().map(|&v| sol.value(v)).collect())
         } else {
@@ -265,6 +284,11 @@ impl Polyhedron {
     /// Checks the implication `closure(self) ⊆ {x | h}` by maximizing the
     /// violated direction with an LP. Empty polyhedra imply everything.
     pub fn implies(&self, h: &Halfspace) -> bool {
+        qava_lp::with_default_solver(|s| self.implies_in(h, s))
+    }
+
+    /// [`implies`](Self::implies) inside an explicit solver session.
+    pub fn implies_in(&self, h: &Halfspace, solver: &mut LpSolver) -> bool {
         let mut lp = LpBuilder::new();
         let vars: Vec<_> = (0..self.dim).map(|j| lp.add_var(format!("x{j}"))).collect();
         for c in &self.constraints {
@@ -279,7 +303,7 @@ impl Polyhedron {
             obj = obj.term(vars[j], v);
         }
         lp.maximize(obj);
-        match lp.solve() {
+        match solver.solve(&lp) {
             Ok(sol) => sol.objective <= h.rhs + 1e-7,
             Err(LpError::Infeasible) => true,
             Err(LpError::Unbounded) => false,
