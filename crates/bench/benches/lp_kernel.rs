@@ -1,0 +1,62 @@
+//! LP-kernel backend matrix: one Handelman-certificate synthesis
+//! workload per size class, solved through each pinned LP backend.
+//!
+//! Unlike the `table1`/`table2` suite benches (which run whatever
+//! `BackendChoice::Auto` routes to and measure the paper's end-to-end
+//! numbers), these rows pin the backend so the basis-representation
+//! engines compete on identical LP streams:
+//!
+//! * `rdwalk_small` — the µs-scale Rdwalk Hoeffding LPs the dense
+//!   tableau exists for;
+//! * `coupon_mid` — mid-size Coupon systems, the dense-inverse revised
+//!   simplex's home turf;
+//! * `3dwalk_large` — the largest Handelman class in the suite
+//!   (m ≈ 64–127 at a few percent density, degenerate εmax systems):
+//!   the class the sparse LU + eta-file representation targets.
+//!
+//! `bench_compare` holds every `lp/` benchmark to the hard ±25% gate
+//! (the suite benches stay warn-only), so a regression in any backend's
+//! kernel fails CI even on noisy shared runners.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind};
+use qava_core::suite::{coupon_rows, rdwalk_rows, walk3d_rows};
+use qava_lp::{BackendChoice, LpSolver};
+
+/// Reduced Ser budget: enough ε-probe LPs to exercise warm starts and
+/// the εmax knife edge while keeping the matrix quick.
+const SER_ITERATIONS: usize = 6;
+
+fn bench_lp_kernel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/kernel");
+    group.sample_size(10);
+    let classes = [
+        ("rdwalk_small", rdwalk_rows().remove(0)),
+        ("coupon_mid", coupon_rows().remove(0)),
+        ("3dwalk_large", walk3d_rows().remove(0)),
+    ];
+    for (class, row) in classes {
+        let pts = row.compile();
+        for backend in [BackendChoice::Sparse, BackendChoice::Dense, BackendChoice::Lu] {
+            group.bench_with_input(BenchmarkId::new(class, backend), &pts, |bench, pts| {
+                bench.iter(|| {
+                    // A fresh session per iteration: cold warm-start
+                    // cache, so the measurement is the backend's own
+                    // solve path, not cross-iteration cache luck.
+                    let mut solver = LpSolver::with_choice(backend);
+                    synthesize_reprsm_bound_in(
+                        pts,
+                        BoundKind::Hoeffding,
+                        SER_ITERATIONS,
+                        &mut solver,
+                    )
+                    .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_kernel);
+criterion_main!(benches);

@@ -1,21 +1,31 @@
 //! Benchmark-trajectory comparison: diffs a freshly generated
-//! `BENCH_lp.json` against a committed baseline and **warns** on median
-//! regressions beyond a tolerance.
+//! `BENCH_lp.json` against a committed baseline, **warning** on
+//! suite-level median regressions and **failing** on LP-kernel ones.
 //!
 //! ```text
 //! cargo run -p qava-bench --bin bench_compare -- \
 //!     [--baseline BENCH_lp.baseline.json] [--fresh BENCH_lp.json] \
-//!     [--tolerance 0.10]
+//!     [--tolerance 0.10] [--kernel-prefix lp/] [--kernel-tolerance 0.25]
 //! ```
 //!
 //! Intended CI flow: copy the committed `BENCH_lp.json` aside, rerun the
 //! criterion benches (which rewrite it), then run this tool against the
-//! copy. The exit code is **always 0 on comparisons** — shared CI runners
-//! are too noisy for a hard perf gate (see ROADMAP), so regressions are
-//! surfaced as `::warning::`-prefixed lines that GitHub renders as
-//! annotations, and a human decides. Missing files are likewise a notice,
-//! not an error, so the step stays green on fresh clones without bench
-//! results.
+//! copy. Two regimes, split by benchmark name:
+//!
+//! * **LP-kernel benches** (names under `--kernel-prefix`, default
+//!   `lp/`): pinned-backend solver kernels with little non-LP work, and
+//!   the benches this repo's perf PRs are judged on. A median regression
+//!   beyond `--kernel-tolerance` (default 25%, wide enough for shared-
+//!   runner noise) prints an `::error::` annotation and the exit code is
+//!   **1** — a hard CI gate.
+//! * **suite-level benches** (everything else): end-to-end synthesis
+//!   timings dominated by non-LP work and far noisier. Regressions
+//!   beyond `--tolerance` surface as `::warning::` annotations that
+//!   GitHub renders on the build, and a human decides — these never
+//!   affect the exit code.
+//!
+//! Missing files are a notice, not an error, so the step stays green on
+//! fresh clones without bench results.
 //!
 //! The bench file is a flat `{"name": median_ns, …}` map written by the
 //! vendored criterion shim; the parser below reads exactly that shape
@@ -27,10 +37,15 @@ use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: bench_compare [--baseline PATH] [--fresh PATH] [--tolerance FRACTION]
+                     [--kernel-prefix PREFIX] [--kernel-tolerance FRACTION]
 
 defaults: --baseline BENCH_lp.baseline.json --fresh BENCH_lp.json --tolerance 0.10
-Relative paths are resolved against the current directory, then upward to
-the workspace root (cargo runs benches with the package as cwd).
+          --kernel-prefix lp/ --kernel-tolerance 0.25
+Benchmarks whose name starts with PREFIX are the LP-kernel gate: a median
+regression beyond --kernel-tolerance exits 1. Everything else is warn-only
+at --tolerance. Relative paths are resolved against the current directory,
+then upward to the workspace root (cargo runs benches with the package as
+cwd).
 ";
 
 fn main() -> ExitCode {
@@ -38,6 +53,8 @@ fn main() -> ExitCode {
     let mut baseline = "BENCH_lp.baseline.json".to_string();
     let mut fresh = "BENCH_lp.json".to_string();
     let mut tolerance = 0.10f64;
+    let mut kernel_prefix = "lp/".to_string();
+    let mut kernel_tolerance = 0.25f64;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let mut take = |what: &str| -> Result<String, String> {
@@ -48,6 +65,12 @@ fn main() -> ExitCode {
             "--fresh" => take("--fresh").map(|v| fresh = v),
             "--tolerance" => take("--tolerance").and_then(|v| {
                 v.parse::<f64>().map(|t| tolerance = t).map_err(|_| format!("bad tolerance `{v}`"))
+            }),
+            "--kernel-prefix" => take("--kernel-prefix").map(|v| kernel_prefix = v),
+            "--kernel-tolerance" => take("--kernel-tolerance").and_then(|v| {
+                v.parse::<f64>()
+                    .map(|t| kernel_tolerance = t)
+                    .map_err(|_| format!("bad tolerance `{v}`"))
             }),
             "--help" | "-h" => {
                 print!("{USAGE}");
@@ -76,21 +99,28 @@ fn main() -> ExitCode {
         }
     };
 
-    let report = compare(&base, &fresh_map, tolerance);
+    let report = compare(&base, &fresh_map, tolerance, &kernel_prefix, kernel_tolerance);
     for line in &report.lines {
         println!("{line}");
     }
     println!(
-        "bench_compare: {} benchmarks compared, {} regressions > {:.0}%, {} improvements, \
+        "bench_compare: {} benchmarks compared, {} suite regressions > {:.0}% (warn-only), \
+         {} kernel regressions > {:.0}% (gating), {} improvements, \
          {} only-in-baseline, {} only-in-fresh",
         report.compared,
         report.regressions,
         tolerance * 100.0,
+        report.kernel_regressions,
+        kernel_tolerance * 100.0,
         report.improvements,
         report.only_baseline,
         report.only_fresh,
     );
-    // Warn-only by design: regressions never fail the build.
+    // Suite-level regressions are warn-only by design; only the LP-kernel
+    // gate fails the build.
+    if report.kernel_regressions > 0 {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
 }
 
@@ -151,16 +181,24 @@ struct Report {
     lines: Vec<String>,
     compared: usize,
     regressions: usize,
+    kernel_regressions: usize,
     improvements: usize,
     only_baseline: usize,
     only_fresh: usize,
 }
 
-fn compare(base: &BTreeMap<String, f64>, fresh: &BTreeMap<String, f64>, tol: f64) -> Report {
+fn compare(
+    base: &BTreeMap<String, f64>,
+    fresh: &BTreeMap<String, f64>,
+    tol: f64,
+    kernel_prefix: &str,
+    kernel_tol: f64,
+) -> Report {
     let mut r = Report {
         lines: Vec::new(),
         compared: 0,
         regressions: 0,
+        kernel_regressions: 0,
         improvements: 0,
         only_baseline: 0,
         only_fresh: 0,
@@ -173,11 +211,22 @@ fn compare(base: &BTreeMap<String, f64>, fresh: &BTreeMap<String, f64>, tol: f64
             }
             Some(&new) if old > 0.0 => {
                 r.compared += 1;
+                let kernel = name.starts_with(kernel_prefix);
                 let delta = new / old - 1.0;
-                if delta > tol {
+                if kernel && delta > kernel_tol {
+                    r.kernel_regressions += 1;
+                    // `::error::`/`::warning::` render as annotations in
+                    // GitHub CI while remaining plain text elsewhere.
+                    r.lines.push(format!(
+                        "::error::bench_compare: LP-kernel bench `{name}` regressed {:+.1}% \
+                         ({old:.0} ns → {new:.0} ns) — gating",
+                        delta * 100.0
+                    ));
+                } else if delta > tol {
+                    // Kernel regressions inside the gate's noise band
+                    // still warn — the most-watched benches must never
+                    // get less visibility than the suite ones.
                     r.regressions += 1;
-                    // `::warning::` renders as an annotation in GitHub CI
-                    // while remaining plain text elsewhere.
                     r.lines.push(format!(
                         "::warning::bench_compare: `{name}` regressed {:+.1}% \
                          ({old:.0} ns → {new:.0} ns)",
@@ -225,12 +274,48 @@ mod tests {
                 .into_iter()
                 .map(|(k, v)| (k.to_string(), v))
                 .collect();
-        let r = compare(&base, &fresh, 0.10);
+        let r = compare(&base, &fresh, 0.10, "lp/", 0.25);
         assert_eq!(r.compared, 3);
         assert_eq!(r.regressions, 1, "only `slow` is beyond +10%");
+        assert_eq!(r.kernel_regressions, 0, "no lp/ benches in this set");
         assert_eq!(r.improvements, 1, "only `fast` is beyond -10%");
         assert_eq!(r.only_baseline, 1);
         assert_eq!(r.only_fresh, 1);
         assert!(r.lines.iter().any(|l| l.contains("::warning::") && l.contains("`slow`")));
+    }
+
+    #[test]
+    fn kernel_benches_gate_while_suite_benches_warn() {
+        let base: BTreeMap<String, f64> = [
+            ("lp/kernel/3dwalk_large/lu", 100.0),
+            ("lp/kernel/coupon_mid/sparse", 100.0),
+            ("lp/kernel/rdwalk_small/dense", 100.0),
+            ("table1/concentration/hoeffding/X", 100.0),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let fresh: BTreeMap<String, f64> = [
+            ("lp/kernel/3dwalk_large/lu", 140.0),    // +40%: gates
+            ("lp/kernel/coupon_mid/sparse", 120.0),  // +20%: under the gate, still warns
+            ("lp/kernel/rdwalk_small/dense", 60.0),  // -40%: improvement
+            ("table1/concentration/hoeffding/X", 300.0), // +200%: still warn-only
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let r = compare(&base, &fresh, 0.10, "lp/", 0.25);
+        assert_eq!(r.compared, 4);
+        assert_eq!(r.kernel_regressions, 1, "only the +40% kernel bench gates");
+        assert_eq!(r.regressions, 2, "the +20% kernel bench and the suite bench warn");
+        assert_eq!(r.improvements, 1);
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.contains("::error::") && l.contains("`lp/kernel/3dwalk_large/lu`")));
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.contains("::warning::") && l.contains("hoeffding")));
     }
 }

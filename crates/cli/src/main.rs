@@ -39,11 +39,12 @@ output:
   --seed S         Monte-Carlo seed (default 0)
 
 solver:
-  --lp-backend B   LP backend policy: auto (default; tiny models on the
-                   dense tableau, everything else on the sparse revised
-                   simplex), sparse, or dense — applies to single-file
-                   analyses and to --suite, which also prints per-backend
-                   solve statistics
+  --lp-backend B   LP backend policy: auto (default; routes by size and
+                   density — tiny models on the dense tableau, large
+                   sparse systems on the LU simplex, the rest on the
+                   sparse revised simplex), sparse, dense, or lu —
+                   applies to single-file analyses and to --suite, which
+                   also prints per-backend solve statistics
 
 suite:
   --suite          run the paper's benchmark suite (Tables 1-2) through
@@ -100,7 +101,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
             }
             "--lp-backend" => {
-                let s = it.next().ok_or("--lp-backend needs auto, sparse, or dense")?;
+                let s = it.next().ok_or("--lp-backend needs auto, sparse, dense, or lu")?;
                 opts.lp_backend = s.parse()?;
             }
             "--param" => {
@@ -383,6 +384,8 @@ mod tests {
     fn lp_backend_parses() {
         let o = parse_args(&args(&["p.qava", "--lp-backend", "sparse"])).unwrap();
         assert_eq!(o.lp_backend, BackendChoice::Sparse);
+        let o = parse_args(&args(&["p.qava", "--lp-backend", "lu"])).unwrap();
+        assert_eq!(o.lp_backend, BackendChoice::Lu);
         let o = parse_args(&args(&["p.qava"])).unwrap();
         assert_eq!(o.lp_backend, BackendChoice::default());
         assert!(parse_args(&args(&["p.qava", "--lp-backend", "cuda"])).is_err());

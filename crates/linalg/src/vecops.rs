@@ -3,11 +3,13 @@
 //! Vectors flow between crates as plain `Vec<f64>`; these helpers keep the
 //! call sites short without committing the whole workspace to a wrapper type.
 //!
-//! The `dot`/`axpy`/`gather_dot` kernels are the inner loops of the revised
-//! simplex (`B⁻¹` row updates, simplex-multiplier accumulation, column
-//! pricing) and are unrolled four-wide: independent accumulators break the
-//! serial dependence of a naive fold so the FP pipelines stay full, and the
-//! chunked slices give the compiler bounds-check-free bodies to vectorize.
+//! The `dot`/`axpy`/`gather_dot`/`scatter_axpy` kernels are the inner loops
+//! of the revised simplex (`B⁻¹` row updates, simplex-multiplier
+//! accumulation, column pricing, and the sparse triangular solves through
+//! the LU factors and eta file) and are unrolled four-wide: independent
+//! accumulators break the serial dependence of a naive fold so the FP
+//! pipelines stay full, and the chunked slices give the compiler
+//! bounds-check-free bodies to vectorize.
 
 /// Dot product of two equal-length slices.
 ///
@@ -79,6 +81,34 @@ pub fn gather_dot(idx: &[usize], vals: &[f64], x: &[f64]) -> f64 {
         .map(|(&r, &v)| v * x[r])
         .sum();
     (s0 + s1) + (s2 + s3) + tail
+}
+
+/// Sparse scatter update `y[idx[k]] += alpha · vals[k]` — the other half of
+/// the sparse triangular-solve kernels: [`gather_dot`] drives the transposed
+/// (btran) solves, this drives the forward (ftran) solves through L columns
+/// and product-form eta columns, where one elimination column is subtracted
+/// from a dense running right-hand side.
+///
+/// The indices must be pairwise distinct (CSC columns are); with duplicates
+/// the unrolled accumulation order would differ from the naive one.
+///
+/// # Panics
+///
+/// Panics if `idx` and `vals` have different lengths, or if an index is out
+/// of bounds for `y`.
+pub fn scatter_axpy(alpha: f64, idx: &[usize], vals: &[f64], y: &mut [f64]) {
+    assert_eq!(idx.len(), vals.len(), "scatter_axpy: length mismatch");
+    let mut ci = idx.chunks_exact(4);
+    let mut cv = vals.chunks_exact(4);
+    for (is, vs) in ci.by_ref().zip(cv.by_ref()) {
+        y[is[0]] += alpha * vs[0];
+        y[is[1]] += alpha * vs[1];
+        y[is[2]] += alpha * vs[2];
+        y[is[3]] += alpha * vs[3];
+    }
+    for (&r, &v) in ci.remainder().iter().zip(cv.remainder()) {
+        y[r] += alpha * v;
+    }
 }
 
 /// Returns `alpha * x` as a new vector.
@@ -191,6 +221,28 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn gather_dot_length_mismatch_panics() {
         gather_dot(&[0], &[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn scatter_axpy_matches_naive_at_every_remainder_length() {
+        // Distinct indices crossing the 4-wide unroll boundary.
+        let idx = [5usize, 0, 3, 7, 1, 6];
+        let vals = [2.0, -1.0, 0.5, 4.0, 3.0, -0.25];
+        for take in 0..=idx.len() {
+            let mut y = vec![1.0; 8];
+            let mut naive = y.clone();
+            for (&r, &v) in idx[..take].iter().zip(&vals[..take]) {
+                naive[r] += -1.5 * v;
+            }
+            scatter_axpy(-1.5, &idx[..take], &vals[..take], &mut y);
+            assert_eq!(y, naive, "take {take}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn scatter_axpy_length_mismatch_panics() {
+        scatter_axpy(1.0, &[0], &[1.0, 2.0], &mut [1.0]);
     }
 
     #[test]

@@ -11,24 +11,34 @@
 //! * [`LpBuilder`] — incremental model construction with named variables and
 //!   sparse [`LinExpr`] linear expressions;
 //! * the [`LpBackend`] **trait** — the runtime-dispatchable core-solver
-//!   interface — with two built-in implementations: [`SparseRevised`]
-//!   (CSC column storage, Dantzig pricing with a Bland anti-cycling
-//!   fallback, warm-startable basis) and [`DenseTableau`] (the two-phase
+//!   interface — with three built-in implementations:
+//!   [`SparseRevised`] (revised simplex over CSC columns with an explicit
+//!   dense basis inverse: O(m²) rank-one updates, unbeatable constants on
+//!   small/dense bases), [`LuSimplex`] (the same pivoting loop over a
+//!   **sparse LU factorization with product-form eta updates**: each pivot
+//!   appends one O(nnz) eta vector, ftran/btran run through the Markowitz-
+//!   ordered L/U factors plus the eta stack, and refactorization is driven
+//!   by eta-count/fill-in/accuracy thresholds — the engine for the large
+//!   sparse Handelman/Farkas systems and the conditioning fix for the
+//!   degenerate walk3d-style LPs), and [`DenseTableau`] (the two-phase
 //!   tableau, also exported standalone as the differential-testing oracle
 //!   [`solve_standard_dense`]);
 //! * the [`LpSolver`] **session** — one per synthesis run — owning the
 //!   shared pipeline (presolve: empty/duplicate-row removal and
 //!   fixed-variable elimination; max-norm equilibration), the backend
-//!   selection policy ([`BackendChoice`]: `auto` routes µs-scale models
-//!   to the dense tableau and everything else to the sparse revised
+//!   selection policy ([`BackendChoice`]: `auto` routes by size **and**
+//!   density — µs-scale models to the dense tableau, large sparse systems
+//!   to the LU simplex, mid-size/dense ones to the dense-inverse revised
 //!   simplex), a bounded-LRU warm-start basis cache keyed by LP sparsity
 //!   pattern, and per-solve statistics ([`LpStats`]: pivots, presolve
-//!   reductions, warm-start hits, wall time);
+//!   reductions, warm-start hits, feasibility-watchdog restarts,
+//!   anti-cycling retries, wall time);
 //! * exact infeasibility / unboundedness reporting via [`LpError`].
 //!
 //! The synthesis LPs routinely reach hundreds of rows and thousands of
 //! columns at a few percent density; the revised method prices columns in
-//! O(nnz) and keeps only the m×m basis inverse hot.
+//! O(nnz), and on a basis that sparse the LU representation keeps the
+//! whole per-pivot hot path at O(nnz) too.
 //!
 //! The `dense-simplex` cargo feature is a thin default-backend switch: it
 //! only changes [`BackendChoice::default`] (and thus new sessions and the
@@ -84,12 +94,14 @@
 //!
 //! let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
 //! solver.register_backend(Box::new(MyBackend)); // registered AND selected
-//! assert_eq!(solver.backend_names(), vec!["sparse", "dense", "mine"]);
-//! assert!(solver.select_backend("sparse")); // …and back to a built-in
+//! assert_eq!(solver.backend_names(), vec!["sparse", "dense", "lu", "mine"]);
+//! assert!(solver.select_backend("lu")); // …and back to a built-in
 //! ```
 
 mod csc;
+mod eta;
 mod expr;
+mod lu;
 mod presolve;
 mod revised;
 mod simplex;
@@ -100,7 +112,7 @@ pub use expr::{LinExpr, VarId};
 pub use simplex::{solve_standard_dense, MAX_PIVOTS};
 pub use solver::{
     BackendChoice, BackendTally, CoreSolution, DenseTableau, LpBackend, LpSolver, LpStats,
-    SparseRevised,
+    LuSimplex, SparseRevised,
 };
 
 use presolve::StdRows;

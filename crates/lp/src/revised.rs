@@ -1,29 +1,45 @@
-//! Sparse revised simplex on equilibrated standard form — the
-//! [`SparseRevised`](crate::SparseRevised) backend core.
+//! Sparse revised simplex on equilibrated standard form — the core
+//! behind both the [`SparseRevised`](crate::SparseRevised) and the
+//! LU-backed [`LuSimplex`](crate::LuSimplex) backends.
 //!
 //! The dense tableau ([`crate::simplex`]) updates an `m × (n + m)`
-//! tableau on every pivot. The revised method keeps only the `m × m`
-//! basis inverse `B⁻¹` and reads the constraint matrix in CSC form
-//! ([`crate::csc::CscMatrix`]), so each iteration costs
-//! `O(m² + nnz(A))` instead of `O(m·(n + m))` — a large win on the
-//! sparse Farkas/Handelman LPs where `nnz(A)` is a few percent of
-//! `m·n` — and the working set stays cache-sized.
+//! tableau on every pivot. The revised method keeps only a compact
+//! representation of the basis and reads the constraint matrix in CSC
+//! form ([`crate::csc::CscMatrix`]). *Which* representation is the
+//! [`BasisRepr`] abstraction:
+//!
+//! * [`DenseInverse`] — the explicit `m × m` inverse with rank-one row
+//!   updates: O(m²) per pivot, one O(m³) inversion per refactorization.
+//!   Unbeatable constant factor on small bases; this is the `sparse`
+//!   backend.
+//! * [`LuBasis`](crate::eta::LuBasis) — sparse LU factors
+//!   ([`crate::lu`]) plus a product-form eta file ([`crate::eta`]):
+//!   O(nnz) per pivot, solves in O(nnz of the factors), refactorization
+//!   driven by eta-count/fill-in/accuracy thresholds instead of a fixed
+//!   period. This is the `lu` backend, and the representation of choice
+//!   for the large sparse Handelman/Farkas systems.
+//!
+//! The simplex logic itself — two-phase structure, Dantzig pricing with
+//! the sticky-Bland anti-cycling fallback, the minimum-ratio test, the
+//! feasibility watchdog — is generic over the representation, so both
+//! backends share one audited pivoting loop and the differential
+//! property tests exercise the exact code that ships.
 //!
 //! Presolve, equilibration and the warm-start basis cache live in the
 //! [`LpSolver`](crate::LpSolver) session ([`crate::solver`]): this module
 //! only sees the scaled core system plus an optional warm basis, and
 //! reports the solution, the final basis (the session caches it per
-//! sparsity pattern) and the pivot count. A warm basis is refactorized
-//! (one `m × m` inversion) and — when still primal feasible — skips
-//! phase 1 and most phase-2 pivots; an infeasible or singular warm basis
-//! falls back to the cold two-phase path, so warm starts never change
-//! results, only speed.
+//! sparsity pattern), the pivot count, and the robustness-path counters
+//! (feasibility-watchdog restarts, all-Bland retries) that
+//! [`LpStats`](crate::LpStats) exposes. A warm basis is refactorized and
+//! — when still primal feasible — skips phase 1 and most phase-2 pivots;
+//! an infeasible or singular warm basis falls back to the cold two-phase
+//! path, so warm starts never change results, only speed.
 //!
-//! The hot loops (`B⁻¹` row updates in [`Revised::pivot`], multiplier
-//! accumulation, pricing) run on the unrolled
-//! [`qava_linalg::vecops`] kernels.
+//! The hot loops run on the unrolled [`qava_linalg::vecops`] kernels.
 
 use crate::csc::CscMatrix;
+use crate::eta::LuBasis;
 use crate::simplex::MAX_PIVOTS;
 use crate::LpError;
 use qava_linalg::{vecops, Matrix, EPS};
@@ -31,15 +47,175 @@ use qava_linalg::{vecops, Matrix, EPS};
 /// Bland-fallback patience, matching the dense path.
 const DEGENERACY_PATIENCE: usize = 40;
 
-/// The working state of a revised simplex run: basis, basis inverse and
-/// current basic solution. Artificial columns are virtual unit columns
-/// `n ..= n + m - 1`.
-struct Revised<'a> {
+/// A pluggable basis-inverse engine for the revised simplex.
+///
+/// Implementations maintain whatever stands in for `B⁻¹` — an explicit
+/// inverse, LU factors plus an eta file — and answer the four queries
+/// the simplex loop needs: forward transformation (`B⁻¹·a_j`), backward
+/// transformation (`c_Bᵀ·B⁻¹`), single rows of `B⁻¹`, and the rank-one
+/// basis-exchange update.
+pub(crate) trait BasisRepr {
+    /// The representation of the all-artificial identity basis (the
+    /// phase-1 starting point).
+    fn identity(m: usize) -> Self
+    where
+        Self: Sized;
+
+    /// Rebuilds the representation from scratch for the given basis
+    /// (artificial columns are `a.cols()..`, stored as unit columns).
+    /// Returns `false` — leaving the previous state untouched — when the
+    /// basis matrix is singular.
+    fn refactor(&mut self, a: &CscMatrix, n: usize, basis: &[usize]) -> bool;
+
+    /// `B⁻¹ · v` for a sparse column `v` given as parallel
+    /// `(indices, values)` slices.
+    fn ftran_col(&self, idx: &[usize], vals: &[f64]) -> Vec<f64>;
+
+    /// `B⁻¹ · rhs` for a dense right-hand side.
+    fn ftran_dense(&self, rhs: &[f64]) -> Vec<f64>;
+
+    /// `c_Bᵀ · B⁻¹` for a dense basic-cost vector.
+    fn btran_dense(&self, cb: &[f64]) -> Vec<f64>;
+
+    /// Row `i` of `B⁻¹` (equivalently `eᵢᵀ·B⁻¹`).
+    fn binv_row(&self, i: usize) -> Vec<f64>;
+
+    /// Applies the basis exchange: the variable at `row` leaves and the
+    /// column with ftran'd direction `u` enters. `support` lists the
+    /// indices `i` with `|u[i]| > EPS` in increasing order, so sparse
+    /// directions only touch their own rows.
+    fn update(&mut self, row: usize, u: &[f64], support: &[usize]);
+
+    /// Whether the accumulated updates warrant a refactorization now
+    /// (`iteration` is the simplex loop counter; the dense inverse uses
+    /// a fixed period, the LU/eta engine its own thresholds).
+    fn should_refactor(&self, iteration: usize) -> bool;
+
+    /// Whether an optimality verdict reached from incrementally-updated
+    /// state may be returned as-is, or must first be reproduced from a
+    /// fresh refactorization. The dense inverse trusts its rank-one
+    /// updates between the fixed-period refactorizations (the historical
+    /// behavior, bounded by the feasibility watchdog); the eta file does
+    /// not — its product-form updates can drift `x_B` and the pricing
+    /// multipliers past the optimality tolerance on ill-scaled systems,
+    /// silently corrupting the reported solution (see
+    /// `tests/drift_regression.rs`).
+    fn trusts_incremental_optimal(&self) -> bool;
+}
+
+/// Sparse entries of basis slot `bj`: the CSC column for real columns,
+/// the virtual unit column for artificials (`n..`). The one encoding of
+/// the artificial-column convention, shared by every
+/// [`BasisRepr::refactor`] implementation — backend parity depends on
+/// both representations assembling identical basis matrices.
+pub(crate) fn basis_col(a: &CscMatrix, n: usize, bj: usize) -> (Vec<usize>, Vec<f64>) {
+    if bj < n {
+        let (idx, vals) = a.col(bj);
+        (idx.to_vec(), vals.to_vec())
+    } else {
+        (vec![bj - n], vec![1.0])
+    }
+}
+
+/// Refactorization cadence of [`DenseInverse`]: rebuilding `B⁻¹` from
+/// the basis every so many iterations bounds the error the rank-one
+/// updates accumulate.
+const REFACTOR_EVERY: usize = 64;
+
+/// Preferred minimum pivot element; see [`Revised::leaving`].
+const PIVOT_TOL: f64 = 1e-7;
+
+/// The explicit dense-inverse basis representation (the original
+/// revised-simplex engine, still the best fit for small/dense bases).
+pub(crate) struct DenseInverse {
+    binv: Matrix,
+    /// Reusable copy of the pivot row of `B⁻¹` so the rank-one update can
+    /// run as slice `axpy`s without aliasing the matrix.
+    pivot_row: Vec<f64>,
+}
+
+impl BasisRepr for DenseInverse {
+    fn identity(m: usize) -> Self {
+        DenseInverse { binv: Matrix::identity(m), pivot_row: vec![0.0; m] }
+    }
+
+    fn refactor(&mut self, a: &CscMatrix, n: usize, basis: &[usize]) -> bool {
+        let m = a.rows();
+        let mut bm = Matrix::zeros(m, m);
+        for (k, &j) in basis.iter().enumerate() {
+            let (idx, vals) = basis_col(a, n, j);
+            for (r, v) in idx.into_iter().zip(vals) {
+                bm[(r, k)] = v;
+            }
+        }
+        match bm.inverse() {
+            Some(inv) => {
+                self.binv = inv;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Computed row-wise — `u_i = Σ_r B⁻¹[i, r]·v_r` is a gather dot
+    /// against the `i`-th row of `B⁻¹` — so the row-major matrix is
+    /// walked contiguously and only the column's nonzeros are read.
+    fn ftran_col(&self, idx: &[usize], vals: &[f64]) -> Vec<f64> {
+        (0..self.binv.rows()).map(|i| vecops::gather_dot(idx, vals, self.binv.row(i))).collect()
+    }
+
+    fn ftran_dense(&self, rhs: &[f64]) -> Vec<f64> {
+        self.binv.mul_vec(rhs)
+    }
+
+    fn btran_dense(&self, cb: &[f64]) -> Vec<f64> {
+        let m = self.binv.rows();
+        let mut y = vec![0.0; m];
+        for (i, &c) in cb.iter().enumerate() {
+            if c != 0.0 {
+                vecops::axpy(c, self.binv.row(i), &mut y);
+            }
+        }
+        y
+    }
+
+    fn binv_row(&self, i: usize) -> Vec<f64> {
+        self.binv.row(i).to_vec()
+    }
+
+    /// The `B⁻¹` rank-one update runs as one `axpy` per support row
+    /// against a snapshot of the scaled pivot row.
+    fn update(&mut self, row: usize, u: &[f64], support: &[usize]) {
+        let inv = 1.0 / u[row];
+        for v in self.binv.row_mut(row) {
+            *v *= inv;
+        }
+        self.pivot_row.copy_from_slice(self.binv.row(row));
+        for &i in support {
+            if i != row {
+                vecops::axpy(-u[i], &self.pivot_row, self.binv.row_mut(i));
+            }
+        }
+    }
+
+    fn should_refactor(&self, iteration: usize) -> bool {
+        iteration.is_multiple_of(REFACTOR_EVERY)
+    }
+
+    fn trusts_incremental_optimal(&self) -> bool {
+        true
+    }
+}
+
+/// The working state of a revised simplex run: basis, basis
+/// representation and current basic solution. Artificial columns are
+/// virtual unit columns `n ..= n + m - 1`.
+struct Revised<'a, R: BasisRepr> {
     a: &'a CscMatrix,
     n: usize,
     m: usize,
     basis: Vec<usize>,
-    binv: Matrix,
+    repr: R,
     xb: Vec<f64>,
     /// `in_basis[j]` for real columns: basic columns are skipped by
     /// pricing. Their exact reduced cost is 0; pricing them anyway can
@@ -48,17 +224,7 @@ struct Revised<'a> {
     in_basis: Vec<bool>,
     /// Total pivots performed, for solver-session statistics.
     pivots: usize,
-    /// Reusable copy of the pivot row of `B⁻¹` so the rank-one update can
-    /// run as slice `axpy`s without aliasing the matrix.
-    pivot_row: Vec<f64>,
 }
-
-/// Refactorization cadence: rebuilding `B⁻¹` from the basis every so many
-/// pivots bounds the error the rank-one updates accumulate.
-const REFACTOR_EVERY: usize = 64;
-
-/// Preferred minimum pivot element; see [`Revised::leaving`].
-const PIVOT_TOL: f64 = 1e-7;
 
 /// How a simplex phase ended (hard errors go through `Result`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,8 +235,8 @@ enum RunOutcome {
     LostFeasibility,
 }
 
-impl<'a> Revised<'a> {
-    fn new(a: &'a CscMatrix, basis: Vec<usize>, binv: Matrix, xb: Vec<f64>) -> Self {
+impl<'a, R: BasisRepr> Revised<'a, R> {
+    fn new(a: &'a CscMatrix, basis: Vec<usize>, repr: R, xb: Vec<f64>) -> Self {
         let n = a.cols();
         let m = a.rows();
         let mut in_basis = vec![false; n];
@@ -79,64 +245,64 @@ impl<'a> Revised<'a> {
                 in_basis[j] = true;
             }
         }
-        Revised { a, n, m, basis, binv, xb, in_basis, pivots: 0, pivot_row: vec![0.0; m] }
+        Revised { a, n, m, basis, repr, xb, in_basis, pivots: 0 }
     }
 
-    /// Rebuilds `B⁻¹` and `x_B` from scratch off the current basis,
-    /// resetting accumulated update error. Keeps the incremental state on
-    /// a (numerically impossible) singular refactorization.
-    fn refactor(&mut self, b: &[f64]) {
-        let m = self.m;
-        let mut bm = Matrix::zeros(m, m);
-        for (k, &j) in self.basis.iter().enumerate() {
-            if j < self.n {
-                let (idx, vals) = self.a.col(j);
-                for (&r, &v) in idx.iter().zip(vals) {
-                    bm[(r, k)] = v;
-                }
-            } else {
-                bm[(j - self.n, k)] = 1.0;
-            }
+    /// Rebuilds the representation and `x_B` from scratch off the
+    /// current basis, resetting accumulated update error. Keeps the
+    /// incremental state — and returns `false` — on a (numerically
+    /// near-impossible) singular refactorization.
+    fn refactor(&mut self, b: &[f64]) -> bool {
+        if !self.repr.refactor(self.a, self.n, &self.basis) {
+            return false;
         }
-        if let Some(inv) = bm.inverse() {
-            self.binv = inv;
-            self.xb = self
-                .binv
-                .mul_vec(b)
-                .into_iter()
-                // Degenerate bases put basic variables at 0 whose exact
-                // value re-emerges as ±1e-9 noise; snap those to 0 so the
-                // ratio test stays non-negative.
-                .map(|v| if v.abs() < 1e-7 { 0.0 } else { v })
-                .collect();
-        }
+        self.xb = self
+            .repr
+            .ftran_dense(b)
+            .into_iter()
+            // Degenerate bases put basic variables at 0 whose exact
+            // value re-emerges as ±1e-9 noise; snap those to 0 so the
+            // ratio test stays non-negative.
+            .map(|v| if v.abs() < 1e-7 { 0.0 } else { v })
+            .collect();
+        true
     }
-    /// `B⁻¹ · column_j` (forward transformation). Computed row-wise —
-    /// `u_i = Σ_r B⁻¹[i, r]·a[r, j]` is a gather dot against the `i`-th
-    /// row of `B⁻¹` — so the row-major matrix is walked contiguously.
-    fn ftran(&self, j: usize) -> Vec<f64> {
-        let m = self.m;
-        if j >= self.n {
-            let r = j - self.n;
-            return (0..m).map(|i| self.binv[(i, r)]).collect();
+
+    /// [`refactor`](Self::refactor) plus the feasibility watchdog:
+    /// `false` means this run must be abandoned — the (freshly
+    /// recomputed, or after a failed refactorization still-incremental)
+    /// `x_B` is meaningfully negative, or the refactorization itself
+    /// failed on a representation that must not certify verdicts from
+    /// its incremental state. A representation that trusts its
+    /// incremental state proceeds on a failed refactorization with the
+    /// watchdog applied to the stale `x_B` (the historical
+    /// dense-inverse behavior).
+    fn refactor_checked(&mut self, b: &[f64], feas_tol: f64) -> bool {
+        if !self.refactor(b) && !self.repr.trusts_incremental_optimal() {
+            return false;
         }
-        let (idx, vals) = self.a.col(j);
-        (0..m).map(|i| vecops::gather_dot(idx, vals, self.binv.row(i))).collect()
+        self.xb.iter().all(|&v| v >= -feas_tol)
+    }
+
+    /// `B⁻¹ · column_j` (forward transformation).
+    fn ftran(&self, j: usize) -> Vec<f64> {
+        if j >= self.n {
+            self.repr.ftran_col(&[j - self.n], &[1.0])
+        } else {
+            let (idx, vals) = self.a.col(j);
+            self.repr.ftran_col(idx, vals)
+        }
     }
 
     /// Simplex multipliers `yᵀ = c_Bᵀ B⁻¹` for the given full cost
     /// vector (`costs[j]` for real columns, `art_cost` for artificials).
     fn multipliers(&self, costs: &[f64], art_cost: f64) -> Vec<f64> {
-        let m = self.m;
-        let mut y = vec![0.0; m];
-        for i in 0..m {
-            let bj = self.basis[i];
-            let cb = if bj < self.n { costs[bj] } else { art_cost };
-            if cb != 0.0 {
-                vecops::axpy(cb, self.binv.row(i), &mut y);
-            }
-        }
-        y
+        let cb: Vec<f64> = self
+            .basis
+            .iter()
+            .map(|&bj| if bj < self.n { costs[bj] } else { art_cost })
+            .collect();
+        self.repr.btran_dense(&cb)
     }
 
     /// Objective value `c_B · x_B`.
@@ -213,10 +379,10 @@ impl<'a> Revised<'a> {
     }
 
     /// Pivots: column `col` enters, the basic variable of `row` leaves.
-    /// The `B⁻¹` rank-one update runs as one `axpy` per row against a
-    /// snapshot of the scaled pivot row.
+    /// The nonzero support of `u` is computed once and shared by the
+    /// `x_B` update and the representation update, so sparse entering
+    /// directions only touch their own rows.
     fn pivot(&mut self, row: usize, col: usize, u: &[f64]) {
-        let m = self.m;
         debug_assert!(u[row].abs() > EPS, "pivot on (near-)zero element");
         self.pivots += 1;
         let leaving = self.basis[row];
@@ -224,25 +390,26 @@ impl<'a> Revised<'a> {
             self.in_basis[leaving] = false;
         }
         self.in_basis[col] = true;
+        let support: Vec<usize> =
+            u.iter().enumerate().filter(|(_, f)| f.abs() > EPS).map(|(i, _)| i).collect();
         let inv = 1.0 / u[row];
-        for v in self.binv.row_mut(row) {
-            *v *= inv;
-        }
         self.xb[row] *= inv;
-        self.pivot_row.copy_from_slice(self.binv.row(row));
-        for (i, &f) in u.iter().enumerate().take(m) {
-            if i != row && f.abs() > EPS {
-                vecops::axpy(-f, &self.pivot_row, self.binv.row_mut(i));
-                self.xb[i] -= f * self.xb[row];
+        for &i in &support {
+            if i != row {
+                self.xb[i] -= u[i] * self.xb[row];
                 if self.xb[i].abs() < 1e-12 {
                     self.xb[i] = 0.0;
                 }
             }
         }
+        self.repr.update(row, u, &support);
         self.basis[row] = col;
     }
 
     /// Runs simplex iterations to optimality for the given costs.
+    /// `fresh` says the representation and `x_B` carry no incremental
+    /// update error on entry (an exact identity basis or a basis that was
+    /// refactorized immediately before the call).
     ///
     /// Robustness measures on top of the textbook loop:
     ///
@@ -250,10 +417,15 @@ impl<'a> Revised<'a> {
     ///   pivots the rule switches to Bland and *stays* there; flipping
     ///   back to Dantzig on a noise-level objective change can re-enter
     ///   the same degenerate cycle.
-    /// * **Verified unboundedness** — an unbounded verdict reached from
+    /// * **Verified termination** — an unbounded verdict reached from
     ///   incrementally-updated state is only trusted after a fresh
-    ///   refactorization reproduces it; `B⁻¹` drift must never turn a
-    ///   bounded LP into an "unbounded" one.
+    ///   refactorization reproduces it (representation drift must never
+    ///   turn a bounded LP into an "unbounded" one), and representations
+    ///   that do not [trust their incremental
+    ///   state](BasisRepr::trusts_incremental_optimal) get the same
+    ///   treatment for optimality verdicts: the eta file's accumulated
+    ///   error can mask improving columns and drift the reported `x_B`
+    ///   off `B⁻¹b` by far more than the optimality tolerance.
     /// * **Feasibility watchdog** — every refactorization recomputes
     ///   `x_B` exactly; if it has gone meaningfully negative the update
     ///   error has corrupted the trajectory, and the caller restarts the
@@ -265,23 +437,34 @@ impl<'a> Revised<'a> {
         art_cost: f64,
         b: &[f64],
         force_bland: bool,
+        fresh: bool,
     ) -> Result<RunOutcome, LpError> {
         let b_norm = b.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
         let feas_tol = 1e-6 * (1.0 + b_norm);
         let mut stalled = 0usize;
         let mut bland = force_bland;
-        let mut just_refactored = false;
+        let mut just_refactored = fresh;
         for it in 0..MAX_PIVOTS {
-            if it > 0 && it % REFACTOR_EVERY == 0 && !just_refactored {
-                self.refactor(b);
-                if self.xb.iter().any(|&v| v < -feas_tol) {
+            if it > 0 && self.repr.should_refactor(it) && !just_refactored {
+                if !self.refactor_checked(b, feas_tol) {
                     return Ok(RunOutcome::LostFeasibility);
                 }
+                just_refactored = true;
             }
             bland = bland || stalled >= DEGENERACY_PATIENCE;
             let y = self.multipliers(costs, art_cost);
             let Some(col) = self.entering(costs, &y, bland, EPS) else {
-                return Ok(RunOutcome::Optimal);
+                if just_refactored || self.repr.trusts_incremental_optimal() {
+                    return Ok(RunOutcome::Optimal);
+                }
+                // Optimality seen from drifted state: re-derive the
+                // verdict (and the solution itself) from a fresh
+                // factorization before trusting it.
+                if !self.refactor_checked(b, feas_tol) {
+                    return Ok(RunOutcome::LostFeasibility);
+                }
+                just_refactored = true;
+                continue;
             };
             let u = self.ftran(col);
             let pivoted = if let Some(row) = self.leaving(&u, bland) {
@@ -293,7 +476,20 @@ impl<'a> Revised<'a> {
                 // threshold before considering an unbounded ray (the
                 // dense oracle does the same).
                 match self.entering(costs, &y, bland, 1e-6) {
-                    None => return Ok(RunOutcome::Optimal),
+                    None if just_refactored || self.repr.trusts_incremental_optimal() => {
+                        return Ok(RunOutcome::Optimal)
+                    }
+                    None => {
+                        // Same drifted-state rule as the strict-tolerance
+                        // exit above: this is equally an optimality
+                        // verdict, and equally untrustworthy from an
+                        // incrementally-updated eta stack.
+                        if !self.refactor_checked(b, feas_tol) {
+                            return Ok(RunOutcome::LostFeasibility);
+                        }
+                        just_refactored = true;
+                        None
+                    }
                     Some(col2) => {
                         let u2 = self.ftran(col2);
                         match self.leaving(&u2, bland) {
@@ -302,8 +498,7 @@ impl<'a> Revised<'a> {
                             None => {
                                 // Re-derive the verdict from fresh state;
                                 // the watchdog applies here too.
-                                self.refactor(b);
-                                if self.xb.iter().any(|&v| v < -feas_tol) {
+                                if !self.refactor_checked(b, feas_tol) {
                                     return Ok(RunOutcome::LostFeasibility);
                                 }
                                 just_refactored = true;
@@ -338,20 +533,6 @@ impl<'a> Revised<'a> {
     }
 }
 
-/// Dense inverse of the basis matrix assembled from CSC columns;
-/// `None` when the basis is singular (stale warm start).
-fn basis_inverse(a: &CscMatrix, basis: &[usize]) -> Option<Matrix> {
-    let m = a.rows();
-    let mut bm = Matrix::zeros(m, m);
-    for (k, &j) in basis.iter().enumerate() {
-        let (idx, vals) = a.col(j);
-        for (&r, &v) in idx.iter().zip(vals) {
-            bm[(r, k)] = v;
-        }
-    }
-    bm.inverse()
-}
-
 /// Outcome of a revised-simplex core solve, reported back to the
 /// [`LpSolver`](crate::LpSolver) session.
 pub(crate) struct CoreOutcome {
@@ -364,11 +545,42 @@ pub(crate) struct CoreOutcome {
     pub pivots: usize,
     /// The supplied warm basis was accepted and ran to optimality.
     pub warm_start_used: bool,
+    /// Feasibility-watchdog refactor-backstop trips: a refactorization
+    /// found `x_B` meaningfully negative — or, on a representation that
+    /// must not certify verdicts from incremental state, failed outright
+    /// on a (numerically) singular basis — and the solve restarted from
+    /// scratch. Nonzero counts mean the incremental updates corrupted a
+    /// trajectory or conditioning collapsed — the symptoms the LU
+    /// representation exists to eliminate.
+    pub watchdog_restarts: usize,
+    /// Cold re-solves forced into all-Bland mode (after a Dantzig
+    /// pivot-limit grind or a watchdog trip).
+    pub bland_retries: usize,
 }
 
 /// Two-phase (or warm-started) revised simplex on an equilibrated
-/// system.
+/// system, using the dense-inverse basis engine (the `sparse` backend).
 pub(crate) fn solve_equilibrated(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    warm: Option<&[usize]>,
+) -> Result<CoreOutcome, LpError> {
+    solve_equilibrated_with::<DenseInverse>(costs, a, b, warm)
+}
+
+/// Two-phase (or warm-started) revised simplex using the LU + eta-file
+/// basis engine (the `lu` backend).
+pub(crate) fn solve_equilibrated_lu(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    warm: Option<&[usize]>,
+) -> Result<CoreOutcome, LpError> {
+    solve_equilibrated_with::<LuBasis>(costs, a, b, warm)
+}
+
+fn solve_equilibrated_with<R: BasisRepr>(
     costs: &[f64],
     a: &CscMatrix,
     b: &[f64],
@@ -377,16 +589,24 @@ pub(crate) fn solve_equilibrated(
     let m = a.rows();
     let n = a.cols();
     let mut pivots = 0usize;
+    let mut watchdog_restarts = 0usize;
     if m == 0 {
         return if costs.iter().any(|&c| c < -EPS) {
             Err(LpError::Unbounded)
         } else {
-            Ok(CoreOutcome { x: vec![0.0; n], basis: Vec::new(), pivots, warm_start_used: false })
+            Ok(CoreOutcome {
+                x: vec![0.0; n],
+                basis: Vec::new(),
+                pivots,
+                warm_start_used: false,
+                watchdog_restarts,
+                bland_retries: 0,
+            })
         };
     }
 
     // ---- Warm start: refactorize the cached basis; use it if primal
-    // feasible. A failed warm start costs one m×m inversion. Anything
+    // feasible. A failed warm start costs one refactorization. Anything
     // short of a clean optimum — lost feasibility, a pivot-limit grind
     // on a stale degenerate basis — falls through to the cold path, so
     // caching can never change a result, only its speed. (Infeasible
@@ -394,12 +614,13 @@ pub(crate) fn solve_equilibrated(
     // Unbounded is a verified verdict and is returned.)
     if let Some(basis) = warm {
         if basis.len() == m && basis.iter().all(|&j| j < n) {
-            if let Some(binv) = basis_inverse(a, basis) {
-                let xb = binv.mul_vec(b);
+            let mut repr = R::identity(m);
+            if repr.refactor(a, n, basis) {
+                let xb = repr.ftran_dense(b);
                 if xb.iter().all(|&v| v >= -1e-9) {
                     let xb = xb.into_iter().map(|v| v.max(0.0)).collect();
-                    let mut state = Revised::new(a, basis.to_vec(), binv, xb);
-                    let run = state.run(costs, 0.0, b, false);
+                    let mut state = Revised::new(a, basis.to_vec(), repr, xb);
+                    let run = state.run(costs, 0.0, b, false, true);
                     pivots += state.pivots;
                     match run {
                         Ok(RunOutcome::Optimal) => {
@@ -408,9 +629,12 @@ pub(crate) fn solve_equilibrated(
                                 basis: state.basis,
                                 pivots,
                                 warm_start_used: true,
+                                watchdog_restarts,
+                                bland_retries: 0,
                             });
                         }
-                        Ok(RunOutcome::LostFeasibility) | Err(LpError::PivotLimit) => {}
+                        Ok(RunOutcome::LostFeasibility) => watchdog_restarts += 1,
+                        Err(LpError::PivotLimit) => {}
                         Err(e) => return Err(e),
                     }
                 }
@@ -423,15 +647,30 @@ pub(crate) fn solve_equilibrated(
     // attempt ground into the pivot limit: the pathological walk3d-style
     // LPs can cycle for tens of thousands of degenerate pivots under
     // Dantzig pricing, while Bland's rule terminates by construction.
-    match cold_two_phase(costs, a, b, false, &mut pivots) {
+    match cold_two_phase::<R>(costs, a, b, false, &mut pivots) {
         Ok(Some((x, basis))) => {
-            return Ok(CoreOutcome { x, basis, pivots, warm_start_used: false })
+            return Ok(CoreOutcome {
+                x,
+                basis,
+                pivots,
+                warm_start_used: false,
+                watchdog_restarts,
+                bland_retries: 0,
+            })
         }
-        Ok(None) | Err(LpError::PivotLimit) => {}
+        Ok(None) => watchdog_restarts += 1,
+        Err(LpError::PivotLimit) => {}
         Err(e) => return Err(e),
     }
-    match cold_two_phase(costs, a, b, true, &mut pivots)? {
-        Some((x, basis)) => Ok(CoreOutcome { x, basis, pivots, warm_start_used: false }),
+    match cold_two_phase::<R>(costs, a, b, true, &mut pivots)? {
+        Some((x, basis)) => Ok(CoreOutcome {
+            x,
+            basis,
+            pivots,
+            warm_start_used: false,
+            watchdog_restarts,
+            bland_retries: 1,
+        }),
         None => Err(LpError::PivotLimit),
     }
 }
@@ -439,7 +678,7 @@ pub(crate) fn solve_equilibrated(
 /// Textbook two-phase solve. `Ok(None)` means the feasibility watchdog
 /// fired and the caller should retry more conservatively.
 #[allow(clippy::type_complexity)]
-fn cold_two_phase(
+fn cold_two_phase<R: BasisRepr>(
     costs: &[f64],
     a: &CscMatrix,
     b: &[f64],
@@ -450,9 +689,9 @@ fn cold_two_phase(
     let n = a.cols();
 
     // ---- Phase 1: artificial identity basis, minimize their sum. ----
-    let mut state = Revised::new(a, (n..n + m).collect(), Matrix::identity(m), b.to_vec());
+    let mut state = Revised::new(a, (n..n + m).collect(), R::identity(m), b.to_vec());
     let phase1_costs = vec![0.0; n];
-    let phase1 = match state.run(&phase1_costs, 1.0, b, force_bland) {
+    let phase1 = match state.run(&phase1_costs, 1.0, b, force_bland, true) {
         Ok(outcome) => outcome,
         Err(e) => {
             *pivots += state.pivots;
@@ -474,7 +713,7 @@ fn cold_two_phase(
     // their artificial basic at value 0 (it can never re-enter).
     for i in 0..m {
         if state.basis[i] >= n {
-            let row_i: Vec<f64> = state.binv.row(i).to_vec();
+            let row_i = state.repr.binv_row(i);
             let found = (0..n).find(|&j| state.a.col_dot(j, &row_i).abs() > 1e-7);
             if let Some(j) = found {
                 let u = state.ftran(j);
@@ -485,7 +724,7 @@ fn cold_two_phase(
 
     // ---- Phase 2: real costs. Artificials cannot re-enter: `entering`
     // only prices real columns. ----
-    let phase2 = state.run(costs, 0.0, b, force_bland);
+    let phase2 = state.run(costs, 0.0, b, force_bland, false);
     *pivots += state.pivots;
     if phase2? == RunOutcome::LostFeasibility {
         return Ok(None);
@@ -498,6 +737,9 @@ mod tests {
     use crate::presolve::StdRows;
     use crate::{BackendChoice, LpError, LpSolver};
 
+    /// The two revised-simplex backends every core test runs through.
+    const REVISED_BACKENDS: [BackendChoice; 2] = [BackendChoice::Sparse, BackendChoice::Lu];
+
     fn rows_of(dense: Vec<Vec<f64>>) -> Vec<Vec<(usize, f64)>> {
         dense
             .into_iter()
@@ -505,54 +747,69 @@ mod tests {
             .collect()
     }
 
-    fn solve_std_rows(lp: StdRows) -> Result<Vec<f64>, LpError> {
-        LpSolver::with_choice(BackendChoice::Sparse).solve_std_rows(lp)
+    fn solve_std_rows(choice: BackendChoice, lp: StdRows) -> Result<Vec<f64>, LpError> {
+        LpSolver::with_choice(choice).solve_std_rows(lp)
     }
 
-    fn solve(costs: Vec<f64>, rows: Vec<Vec<f64>>, b: Vec<f64>) -> Result<Vec<f64>, LpError> {
+    fn solve(
+        choice: BackendChoice,
+        costs: Vec<f64>,
+        rows: Vec<Vec<f64>>,
+        b: Vec<f64>,
+    ) -> Result<Vec<f64>, LpError> {
         let ncols = costs.len();
-        solve_std_rows(StdRows { costs, rows: rows_of(rows), b, ncols })
+        solve_std_rows(choice, StdRows { costs, rows: rows_of(rows), b, ncols })
     }
 
     #[test]
     fn matches_dense_on_textbook_lp() {
-        // min −x1 − x2 s.t. x1 + x2 + s = 1.
-        let x = solve(vec![-1.0, -1.0, 0.0], vec![vec![1.0, 1.0, 1.0]], vec![1.0]).unwrap();
-        assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
+        for choice in REVISED_BACKENDS {
+            // min −x1 − x2 s.t. x1 + x2 + s = 1.
+            let x = solve(choice, vec![-1.0, -1.0, 0.0], vec![vec![1.0, 1.0, 1.0]], vec![1.0])
+                .unwrap();
+            assert!((x[0] + x[1] - 1.0).abs() < 1e-9, "{choice}");
+        }
     }
 
     #[test]
     fn infeasible_and_unbounded() {
-        // x0 = 1 and x0 = 2 (after pattern dedup: conflicting duplicates).
-        let r = solve(vec![0.0], vec![vec![1.0], vec![1.0]], vec![1.0, 2.0]);
-        assert_eq!(r.unwrap_err(), LpError::Infeasible);
-        // min −x with no constraints on x.
-        let r = solve(vec![-1.0], vec![], vec![]);
-        assert_eq!(r.unwrap_err(), LpError::Unbounded);
+        for choice in REVISED_BACKENDS {
+            // x0 = 1 and x0 = 2 (after pattern dedup: conflicting duplicates).
+            let r = solve(choice, vec![0.0], vec![vec![1.0], vec![1.0]], vec![1.0, 2.0]);
+            assert_eq!(r.unwrap_err(), LpError::Infeasible, "{choice}");
+            // min −x with no constraints on x.
+            let r = solve(choice, vec![-1.0], vec![], vec![]);
+            assert_eq!(r.unwrap_err(), LpError::Unbounded, "{choice}");
+        }
     }
 
     #[test]
     fn warm_start_reuses_basis() {
         // Same pattern solved twice with nearby numbers in ONE session;
         // the second solve must produce the same optimum through the warm
-        // path, and the session must record the cache hit.
-        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
-        for rhs in [1.0, 1.1] {
-            let x = solver
-                .solve_std_rows(StdRows {
-                    costs: vec![-1.0, -2.0, 0.0, 0.0],
-                    rows: rows_of(vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0, 1.0]]),
-                    b: vec![rhs, 0.5],
-                    ncols: 4,
-                })
-                .unwrap();
-            let obj = -x[0] - 2.0 * x[1];
-            let expect = -2.0 * rhs;
-            assert!((obj - expect).abs() < 1e-7, "rhs {rhs}: got {obj}, want {expect}");
+        // path, and the session must record the cache hit — for both
+        // warm-capable backends.
+        for choice in REVISED_BACKENDS {
+            let mut solver = LpSolver::with_choice(choice);
+            for rhs in [1.0, 1.1] {
+                let x = solver
+                    .solve_std_rows(StdRows {
+                        costs: vec![-1.0, -2.0, 0.0, 0.0],
+                        rows: rows_of(vec![vec![1.0, 1.0, 1.0, 0.0], vec![1.0, -1.0, 0.0, 1.0]]),
+                        b: vec![rhs, 0.5],
+                        ncols: 4,
+                    })
+                    .unwrap();
+                let obj = -x[0] - 2.0 * x[1];
+                let expect = -2.0 * rhs;
+                assert!(
+                    (obj - expect).abs() < 1e-7,
+                    "{choice} rhs {rhs}: got {obj}, want {expect}"
+                );
+            }
+            assert_eq!(solver.stats().warm_start_hits, 1, "{choice}: second solve warm-starts");
         }
-        assert_eq!(solver.stats().warm_start_hits, 1, "second solve warm-starts");
     }
-
 
     #[test]
     fn polylow_cycling_repro() {
@@ -570,20 +827,28 @@ mod tests {
             vec![(0, -1.0), (1, 1.0), (28, -1.0), (29, 1.0), (30, -1.0), (31, -1.0), (32, 1.0), (33, -1.0)],
             vec![(0, 1.0), (1, -1.0), (2, 1.0), (3, -1.0), (4, 1.0), (5, -1.0), (34, 1.0)],
         ];
-        let r = solve_std_rows(StdRows { costs, rows, b, ncols: 35 });
-        assert!(r.is_ok(), "got {r:?}");
+        for choice in REVISED_BACKENDS {
+            let r = solve_std_rows(
+                choice,
+                StdRows { costs: costs.clone(), rows: rows.clone(), b: b.clone(), ncols: 35 },
+            );
+            assert!(r.is_ok(), "{choice}: got {r:?}");
+        }
     }
 
     #[test]
     fn redundant_zero_row_survives() {
-        // Duplicate rows are presolved away; the optimum is unchanged.
-        let x = solve(
-            vec![1.0, 0.0],
-            vec![vec![1.0, 1.0], vec![2.0, 2.0]],
-            vec![1.0, 2.0],
-        )
-        .unwrap();
-        assert!((x[0] + x[1] - 1.0).abs() < 1e-9);
-        assert!(x[0].abs() < 1e-9);
+        for choice in REVISED_BACKENDS {
+            // Duplicate rows are presolved away; the optimum is unchanged.
+            let x = solve(
+                choice,
+                vec![1.0, 0.0],
+                vec![vec![1.0, 1.0], vec![2.0, 2.0]],
+                vec![1.0, 2.0],
+            )
+            .unwrap();
+            assert!((x[0] + x[1] - 1.0).abs() < 1e-9, "{choice}");
+            assert!(x[0].abs() < 1e-9, "{choice}");
+        }
     }
 }

@@ -10,9 +10,9 @@
 //!   receives a **presolved, equilibrated** standard-form system
 //!   `min cᵀx, A·x = b, x ≥ 0` (`b ≥ 0`) in CSC form plus an optional
 //!   warm-start basis, and reports the solution, the final basis (when it
-//!   supports warm starts) and the pivots it spent. [`SparseRevised`] and
-//!   [`DenseTableau`] are the built-in implementations; external backends
-//!   (LU-update simplex, interior point, …) implement the same trait and
+//!   supports warm starts) and the pivots it spent. [`SparseRevised`],
+//!   [`DenseTableau`] and [`LuSimplex`] are the built-in implementations;
+//!   external backends (interior point, …) implement the same trait and
 //!   are attached with [`LpSolver::register_backend`].
 //! * [`LpSolver`] is the per-synthesis **session**: it owns the shared
 //!   pipeline (presolve → equilibration → warm-start lookup → backend →
@@ -38,6 +38,14 @@ use std::time::Instant;
 const DENSE_CUTOVER_ROWS: usize = 16;
 const DENSE_CUTOVER_COLS: usize = 96;
 
+/// Cutovers above which [`BackendChoice::Auto`] routes to the LU-backed
+/// simplex: the eta-file update is O(nnz) against the dense inverse's
+/// O(m²) per pivot, but the LU solves only pay off once the basis is
+/// both big enough and sparse enough that the factors stay compact.
+/// Density is `nnz(A) / (m·n)` of the reduced system.
+const LU_CUTOVER_ROWS: usize = 64;
+const LU_MAX_DENSITY: f64 = 0.25;
+
 /// Default capacity of the session's warm-start basis cache.
 const DEFAULT_CACHE_CAPACITY: usize = 256;
 
@@ -54,6 +62,14 @@ pub struct CoreSolution {
     pub pivots: usize,
     /// The supplied warm basis was accepted and drove the solve.
     pub warm_start_used: bool,
+    /// Feasibility-watchdog refactor-backstop trips: the solve had to
+    /// restart because a refactorization exposed a corrupted `x_B` (or
+    /// itself failed on a singular basis where incremental state cannot
+    /// be trusted). Always 0 for backends without incremental basis
+    /// updates.
+    pub watchdog_restarts: usize,
+    /// Cold re-solves forced into all-Bland mode (anti-cycling retries).
+    pub bland_retries: usize,
 }
 
 /// A pluggable LP core solver.
@@ -115,13 +131,53 @@ impl LpBackend for SparseRevised {
         b: &[f64],
         warm: Option<&[usize]>,
     ) -> Result<CoreSolution, LpError> {
-        let out = revised::solve_equilibrated(costs, a, b, warm)?;
-        Ok(CoreSolution {
+        revised::solve_equilibrated(costs, a, b, warm).map(CoreSolution::from)
+    }
+}
+
+/// The LU-backed revised simplex backend: the same pivoting loop as
+/// [`SparseRevised`], but the basis lives as Markowitz-ordered sparse LU
+/// factors ([`crate::lu`]) plus a product-form eta file ([`crate::eta`])
+/// instead of an explicit `m × m` inverse — O(nnz) per pivot instead of
+/// O(m²), with refactorization driven by eta-count/fill-in/accuracy
+/// thresholds. The representation of choice for the large sparse
+/// Handelman/Farkas LPs, and the conditioning fix for the degenerate
+/// walk3d-style systems that trip the dense path's feasibility watchdog.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LuSimplex;
+
+impl LpBackend for LuSimplex {
+    fn name(&self) -> &'static str {
+        "lu"
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn solve_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        warm: Option<&[usize]>,
+    ) -> Result<CoreSolution, LpError> {
+        revised::solve_equilibrated_lu(costs, a, b, warm).map(CoreSolution::from)
+    }
+}
+
+impl From<revised::CoreOutcome> for CoreSolution {
+    /// The one field mapping from the shared revised-simplex core to the
+    /// backend interface, used by both warm-capable backends.
+    fn from(out: revised::CoreOutcome) -> Self {
+        CoreSolution {
             x: out.x,
             basis: Some(out.basis),
             pivots: out.pivots,
             warm_start_used: out.warm_start_used,
-        })
+            watchdog_restarts: out.watchdog_restarts,
+            bland_retries: out.bland_retries,
+        }
     }
 }
 
@@ -146,25 +202,36 @@ impl LpBackend for DenseTableau {
         let dense = a.to_dense();
         let mut pivots = 0usize;
         let x = simplex::solve_standard_unscaled(costs, &dense, b, &mut pivots)?;
-        Ok(CoreSolution { x, basis: None, pivots, warm_start_used: false })
+        Ok(CoreSolution {
+            x,
+            basis: None,
+            pivots,
+            warm_start_used: false,
+            watchdog_restarts: 0,
+            bland_retries: 0,
+        })
     }
 }
 
 /// Backend selection policy of a session.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum BackendChoice {
-    /// Hybrid dispatch: tiny reduced systems (≤ 16 rows, ≤ 96 columns)
-    /// take the dense tableau, everything else the sparse revised
+    /// Hybrid dispatch by size **and** density of the reduced system:
+    /// tiny models (≤ 16 rows, ≤ 96 columns) take the dense tableau,
+    /// large sparse ones (≥ 64 rows at ≤ 25% density) the LU-backed
+    /// simplex, everything in between the dense-inverse sparse revised
     /// simplex. This is the default unless the crate is built with the
     /// `dense-simplex` feature, which flips the default to
     /// [`BackendChoice::Dense`].
     #[cfg_attr(not(feature = "dense-simplex"), default)]
     Auto,
-    /// Always the sparse revised simplex.
+    /// Always the sparse revised simplex (dense-inverse basis engine).
     Sparse,
     /// Always the dense tableau.
     #[cfg_attr(feature = "dense-simplex", default)]
     Dense,
+    /// Always the LU + eta-file revised simplex.
+    Lu,
 }
 
 impl std::str::FromStr for BackendChoice {
@@ -175,7 +242,10 @@ impl std::str::FromStr for BackendChoice {
             "auto" => Ok(BackendChoice::Auto),
             "sparse" => Ok(BackendChoice::Sparse),
             "dense" => Ok(BackendChoice::Dense),
-            other => Err(format!("unknown LP backend `{other}` (expected auto, sparse, or dense)")),
+            "lu" => Ok(BackendChoice::Lu),
+            other => {
+                Err(format!("unknown LP backend `{other}` (expected auto, sparse, dense, or lu)"))
+            }
         }
     }
 }
@@ -196,7 +266,7 @@ impl BackendChoice {
             if a == "--lp-backend" {
                 let v = it
                     .next()
-                    .ok_or_else(|| "--lp-backend needs auto, sparse, or dense".to_string())?;
+                    .ok_or_else(|| "--lp-backend needs auto, sparse, dense, or lu".to_string())?;
                 found = Some(v.parse()?);
             }
         }
@@ -210,6 +280,7 @@ impl std::fmt::Display for BackendChoice {
             BackendChoice::Auto => "auto",
             BackendChoice::Sparse => "sparse",
             BackendChoice::Dense => "dense",
+            BackendChoice::Lu => "lu",
         };
         write!(f, "{s}")
     }
@@ -249,6 +320,16 @@ pub struct LpStats {
     pub warm_start_misses: usize,
     /// Warm-start cache entries evicted by the LRU capacity bound.
     pub cache_evictions: usize,
+    /// Feasibility-watchdog refactor-backstop trips across all solves: a
+    /// refactorization exposed a corrupted `x_B` (or failed outright on
+    /// a singular basis where incremental state cannot be trusted) and
+    /// the core solve restarted from scratch. Persistent nonzero counts
+    /// on a workload mean the selected basis representation is
+    /// numerically outmatched (route it to the `lu` backend).
+    pub watchdog_restarts: usize,
+    /// Cold re-solves forced into all-Bland mode (Dantzig-cycle and
+    /// watchdog retries).
+    pub bland_retries: usize,
     /// Total wall time in the solve pipeline, seconds.
     pub wall_seconds: f64,
     /// Per-backend breakdown, in first-use order.
@@ -265,6 +346,8 @@ impl LpStats {
         self.warm_start_hits += other.warm_start_hits;
         self.warm_start_misses += other.warm_start_misses;
         self.cache_evictions += other.cache_evictions;
+        self.watchdog_restarts += other.watchdog_restarts;
+        self.bland_retries += other.bland_retries;
         self.wall_seconds += other.wall_seconds;
         for t in &other.backends {
             self.tally_mut(t.name).fold(t);
@@ -286,7 +369,8 @@ impl std::fmt::Display for LpStats {
         writeln!(
             f,
             "lp: {} solves, {} pivots, {:.3}s; presolve removed {} rows / {} cols; \
-             warm start {} hits / {} misses, {} evictions",
+             warm start {} hits / {} misses, {} evictions; \
+             {} watchdog restarts, {} bland retries",
             self.solves,
             self.pivots,
             self.wall_seconds,
@@ -295,6 +379,8 @@ impl std::fmt::Display for LpStats {
             self.warm_start_hits,
             self.warm_start_misses,
             self.cache_evictions,
+            self.watchdog_restarts,
+            self.bland_retries,
         )?;
         for t in &self.backends {
             writeln!(
@@ -370,11 +456,13 @@ impl BasisCache {
 /// the crate docs for a registration/selection example.
 pub struct LpSolver {
     backends: Vec<Box<dyn LpBackend>>,
-    /// `Auto` applies the size cutover between `sparse_idx`/`dense_idx`;
-    /// `Fixed` pins one registered backend.
+    /// `Auto` applies the size/density cutovers between
+    /// `sparse_idx`/`dense_idx`/`lu_idx`; `Fixed` pins one registered
+    /// backend.
     selection: Selection,
     sparse_idx: usize,
     dense_idx: usize,
+    lu_idx: usize,
     cache: BasisCache,
     stats: LpStats,
 }
@@ -412,10 +500,11 @@ impl LpSolver {
     /// Creates a session with an explicit built-in selection policy.
     pub fn with_choice(choice: BackendChoice) -> Self {
         let mut s = LpSolver {
-            backends: vec![Box::new(SparseRevised), Box::new(DenseTableau)],
+            backends: vec![Box::new(SparseRevised), Box::new(DenseTableau), Box::new(LuSimplex)],
             selection: Selection::Auto,
             sparse_idx: 0,
             dense_idx: 1,
+            lu_idx: 2,
             cache: BasisCache::new(DEFAULT_CACHE_CAPACITY),
             stats: LpStats::default(),
         };
@@ -429,6 +518,7 @@ impl LpSolver {
             BackendChoice::Auto => Selection::Auto,
             BackendChoice::Sparse => Selection::Fixed(self.sparse_idx),
             BackendChoice::Dense => Selection::Fixed(self.dense_idx),
+            BackendChoice::Lu => Selection::Fixed(self.lu_idx),
         };
     }
 
@@ -589,7 +679,16 @@ impl LpSolver {
                 if m <= DENSE_CUTOVER_ROWS && n <= DENSE_CUTOVER_COLS {
                     self.dense_idx
                 } else {
-                    self.sparse_idx
+                    // Size alone is not enough: a big basis only favors
+                    // the LU factors when the system is sparse enough
+                    // that they stay compact. Dense mid-size systems keep
+                    // the explicit-inverse engine.
+                    let density = sa.nnz() as f64 / (m * n) as f64;
+                    if m >= LU_CUTOVER_ROWS && density <= LU_MAX_DENSITY {
+                        self.lu_idx
+                    } else {
+                        self.sparse_idx
+                    }
                 }
             }
         };
@@ -612,6 +711,8 @@ impl LpSolver {
         tally.pivots += pivots;
         tally.wall_seconds += backend_wall;
         let core = core?;
+        self.stats.watchdog_restarts += core.watchdog_restarts;
+        self.stats.bland_retries += core.bland_retries;
         if warm_capable {
             if core.warm_start_used {
                 self.stats.warm_start_hits += 1;
@@ -664,11 +765,41 @@ mod tests {
 
     #[test]
     fn all_choices_agree_on_the_optimum() {
-        for choice in [BackendChoice::Auto, BackendChoice::Sparse, BackendChoice::Dense] {
+        for choice in [
+            BackendChoice::Auto,
+            BackendChoice::Sparse,
+            BackendChoice::Dense,
+            BackendChoice::Lu,
+        ] {
             let mut solver = LpSolver::with_choice(choice);
             let sol = solver.solve(&simple_lp(3.0)).unwrap();
             assert!((sol.objective - 6.0).abs() < 1e-7, "{choice}: {}", sol.objective);
         }
+    }
+
+    #[test]
+    fn auto_routes_by_size_and_density() {
+        // Large and sparse (one singleton cap per variable, far past the
+        // dense cutover): Auto must pick the LU backend.
+        let mut solver = LpSolver::with_choice(BackendChoice::Auto);
+        let mut lp = LpBuilder::new();
+        let vars: Vec<_> = (0..LU_CUTOVER_ROWS + 8)
+            .map(|j| lp.add_var_nonneg(format!("x{j}")))
+            .collect();
+        let mut sum = LinExpr::new();
+        for (j, &v) in vars.iter().enumerate() {
+            // Distinct caps so presolve keeps every row.
+            lp.constrain(
+                LinExpr::var(v, 1.0).term(vars[(j + 1) % vars.len()], 0.5),
+                Cmp::Le,
+                1.0 + j as f64,
+            );
+            sum = sum.term(v, 1.0);
+        }
+        lp.maximize(sum);
+        solver.solve(&lp).unwrap();
+        assert_eq!(solver.stats().backends.len(), 1);
+        assert_eq!(solver.stats().backends[0].name, "lu", "large sparse model routes to lu");
     }
 
     #[test]
@@ -774,6 +905,10 @@ mod tests {
         assert_eq!(
             BackendChoice::from_args(&args(&["--lp-backend", "dense"])).unwrap(),
             Some(BackendChoice::Dense)
+        );
+        assert_eq!(
+            BackendChoice::from_args(&args(&["--lp-backend", "lu"])).unwrap(),
+            Some(BackendChoice::Lu)
         );
         assert_eq!(
             BackendChoice::from_args(&args(&["--lp-backend", "sparse", "--lp-backend", "auto"]))

@@ -135,19 +135,21 @@ proptest! {
 // Differential tests: every backend registered through the `LpBackend`
 // trait on random standard-form LPs. Backends are selected **at
 // runtime** via `LpSolver` sessions — not via the `dense-simplex` cargo
-// feature — so both cores are exercised unconditionally in every build.
-// All backends must agree on the verdict (optimal / infeasible /
+// feature — so all three cores are exercised unconditionally in every
+// build. All backends must agree on the verdict (optimal / infeasible /
 // unbounded) and, when optimal, on the objective value — the argmin may
 // differ when the optimum face is not a vertex singleton.
 // ---------------------------------------------------------------------
 
 use qava_linalg::Matrix;
 use qava_lp::{
-    BackendChoice, CoreSolution, CscMatrix, LpBackend, LpError, LpSolver, solve_standard_dense,
+    BackendChoice, CoreSolution, CscMatrix, LpBackend, LpError, LpSolver, LuSimplex,
+    SparseRevised, solve_standard_dense,
 };
 
 /// The runtime-selected backends every differential case runs through.
-const DIFF_BACKENDS: [BackendChoice; 2] = [BackendChoice::Sparse, BackendChoice::Dense];
+const DIFF_BACKENDS: [BackendChoice; 3] =
+    [BackendChoice::Sparse, BackendChoice::Dense, BackendChoice::Lu];
 
 /// One fresh session per (case, backend): differential cases must not
 /// warm-start each other across proptest iterations.
@@ -211,6 +213,27 @@ fn feasible_std_lp(seed: u64) -> StdLpInstance {
     b.push(total);
     let costs: Vec<f64> = (0..n + 1).map(|_| rng.gen_range(-2.0..2.0)).collect();
     StdLpInstance { costs, a, b }
+}
+
+/// A deliberately degenerate variant of [`feasible_std_lp`]: extra rows
+/// that are sums of existing ones (linearly dependent, so presolve's
+/// exact-duplicate pass keeps them) and a sparser anchor point, so the
+/// optimum sits on a vertex where many bases are interchangeable. This
+/// is the regime where anti-cycling (sticky Bland) and the basis
+/// representations' tiny-pivot handling earn their keep.
+fn degenerate_std_lp(seed: u64) -> StdLpInstance {
+    let mut inst = feasible_std_lp(seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_DE6E);
+    let m = inst.a.len();
+    let extra = 1 + (seed as usize) % 3;
+    for _ in 0..extra {
+        let i = rng.gen_range(0..m);
+        let j = rng.gen_range(0..m);
+        let sum: Vec<f64> = inst.a[i].iter().zip(&inst.a[j]).map(|(x, y)| x + y).collect();
+        inst.b.push(inst.b[i] + inst.b[j]);
+        inst.a.push(sum);
+    }
+    inst
 }
 
 fn objective(costs: &[f64], x: &[f64]) -> f64 {
@@ -289,27 +312,84 @@ proptest! {
         }
     }
 
+    /// On degenerate LPs (dependent rows, sparse anchors) every backend
+    /// still terminates with a feasible point of the same value — the
+    /// anti-cycling and tiny-pivot machinery of both revised-simplex
+    /// representations under maximal tie pressure.
+    #[test]
+    fn differential_degenerate(seed in any::<u64>()) {
+        let inst = degenerate_std_lp(seed);
+        let tol = 1e-6 * (1.0 + inst.b.iter().fold(0.0f64, |a, &v| a.max(v.abs())));
+        let mut objectives: Vec<(BackendChoice, f64)> = Vec::new();
+        for choice in DIFF_BACKENDS {
+            let x = solve_with(choice, &inst)
+                .expect("degenerate instance stays feasible and bounded");
+            prop_assert!(check_feasible(&inst, &x, tol).is_ok(),
+                "{choice} infeasible point: {:?}", check_feasible(&inst, &x, tol));
+            objectives.push((choice, objective(&inst.costs, &x)));
+        }
+        let (_, o0) = objectives[0];
+        for &(choice, o) in &objectives[1..] {
+            prop_assert!((o0 - o).abs() <= 1e-5 * (1.0 + o0.abs().max(o.abs())),
+                "objective mismatch: {} {o0} vs {choice} {o}", objectives[0].0);
+        }
+    }
+
     /// Warm-started re-solves agree with cold solves of every backend:
-    /// one sparse session solves a drifting sequence of same-pattern LPs
-    /// (hitting the basis cache) and each solve is cross-checked against
-    /// a cold dense session.
+    /// one warm-capable session solves a drifting sequence of
+    /// same-pattern LPs (hitting the basis cache) and each solve is
+    /// cross-checked against a cold dense session.
     #[test]
     fn differential_warm_start_chain(seed in any::<u64>()) {
         let inst = feasible_std_lp(seed);
-        let mut warm = LpSolver::with_choice(BackendChoice::Sparse);
-        for step in 0..4 {
-            let mut drifted = inst.clone();
-            for v in drifted.b.iter_mut() {
-                *v *= 1.0 + 0.05 * step as f64;
+        for warm_choice in [BackendChoice::Sparse, BackendChoice::Lu] {
+            let mut warm = LpSolver::with_choice(warm_choice);
+            for step in 0..4 {
+                let mut drifted = inst.clone();
+                for v in drifted.b.iter_mut() {
+                    *v *= 1.0 + 0.05 * step as f64;
+                }
+                let xw = warm.solve_standard(&drifted.costs, &drifted.matrix(), &drifted.b)
+                    .expect("scaled instance stays feasible and bounded");
+                let xc = solve_with(BackendChoice::Dense, &drifted)
+                    .expect("cold dense solve of the same instance");
+                let ow = objective(&drifted.costs, &xw);
+                let oc = objective(&drifted.costs, &xc);
+                prop_assert!((ow - oc).abs() <= 1e-5 * (1.0 + ow.abs().max(oc.abs())),
+                    "step {step}: warm {warm_choice} {ow} vs cold dense {oc}");
             }
-            let xw = warm.solve_standard(&drifted.costs, &drifted.matrix(), &drifted.b)
-                .expect("scaled instance stays feasible and bounded");
-            let xc = solve_with(BackendChoice::Dense, &drifted)
-                .expect("cold dense solve of the same instance");
-            let ow = objective(&drifted.costs, &xw);
-            let oc = objective(&drifted.costs, &xc);
-            prop_assert!((ow - oc).abs() <= 1e-5 * (1.0 + ow.abs().max(oc.abs())),
-                "step {step}: warm sparse {ow} vs cold dense {oc}");
+        }
+    }
+
+    /// A hostile warm-start basis — singular (duplicated column) or
+    /// nearly singular — must never change a verdict or an optimum: the
+    /// warm-capable backends hit the refactorization backstop, reject
+    /// the basis, and fall back to the cold path.
+    #[test]
+    fn differential_hostile_warm_basis(seed in any::<u64>()) {
+        let inst = feasible_std_lp(seed);
+        let csc = CscMatrix::from_dense(&inst.matrix());
+        let m = inst.a.len();
+        let reference = solve_with(BackendChoice::Dense, &inst)
+            .expect("constructed LP is feasible and bounded");
+        let oref = objective(&inst.costs, &reference);
+        // Singular: the same column in every basis slot. Near-singular /
+        // stale: all slots on the last column except slot 0.
+        let singular = vec![0usize; m];
+        let mut stale = vec![inst.a[0].len() - 1; m];
+        stale[0] = 0;
+        for (label, basis) in [("singular", &singular), ("stale", &stale)] {
+            for backend in [
+                Box::new(SparseRevised) as Box<dyn LpBackend>,
+                Box::new(LuSimplex) as Box<dyn LpBackend>,
+            ] {
+                let core = backend
+                    .solve_core(&inst.costs, &csc, &inst.b, Some(basis))
+                    .unwrap_or_else(|e| panic!("{} warm={label}: {e}", backend.name()));
+                let o = objective(&inst.costs, &core.x);
+                prop_assert!((o - oref).abs() <= 1e-5 * (1.0 + o.abs().max(oref.abs())),
+                    "{} with {label} warm basis: {o} vs {oref}", backend.name());
+            }
         }
     }
 }
