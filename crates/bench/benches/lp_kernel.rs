@@ -12,7 +12,10 @@
 //!   simplex's home turf;
 //! * `3dwalk_large` — the largest Handelman class in the suite
 //!   (m ≈ 64–127 at a few percent density, degenerate εmax systems):
-//!   the class the sparse LU + eta-file representation targets.
+//!   the class the factorized representations target, and where the
+//!   `lu` (product-form eta file) and `lu-ft` (Forrest–Tomlin spike
+//!   swaps) update schemes race on identical LP streams — the
+//!   pivot-heavy runs FT exists for.
 //!
 //! `bench_compare` holds every `lp/` benchmark to the hard ±25% gate
 //! (the suite benches stay warn-only), so a regression in any backend's
@@ -21,7 +24,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind};
 use qava_core::suite::{coupon_rows, rdwalk_rows, walk3d_rows};
-use qava_lp::{BackendChoice, LpSolver};
+use qava_lp::debug::{update_solve_cycle, TraceEngine};
+use qava_lp::{BackendChoice, CscMatrix, LpSolver};
 
 /// Reduced Ser budget: enough ε-probe LPs to exercise warm starts and
 /// the εmax knife edge while keeping the matrix quick.
@@ -37,7 +41,9 @@ fn bench_lp_kernel(c: &mut Criterion) {
     ];
     for (class, row) in classes {
         let pts = row.compile();
-        for backend in [BackendChoice::Sparse, BackendChoice::Dense, BackendChoice::Lu] {
+        for backend in
+            [BackendChoice::Sparse, BackendChoice::Dense, BackendChoice::Lu, BackendChoice::LuFt]
+        {
             group.bench_with_input(BenchmarkId::new(class, backend), &pts, |bench, pts| {
                 bench.iter(|| {
                     // A fresh session per iteration: cold warm-start
@@ -58,5 +64,55 @@ fn bench_lp_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lp_kernel);
+/// A 3dwalk-shaped sparse system for the basis-update micro-bench:
+/// m = 96 rows, n = 192 columns at ~4% density, every column carrying
+/// one strong entry so the greedy exchange chain never starves.
+fn walk3d_like_matrix() -> CscMatrix {
+    let m = 96usize;
+    let n = 192usize;
+    let mut state = 0xD1B54A32D192ED03u64;
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let mut rows: Vec<Vec<(usize, f64)>> = vec![Vec::new(); m];
+    for j in 0..n {
+        let anchor = (next() as usize) % m;
+        rows[anchor].push((j, 1.5 + (next() % 1000) as f64 / 1000.0));
+        for _ in 0..3 {
+            let r = (next() as usize) % m;
+            if r != anchor {
+                rows[r].push((j, (next() % 2000) as f64 / 1000.0 - 1.0));
+            }
+        }
+    }
+    CscMatrix::from_sparse_rows(m, n, &rows)
+}
+
+/// The update schemes head to head at **equal refactorization counts**:
+/// one (trivial) factorization, an identical deterministic exchange
+/// chain of 64/128/192 pivots — the eta file's full
+/// between-refactorization budget, FT's, and a pivot-heavier run — then
+/// 256 rounds of one sparse ftran + one dense btran, the pivot loop's
+/// solve mix. These are the rows the Forrest–Tomlin engine exists for:
+/// with the updates absorbed into U there is no eta stack to traverse,
+/// so FT's ftran/btran cost stays flat as the chain grows while the eta
+/// file's climbs — the gap widens monotonically across the ladder.
+fn bench_basis_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/kernel");
+    group.sample_size(10);
+    let a = walk3d_like_matrix();
+    for updates in [64usize, 128, 192] {
+        for (engine, name) in [(TraceEngine::LuEta, "lu"), (TraceEngine::LuFt, "lu-ft")] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("basis_update{updates}"), name),
+                &a,
+                |bench, a| bench.iter(|| update_solve_cycle(engine, a, updates, 256)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_kernel, bench_basis_update);
 criterion_main!(benches);

@@ -205,6 +205,20 @@ fn compare(
     };
     for (name, &old) in base {
         match fresh.get(name) {
+            None if name.starts_with(kernel_prefix) => {
+                // A vanished kernel bench is a gate failure, not a
+                // notice: treating it as a pass would let a bench rename
+                // (or a silently dropped matrix row) delete the CI gate
+                // without anyone noticing.
+                r.only_baseline += 1;
+                r.kernel_regressions += 1;
+                r.lines.push(format!(
+                    "::error::bench_compare: LP-kernel bench `{name}` vanished from the fresh \
+                     run — renamed or dropped? The kernel gate covers every baseline `lp/` \
+                     entry; update the committed baseline in the same change that renames a \
+                     bench — gating"
+                ));
+            }
             None => {
                 r.only_baseline += 1;
                 r.lines.push(format!("bench_compare: `{name}` missing from fresh run"));
@@ -317,5 +331,39 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.contains("::warning::") && l.contains("hoeffding")));
+    }
+
+    #[test]
+    fn vanished_kernel_bench_is_a_hard_failure() {
+        // A suite bench may come and go (notice only), but a baseline
+        // `lp/` entry missing from the fresh run must gate: otherwise
+        // renaming a kernel bench silently drops it from CI.
+        let base: BTreeMap<String, f64> = [
+            ("lp/kernel/3dwalk_large/lu-ft", 100.0),
+            ("lp/kernel/coupon_mid/sparse", 100.0),
+            ("table1/concentration/hoeffding/X", 100.0),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let fresh: BTreeMap<String, f64> = [
+            ("lp/kernel/coupon_mid/sparse", 101.0),
+            ("lp/kernel/3dwalk_large/lu_ft", 100.0), // renamed: does not count
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v))
+        .collect();
+        let r = compare(&base, &fresh, 0.10, "lp/", 0.25);
+        assert_eq!(r.only_baseline, 2, "the vanished kernel and suite benches");
+        assert_eq!(r.kernel_regressions, 1, "only the vanished kernel bench gates");
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| l.contains("::error::") && l.contains("vanished")));
+        // The vanished suite bench stays a plain notice.
+        assert!(r
+            .lines
+            .iter()
+            .any(|l| !l.contains("::error::") && l.contains("hoeffding")));
     }
 }

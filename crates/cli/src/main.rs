@@ -41,10 +41,12 @@ output:
 solver:
   --lp-backend B   LP backend policy: auto (default; routes by size and
                    density — tiny models on the dense tableau, large
-                   sparse systems on the LU simplex, the rest on the
-                   sparse revised simplex), sparse, dense, or lu —
-                   applies to single-file analyses and to --suite, which
-                   also prints per-backend solve statistics
+                   sparse systems on the Forrest–Tomlin LU simplex, the
+                   rest on the sparse revised simplex), sparse, dense,
+                   lu (LU + product-form eta file), or lu-ft (LU +
+                   Forrest–Tomlin spike swaps) — applies to single-file
+                   analyses and to --suite, which also prints
+                   per-backend solve statistics
 
 suite:
   --suite          run the paper's benchmark suite (Tables 1-2) through
@@ -101,7 +103,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                 opts.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
             }
             "--lp-backend" => {
-                let s = it.next().ok_or("--lp-backend needs auto, sparse, dense, or lu")?;
+                let s =
+                    it.next().ok_or("--lp-backend needs auto, sparse, dense, lu, or lu-ft")?;
                 opts.lp_backend = s.parse()?;
             }
             "--param" => {
@@ -386,6 +389,8 @@ mod tests {
         assert_eq!(o.lp_backend, BackendChoice::Sparse);
         let o = parse_args(&args(&["p.qava", "--lp-backend", "lu"])).unwrap();
         assert_eq!(o.lp_backend, BackendChoice::Lu);
+        let o = parse_args(&args(&["p.qava", "--lp-backend", "lu-ft"])).unwrap();
+        assert_eq!(o.lp_backend, BackendChoice::LuFt);
         let o = parse_args(&args(&["p.qava"])).unwrap();
         assert_eq!(o.lp_backend, BackendChoice::default());
         assert!(parse_args(&args(&["p.qava", "--lp-backend", "cuda"])).is_err());

@@ -9,11 +9,12 @@
 //! future simplex-numerics changes fail here in seconds instead of in a
 //! full suite run.
 //!
-//! It also pins the LU backend's headline robustness property: walk3d
+//! It also pins the LU backends' headline robustness property: walk3d
 //! synthesis must complete with **zero feasibility-watchdog
 //! refactor-backstop trips** (`LpStats::watchdog_restarts`) — the
-//! conditioning failure the factorized representation exists to
-//! eliminate.
+//! conditioning failure the factorized representations exist to
+//! eliminate. Both LU engines (product-form eta file and Forrest–Tomlin
+//! spike swaps) carry the property.
 
 use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind};
 use qava_core::suite::walk3d_rows;
@@ -28,7 +29,7 @@ fn walk3d_epsmax_lp_survives_both_revised_backends() {
     let row = &walk3d_rows()[0]; // (x, y, z) = (100, 100, 100)
     let pts = row.compile();
     let mut lns = Vec::new();
-    for choice in [BackendChoice::Sparse, BackendChoice::Lu] {
+    for choice in [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt] {
         let mut solver = LpSolver::with_choice(choice);
         let r = synthesize_reprsm_bound_in(&pts, BoundKind::Hoeffding, SER_ITERATIONS, &mut solver)
             .unwrap_or_else(|e| panic!("{choice}: walk3d εmax synthesis failed: {e}"));
@@ -45,20 +46,21 @@ fn walk3d_epsmax_lp_survives_both_revised_backends() {
             stats.bland_retries,
             stats.watchdog_restarts,
         );
-        if choice == BackendChoice::Lu {
+        if matches!(choice, BackendChoice::Lu | BackendChoice::LuFt) {
             assert_eq!(
                 stats.watchdog_restarts, 0,
-                "lu: the factorized basis must not trip the feasibility \
+                "{choice}: the factorized basis must not trip the feasibility \
                  watchdog on walk3d"
             );
         }
         lns.push((choice, ln));
     }
-    // Both revised backends must certify essentially the same bound.
+    // All revised backends must certify essentially the same bound.
     let (ca, la) = lns[0];
-    let (cb, lb) = lns[1];
-    assert!(
-        (la - lb).abs() <= 1e-3 * la.abs().max(lb.abs()),
-        "{ca} ({la}) and {cb} ({lb}) diverged on walk3d"
-    );
+    for &(cb, lb) in &lns[1..] {
+        assert!(
+            (la - lb).abs() <= 1e-3 * la.abs().max(lb.abs()),
+            "{ca} ({la}) and {cb} ({lb}) diverged on walk3d"
+        );
+    }
 }

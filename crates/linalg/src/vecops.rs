@@ -111,6 +111,53 @@ pub fn scatter_axpy(alpha: f64, idx: &[usize], vals: &[f64], y: &mut [f64]) {
     }
 }
 
+/// Masked sparse gather dot product `Σ_k vals[k] · x[idx[k]]` over the
+/// entries whose position `pos[idx[k]]` is strictly greater than
+/// `cutoff` — the row-spike elimination kernel of the Forrest–Tomlin
+/// basis update, where one U column is dotted against the running spike
+/// multipliers but only the entries inside the active permutation window
+/// `(cutoff, m)` participate (everything at or before the cut is outside
+/// the spike row and must not touch the workspace).
+///
+/// Fusing the position test into the gather keeps the kernel O(nnz of
+/// the column) with no materialized sub-column, and lets the caller keep
+/// a workspace that is only clean inside the window.
+///
+/// # Panics
+///
+/// Panics if `idx` and `vals` have different lengths, or if an index is
+/// out of bounds for `x` or `pos`.
+pub fn masked_gather_dot(
+    idx: &[usize],
+    vals: &[f64],
+    x: &[f64],
+    pos: &[usize],
+    cutoff: usize,
+) -> f64 {
+    assert_eq!(idx.len(), vals.len(), "masked_gather_dot: length mismatch");
+    let mut ci = idx.chunks_exact(4);
+    let mut cv = vals.chunks_exact(4);
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    // Select-to-zero rather than conditional skip: the four accumulator
+    // lanes stay independent (a branch would serialize them), and an
+    // excluded entry's `x` value is never read into the product, so the
+    // caller's workspace only has to be clean inside the window.
+    let pick = |r: usize| if pos[r] > cutoff { x[r] } else { 0.0 };
+    for (is, vs) in ci.by_ref().zip(cv.by_ref()) {
+        s0 += vs[0] * pick(is[0]);
+        s1 += vs[1] * pick(is[1]);
+        s2 += vs[2] * pick(is[2]);
+        s3 += vs[3] * pick(is[3]);
+    }
+    let tail: f64 = ci
+        .remainder()
+        .iter()
+        .zip(cv.remainder())
+        .map(|(&r, &v)| v * pick(r))
+        .sum();
+    (s0 + s1) + (s2 + s3) + tail
+}
+
 /// Returns `alpha * x` as a new vector.
 pub fn scale(alpha: f64, x: &[f64]) -> Vec<f64> {
     x.iter().map(|v| alpha * v).collect()
@@ -221,6 +268,45 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn gather_dot_length_mismatch_panics() {
         gather_dot(&[0], &[1.0, 2.0], &[1.0]);
+    }
+
+    #[test]
+    fn masked_gather_dot_respects_the_position_window() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        // A permutation of positions, deliberately not the identity.
+        let pos = vec![3usize, 0, 5, 1, 7, 2, 6, 4];
+        let idx = [0usize, 2, 3, 5, 1, 7, 6];
+        let vals = [2.0, -1.0, 0.5, 4.0, 3.0, -0.25, 1.5];
+        for cutoff in 0..8usize {
+            for take in 0..=idx.len() {
+                let naive: f64 = idx[..take]
+                    .iter()
+                    .zip(&vals[..take])
+                    .filter(|&(&r, _)| pos[r] > cutoff)
+                    .map(|(&r, &v)| v * x[r])
+                    .sum();
+                let got = masked_gather_dot(&idx[..take], &vals[..take], &x, &pos, cutoff);
+                assert!((got - naive).abs() < 1e-12, "cutoff {cutoff} take {take}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_gather_dot_never_reads_excluded_entries() {
+        // Entries outside the window hold NaN: the kernel must not let
+        // them poison the sum (select-to-zero, not multiply-by-mask).
+        let x = vec![f64::NAN, 2.0, f64::NAN, 4.0, 1.0];
+        let pos = vec![0usize, 3, 1, 4, 2];
+        let idx = [0usize, 1, 2, 3, 4];
+        let vals = [1.0; 5];
+        let got = masked_gather_dot(&idx, &vals, &x, &pos, 2);
+        assert_eq!(got, 6.0, "only positions 3 and 4 are inside the window");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn masked_gather_dot_length_mismatch_panics() {
+        masked_gather_dot(&[0], &[1.0, 2.0], &[1.0], &[0], 0);
     }
 
     #[test]

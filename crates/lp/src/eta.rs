@@ -188,7 +188,14 @@ impl BasisRepr for LuBasis {
         self.btran_dense(&e)
     }
 
-    fn update(&mut self, row: usize, u: &[f64], support: &[usize]) {
+    fn update(
+        &mut self,
+        row: usize,
+        u: &[f64],
+        support: &[usize],
+        _col_idx: &[usize],
+        _col_vals: &[f64],
+    ) {
         if u[row].abs() < SHAKY_PIVOT {
             self.shaky = true;
         }
@@ -303,7 +310,7 @@ mod tests {
             let u = incremental.ftran_col(idx, vals);
             let support: Vec<usize> =
                 (0..3).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
-            incremental.update(slot, &u, &support);
+            incremental.update(slot, &u, &support, idx, vals);
             basis[slot] = col;
 
             let mut fresh = LuBasis::identity(3);
@@ -332,13 +339,13 @@ mod tests {
         assert!(!repr.should_refactor(0));
         // Eta-count threshold.
         for _ in 0..MAX_ETAS {
-            repr.update(0, &[2.0], &[0]);
+            repr.update(0, &[2.0], &[0], &[0], &[1.0]);
         }
         assert!(repr.should_refactor(0));
         assert!(repr.refactor(&a, 1, &[0]), "refactor resets the eta stack");
         assert!(!repr.should_refactor(0));
         // Accuracy threshold: one tiny pivot is enough.
-        repr.update(0, &[1e-9], &[0]);
+        repr.update(0, &[1e-9], &[0], &[0], &[1.0]);
         assert!(repr.should_refactor(0));
         // Singular refactorization keeps the incremental state.
         let singular = basis_csc(vec![vec![0.0]]);

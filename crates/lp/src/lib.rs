@@ -11,38 +11,50 @@
 //! * [`LpBuilder`] — incremental model construction with named variables and
 //!   sparse [`LinExpr`] linear expressions;
 //! * the [`LpBackend`] **trait** — the runtime-dispatchable core-solver
-//!   interface — with three built-in implementations:
-//!   [`SparseRevised`] (revised simplex over CSC columns with an explicit
-//!   dense basis inverse: O(m²) rank-one updates, unbeatable constants on
-//!   small/dense bases), [`LuSimplex`] (the same pivoting loop over a
-//!   **sparse LU factorization with product-form eta updates**: each pivot
-//!   appends one O(nnz) eta vector, ftran/btran run through the Markowitz-
-//!   ordered L/U factors plus the eta stack, and refactorization is driven
-//!   by eta-count/fill-in/accuracy thresholds — the engine for the large
-//!   sparse Handelman/Farkas systems and the conditioning fix for the
-//!   degenerate walk3d-style LPs), and [`DenseTableau`] (the two-phase
-//!   tableau, also exported standalone as the differential-testing oracle
-//!   [`solve_standard_dense`]);
+//!   interface — with **four** built-in implementations:
+//!   * [`DenseTableau`] — the two-phase tableau; minimal fixed cost for
+//!     µs-scale models, and the differential-testing oracle (also
+//!     exported standalone as [`solve_standard_dense`]);
+//!   * [`SparseRevised`] — revised simplex over CSC columns with an
+//!     explicit dense basis inverse: O(m²) rank-one updates, unbeatable
+//!     constants on small/dense bases;
+//!   * [`LuSimplex`] (`lu`) — the same pivoting loop over a **sparse LU
+//!     factorization with product-form eta updates**: each pivot appends
+//!     one O(nnz) eta vector, ftran/btran run through the
+//!     Markowitz-ordered L/U factors plus the eta stack, and
+//!     refactorization is driven by eta-count/fill-in/accuracy
+//!     thresholds;
+//!   * [`LuFtSimplex`] (`lu-ft`) — the same factorization with
+//!     **Forrest–Tomlin spike swaps**: basis exchanges edit the U factor
+//!     in place (column replacement + row-permutation rotation + one
+//!     sparse spike-row eta), so solves stay O(nnz(L) + nnz(U)) between
+//!     refactorizations with no eta stack to traverse; refactorization
+//!     is driven by U fill-in growth and spike-pivot magnitude.
+//!
+//!   The two LU update schemes share everything but the update algebra,
+//!   so they can be differentially raced against each other (and the
+//!   dense oracle) — the conformance corpus in `tests/corpus/` and the
+//!   metamorphic suite in `tests/prop.rs` do exactly that;
 //! * the [`LpSolver`] **session** — one per synthesis run — owning the
 //!   shared pipeline (presolve: empty/duplicate-row removal and
 //!   fixed-variable elimination; max-norm equilibration), the backend
 //!   selection policy ([`BackendChoice`]: `auto` routes by size **and**
-//!   density — µs-scale models to the dense tableau, large sparse systems
-//!   to the LU simplex, mid-size/dense ones to the dense-inverse revised
-//!   simplex), a bounded-LRU warm-start basis cache keyed by LP sparsity
-//!   pattern, and per-solve statistics ([`LpStats`]: pivots, presolve
-//!   reductions, warm-start hits, feasibility-watchdog restarts,
-//!   anti-cycling retries, wall time);
+//!   density — µs-scale models to the dense tableau, large sparse
+//!   systems to the Forrest–Tomlin LU simplex, mid-size/dense ones to
+//!   the dense-inverse revised simplex), a bounded-LRU warm-start basis
+//!   cache keyed by LP sparsity pattern, and per-solve statistics
+//!   ([`LpStats`]: pivots, presolve reductions, warm-start hits,
+//!   feasibility-watchdog restarts, anti-cycling retries, wall time);
 //! * exact infeasibility / unboundedness reporting via [`LpError`].
 //!
 //! The synthesis LPs routinely reach hundreds of rows and thousands of
 //! columns at a few percent density; the revised method prices columns in
-//! O(nnz), and on a basis that sparse the LU representation keeps the
+//! O(nnz), and on a basis that sparse the LU representations keep the
 //! whole per-pivot hot path at O(nnz) too.
 //!
 //! The `dense-simplex` cargo feature is a thin default-backend switch: it
 //! only changes [`BackendChoice::default`] (and thus new sessions and the
-//! free-function shims) to the dense tableau. Both backends are always
+//! free-function shims) to the dense tableau. All backends are always
 //! compiled and always selectable at runtime.
 //!
 //! # Examples
@@ -94,13 +106,14 @@
 //!
 //! let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
 //! solver.register_backend(Box::new(MyBackend)); // registered AND selected
-//! assert_eq!(solver.backend_names(), vec!["sparse", "dense", "lu", "mine"]);
-//! assert!(solver.select_backend("lu")); // …and back to a built-in
+//! assert_eq!(solver.backend_names(), vec!["sparse", "dense", "lu", "lu-ft", "mine"]);
+//! assert!(solver.select_backend("lu-ft")); // …and back to a built-in
 //! ```
 
 mod csc;
 mod eta;
 mod expr;
+mod ft;
 mod lu;
 mod presolve;
 mod revised;
@@ -112,8 +125,87 @@ pub use expr::{LinExpr, VarId};
 pub use simplex::{solve_standard_dense, MAX_PIVOTS};
 pub use solver::{
     BackendChoice, BackendTally, CoreSolution, DenseTableau, LpBackend, LpSolver, LpStats,
-    LuSimplex, SparseRevised,
+    LuFtSimplex, LuSimplex, SparseRevised,
 };
+
+/// Test-facing introspection into the revised-simplex core. Not part of
+/// the stable API: the metamorphic suite (`tests/prop.rs`) uses it to
+/// assert that the Forrest–Tomlin and eta-file engines visit identical
+/// pivot sequences, which localizes any divergence to the basis-update
+/// algebra rather than the shared pricing loop.
+#[doc(hidden)]
+pub mod debug {
+    use crate::csc::CscMatrix;
+    use crate::revised;
+    use crate::LpError;
+
+    /// Which basis engine a [`trace_pivots`] run drives.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TraceEngine {
+        /// Explicit dense inverse (the `sparse` backend's engine).
+        DenseInverse,
+        /// LU factors + product-form eta file (`lu`).
+        LuEta,
+        /// LU factors + Forrest–Tomlin spike swaps (`lu-ft`).
+        LuFt,
+    }
+
+    /// Runs the cold two-phase revised simplex on an (already standard
+    /// form, `b ≥ 0`) system with the given engine, recording every
+    /// pivot as `(entering column, leaving slot)`.
+    ///
+    /// Returns the recorded pivot sequence alongside the outcome:
+    /// `Ok(Some(x))` on an optimum, `Ok(None)` when the feasibility
+    /// watchdog abandoned the run (no retry is attempted here — the
+    /// trace must reflect a single deterministic run).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`], or
+    /// [`LpError::PivotLimit`], with the partial trace attached.
+    #[allow(clippy::type_complexity)]
+    pub fn trace_pivots(
+        engine: TraceEngine,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        force_bland: bool,
+    ) -> (Result<Option<Vec<f64>>, LpError>, Vec<(usize, usize)>) {
+        let engine = match engine {
+            TraceEngine::DenseInverse => revised::TraceEngine::DenseInverse,
+            TraceEngine::LuEta => revised::TraceEngine::LuEta,
+            TraceEngine::LuFt => revised::TraceEngine::LuFt,
+        };
+        revised::trace_cold_pivots(engine, costs, a, b, force_bland)
+    }
+
+    /// Bench hook: factorizes once, applies a fixed greedy chain of
+    /// `updates` basis exchanges on `a` (no refactorization ever), then
+    /// runs `solves` rounds of one sparse ftran + one dense btran —
+    /// measuring exactly the "ftran/btran work at equal refactorization
+    /// counts" the basis-update schemes compete on. The chain is
+    /// deterministic, so every engine replays the identical exchanges.
+    pub fn update_solve_cycle(
+        engine: TraceEngine,
+        a: &CscMatrix,
+        updates: usize,
+        solves: usize,
+    ) -> f64 {
+        match engine {
+            TraceEngine::DenseInverse => {
+                crate::revised::update_solve_cycle::<crate::revised::DenseInverse>(
+                    a, updates, solves,
+                )
+            }
+            TraceEngine::LuEta => {
+                crate::revised::update_solve_cycle::<crate::eta::LuBasis>(a, updates, solves)
+            }
+            TraceEngine::LuFt => {
+                crate::revised::update_solve_cycle::<crate::ft::FtBasis>(a, updates, solves)
+            }
+        }
+    }
+}
 
 use presolve::StdRows;
 use qava_linalg::EPS;

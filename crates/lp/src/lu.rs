@@ -42,15 +42,17 @@ const PIVOT_REL_THRESHOLD: f64 = 0.1;
 /// entries are O(1) and an absolute tolerance is meaningful.
 const SINGULAR_TOL: f64 = 1e-11;
 
-/// One stored elimination column: parallel `(row, value)` slices.
+/// One stored elimination column: parallel `(row, value)` slices. Shared
+/// with the Forrest–Tomlin engine ([`crate::ft`]), which stores its
+/// mutable U columns and row-spike etas in the same shape.
 #[derive(Debug, Clone, Default)]
-struct SparseCol {
-    idx: Vec<usize>,
-    vals: Vec<f64>,
+pub(crate) struct SparseCol {
+    pub(crate) idx: Vec<usize>,
+    pub(crate) vals: Vec<f64>,
 }
 
 impl SparseCol {
-    fn from_entries(mut entries: Vec<(usize, f64)>) -> Self {
+    pub(crate) fn from_entries(mut entries: Vec<(usize, f64)>) -> Self {
         entries.sort_unstable_by_key(|&(i, _)| i);
         SparseCol {
             idx: entries.iter().map(|&(i, _)| i).collect(),
@@ -58,7 +60,7 @@ impl SparseCol {
         }
     }
 
-    fn nnz(&self) -> usize {
+    pub(crate) fn nnz(&self) -> usize {
         self.idx.len()
     }
 }
@@ -74,11 +76,11 @@ impl SparseCol {
 #[derive(Debug, Clone)]
 pub(crate) struct LuFactors {
     m: usize,
-    col_order: Vec<usize>,
-    pos_row: Vec<usize>,
+    pub(crate) col_order: Vec<usize>,
+    pub(crate) pos_row: Vec<usize>,
     l_cols: Vec<SparseCol>,
-    u_cols: Vec<SparseCol>,
-    diag: Vec<f64>,
+    pub(crate) u_cols: Vec<SparseCol>,
+    pub(crate) diag: Vec<f64>,
 }
 
 impl LuFactors {
@@ -216,15 +218,16 @@ impl LuFactors {
         Some(lu)
     }
 
-    /// Forward transformation in place: on entry `x` is the right-hand
-    /// side `b` in **row** indexing, on exit the solution of `B·z = b`
-    /// in **basis-slot** indexing. `scratch` must have length `m` and
-    /// comes back zeroed.
-    pub(crate) fn ftran(&self, x: &mut [f64], scratch: &mut Vec<f64>) {
+    /// Applies `L⁻¹` in place, `x` in **row** indexing: the elimination
+    /// columns in order, skipping steps whose pivot entry is (still)
+    /// zero — the sparse-rhs fast path for sparse entering columns.
+    ///
+    /// Exposed separately from [`ftran`](Self::ftran) because the
+    /// Forrest–Tomlin engine ([`crate::ft`]) keeps `L` frozen between
+    /// refactorizations while replacing the U solve with its own
+    /// spike-updated factors.
+    pub(crate) fn l_solve(&self, x: &mut [f64]) {
         debug_assert_eq!(x.len(), self.m);
-        // L solve: apply the elimination columns in order; a step whose
-        // pivot entry is zero leaves the vector untouched and is skipped
-        // (the sparse-rhs fast path for sparse entering columns).
         for k in 0..self.m {
             let xk = x[self.pos_row[k]];
             if xk == 0.0 {
@@ -233,6 +236,27 @@ impl LuFactors {
             let lc = &self.l_cols[k];
             vecops::scatter_axpy(-xk, &lc.idx, &lc.vals, x);
         }
+    }
+
+    /// Applies `L⁻ᵀ` in place, `x` in **row** indexing: the transposed
+    /// elimination columns in reverse order (gather form). The other
+    /// half of the frozen-L hook pair ([`l_solve`](Self::l_solve)).
+    pub(crate) fn lt_solve(&self, x: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.m);
+        for k in (0..self.m).rev() {
+            let lc = &self.l_cols[k];
+            if !lc.idx.is_empty() {
+                x[self.pos_row[k]] -= vecops::gather_dot(&lc.idx, &lc.vals, x);
+            }
+        }
+    }
+
+    /// Forward transformation in place: on entry `x` is the right-hand
+    /// side `b` in **row** indexing, on exit the solution of `B·z = b`
+    /// in **basis-slot** indexing. `scratch` must have length `m` and
+    /// comes back zeroed.
+    pub(crate) fn ftran(&self, x: &mut [f64], scratch: &mut Vec<f64>) {
+        self.l_solve(x);
         // U solve, backward over pivot positions; the solution component
         // of step k belongs to basis slot `col_order[k]`.
         scratch.resize(self.m, 0.0);
@@ -264,18 +288,12 @@ impl LuFactors {
             let s = c[self.col_order[k]] - vecops::gather_dot(&uc.idx, &uc.vals, &w);
             w[k] = s / self.diag[k];
         }
-        // Scatter into row indexing, then Lᵀ: apply the transposed
-        // elimination columns in reverse order (gather form).
+        // Scatter into row indexing, then Lᵀ.
         let mut y = vec![0.0f64; self.m];
         for k in 0..self.m {
             y[self.pos_row[k]] = w[k];
         }
-        for k in (0..self.m).rev() {
-            let lc = &self.l_cols[k];
-            if !lc.idx.is_empty() {
-                y[self.pos_row[k]] -= vecops::gather_dot(&lc.idx, &lc.vals, &y);
-            }
-        }
+        self.lt_solve(&mut y);
         y
     }
 }

@@ -40,6 +40,7 @@
 
 use crate::csc::CscMatrix;
 use crate::eta::LuBasis;
+use crate::ft::FtBasis;
 use crate::simplex::MAX_PIVOTS;
 use crate::LpError;
 use qava_linalg::{vecops, Matrix, EPS};
@@ -84,7 +85,23 @@ pub(crate) trait BasisRepr {
     /// column with ftran'd direction `u` enters. `support` lists the
     /// indices `i` with `|u[i]| > EPS` in increasing order, so sparse
     /// directions only touch their own rows.
-    fn update(&mut self, row: usize, u: &[f64], support: &[usize]);
+    ///
+    /// `col_idx`/`col_vals` are the entering column itself (sparse, row
+    /// indexed) — the hook the Forrest–Tomlin representation needs: its
+    /// column replacement works on the *partially* transformed spike
+    /// `E·L⁻¹·a`, which it derives from the raw column directly rather
+    /// than un-solving `u` back through U (a round trip that amplifies
+    /// error by the condition of U — enough, on the degenerate coupon
+    /// systems, to steer the shared pivot loop into a singular basis).
+    /// The dense-inverse and eta-file engines ignore it.
+    fn update(
+        &mut self,
+        row: usize,
+        u: &[f64],
+        support: &[usize],
+        col_idx: &[usize],
+        col_vals: &[f64],
+    );
 
     /// Whether the accumulated updates warrant a refactorization now
     /// (`iteration` is the simplex loop counter; the dense inverse uses
@@ -185,7 +202,14 @@ impl BasisRepr for DenseInverse {
 
     /// The `B⁻¹` rank-one update runs as one `axpy` per support row
     /// against a snapshot of the scaled pivot row.
-    fn update(&mut self, row: usize, u: &[f64], support: &[usize]) {
+    fn update(
+        &mut self,
+        row: usize,
+        u: &[f64],
+        support: &[usize],
+        _col_idx: &[usize],
+        _col_vals: &[f64],
+    ) {
         let inv = 1.0 / u[row];
         for v in self.binv.row_mut(row) {
             *v *= inv;
@@ -224,6 +248,11 @@ struct Revised<'a, R: BasisRepr> {
     in_basis: Vec<bool>,
     /// Total pivots performed, for solver-session statistics.
     pivots: usize,
+    /// When present, every pivot is recorded as `(entering column,
+    /// leaving slot)` — the metamorphic pivot-sequence tests compare the
+    /// FT and eta engines step by step through this. `None` on every
+    /// production path (one branch per pivot, no allocation).
+    trace: Option<Vec<(usize, usize)>>,
 }
 
 /// How a simplex phase ended (hard errors go through `Result`).
@@ -245,7 +274,7 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
                 in_basis[j] = true;
             }
         }
-        Revised { a, n, m, basis, repr, xb, in_basis, pivots: 0 }
+        Revised { a, n, m, basis, repr, xb, in_basis, pivots: 0, trace: None }
     }
 
     /// Rebuilds the representation and `x_B` from scratch off the
@@ -279,9 +308,17 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
     /// dense-inverse behavior).
     fn refactor_checked(&mut self, b: &[f64], feas_tol: f64) -> bool {
         if !self.refactor(b) && !self.repr.trusts_incremental_optimal() {
+            if std::env::var_os("QAVA_LP_DEBUG_WATCHDOG").is_some() {
+                eprintln!("watchdog: refactor failed (singular basis), pivots={}", self.pivots);
+            }
             return false;
         }
-        self.xb.iter().all(|&v| v >= -feas_tol)
+        let ok = self.xb.iter().all(|&v| v >= -feas_tol);
+        if !ok && std::env::var_os("QAVA_LP_DEBUG_WATCHDOG").is_some() {
+            let min = self.xb.iter().cloned().fold(f64::INFINITY, f64::min);
+            eprintln!("watchdog: min xb = {min:e} (tol {feas_tol:e}), pivots={}", self.pivots);
+        }
+        ok
     }
 
     /// `B⁻¹ · column_j` (forward transformation).
@@ -381,10 +418,16 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
     /// Pivots: column `col` enters, the basic variable of `row` leaves.
     /// The nonzero support of `u` is computed once and shared by the
     /// `x_B` update and the representation update, so sparse entering
-    /// directions only touch their own rows.
+    /// directions only touch their own rows. Only real columns ever
+    /// enter (`entering` does not price artificials), so the entering
+    /// column's sparse data is always borrowable from `a`.
     fn pivot(&mut self, row: usize, col: usize, u: &[f64]) {
         debug_assert!(u[row].abs() > EPS, "pivot on (near-)zero element");
+        debug_assert!(col < self.n, "artificial columns never re-enter");
         self.pivots += 1;
+        if let Some(trace) = &mut self.trace {
+            trace.push((col, row));
+        }
         let leaving = self.basis[row];
         if leaving < self.n {
             self.in_basis[leaving] = false;
@@ -402,7 +445,8 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
                 }
             }
         }
-        self.repr.update(row, u, &support);
+        let (col_idx, col_vals) = self.a.col(col);
+        self.repr.update(row, u, &support, col_idx, col_vals);
         self.basis[row] = col;
     }
 
@@ -446,10 +490,24 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
         let mut just_refactored = fresh;
         for it in 0..MAX_PIVOTS {
             if it > 0 && self.repr.should_refactor(it) && !just_refactored {
-                if !self.refactor_checked(b, feas_tol) {
+                // A mid-run refactorization is an error reset, not a
+                // correctness requirement: when the current (typically
+                // transient, degenerate) basis is numerically singular,
+                // the incremental representation is still a valid
+                // description of it, so the run continues on it and the
+                // rebuild is retried once later pivots move off the
+                // vertex. Verdicts are unaffected — `just_refactored`
+                // stays false on a failed rebuild, so optimality and
+                // unboundedness still require a *successful* fresh
+                // factorization before they are trusted. The watchdog
+                // applies either way, to the freshly recomputed `x_B`
+                // when the rebuild succeeded and to the stale one when
+                // it did not (the historical dense-inverse behavior).
+                let refreshed = self.refactor(b);
+                if !self.xb.iter().all(|&v| v >= -feas_tol) {
                     return Ok(RunOutcome::LostFeasibility);
                 }
-                just_refactored = true;
+                just_refactored = refreshed;
             }
             bland = bland || stalled >= DEGENERACY_PATIENCE;
             let y = self.multipliers(costs, art_cost);
@@ -580,6 +638,131 @@ pub(crate) fn solve_equilibrated_lu(
     solve_equilibrated_with::<LuBasis>(costs, a, b, warm)
 }
 
+/// Two-phase (or warm-started) revised simplex using the LU +
+/// Forrest–Tomlin basis engine (the `lu-ft` backend).
+pub(crate) fn solve_equilibrated_lu_ft(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    warm: Option<&[usize]>,
+) -> Result<CoreOutcome, LpError> {
+    solve_equilibrated_with::<FtBasis>(costs, a, b, warm)
+}
+
+/// Which basis engine a [`trace_cold_pivots`] run drives — the
+/// test-facing selector behind [`crate::debug::trace_pivots`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TraceEngine {
+    /// Explicit dense inverse (`sparse` backend).
+    DenseInverse,
+    /// LU + product-form eta file (`lu` backend).
+    LuEta,
+    /// LU + Forrest–Tomlin spike swaps (`lu-ft` backend).
+    LuFt,
+}
+
+/// Result of a traced run: the outcome (`Ok(Some(x))` optimal,
+/// `Ok(None)` watchdog-abandoned) plus the recorded
+/// `(entering column, leaving slot)` pivot sequence.
+pub(crate) type TraceOutcome = (Result<Option<Vec<f64>>, LpError>, Vec<(usize, usize)>);
+
+/// Debug/test-only cold two-phase solve that records every pivot as
+/// `(entering column, leaving slot)`. The metamorphic suite runs the eta
+/// and FT engines through this side by side: with Bland's rule both
+/// engines must visit the **identical** pivot sequence on deterministic
+/// instances, so any divergence localizes a bug to the basis-update
+/// algebra rather than the shared pricing loop.
+pub(crate) fn trace_cold_pivots(
+    engine: TraceEngine,
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    force_bland: bool,
+) -> TraceOutcome {
+    match engine {
+        TraceEngine::DenseInverse => trace_cold_with::<DenseInverse>(costs, a, b, force_bland),
+        TraceEngine::LuEta => trace_cold_with::<LuBasis>(costs, a, b, force_bland),
+        TraceEngine::LuFt => trace_cold_with::<FtBasis>(costs, a, b, force_bland),
+    }
+}
+
+/// Bench hook behind `qava_lp::debug::update_solve_cycle`: one
+/// factorization (the trivial artificial identity), a greedy chain of
+/// `updates` column exchanges (columns drawn in a fixed LCG order; each
+/// enters the slot with its largest healthy direction component, so
+/// slots are revisited the way degenerate εmax runs revisit them), then
+/// `solves` rounds of one sparse-column ftran plus one dense btran —
+/// the pivot loop's solve mix — with **zero** refactorizations
+/// throughout. Both LU engines run the identical chain, which is what
+/// "ftran/btran work at equal refactorization counts" means
+/// operationally. Returns a checksum so the optimizer cannot elide the
+/// solves.
+pub(crate) fn update_solve_cycle<R: BasisRepr>(
+    a: &CscMatrix,
+    updates: usize,
+    solves: usize,
+) -> f64 {
+    let m = a.rows();
+    let n = a.cols();
+    let mut repr = R::identity(m);
+    let mut basis: Vec<usize> = (n..n + m).collect();
+    let mut done = 0usize;
+    let mut rng = 0x9E3779B97F4A7C15u64;
+    let mut next = move || {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        (rng >> 33) as usize
+    };
+    let mut attempts = 0usize;
+    while done < updates && attempts < 32 * updates {
+        attempts += 1;
+        let col = next() % n;
+        let (idx, vals) = a.col(col);
+        if idx.is_empty() || basis.contains(&col) {
+            continue;
+        }
+        let u = repr.ftran_col(idx, vals);
+        let Some((slot, _)) = u
+            .iter()
+            .enumerate()
+            .filter(|&(_, v)| v.abs() > 0.1)
+            .max_by(|x, y| x.1.abs().total_cmp(&y.1.abs()))
+        else {
+            continue;
+        };
+        let support: Vec<usize> = (0..m).filter(|&i| u[i].abs() > EPS).collect();
+        repr.update(slot, &u, &support, idx, vals);
+        basis[slot] = col;
+        done += 1;
+    }
+    // Hard assert: benches run in release, and a silently shorter chain
+    // would make the `basis_update{N}` rows measure something other than
+    // their names claim while still gating CI against the old baseline.
+    assert_eq!(done, updates, "update_solve_cycle: exchange-chain construction starved");
+    let cb: Vec<f64> = (0..m).map(|i| (i as f64) * 0.37 - 1.1).collect();
+    let mut checksum = 0.0;
+    for s in 0..solves {
+        let col = next() % n;
+        let (idx, vals) = a.col(col);
+        let u = repr.ftran_col(idx, vals);
+        checksum += u[s % m];
+        let y = repr.btran_dense(&cb);
+        checksum += y[(s / 2) % m];
+    }
+    checksum
+}
+
+fn trace_cold_with<R: BasisRepr>(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    force_bland: bool,
+) -> TraceOutcome {
+    let mut pivots = 0usize;
+    let mut trace = Vec::new();
+    let out = cold_two_phase_traced::<R>(costs, a, b, force_bland, &mut pivots, Some(&mut trace));
+    (out.map(|r| r.map(|(x, _)| x)), trace)
+}
+
 fn solve_equilibrated_with<R: BasisRepr>(
     costs: &[f64],
     a: &CscMatrix,
@@ -685,26 +868,52 @@ fn cold_two_phase<R: BasisRepr>(
     force_bland: bool,
     pivots: &mut usize,
 ) -> Result<Option<(Vec<f64>, Vec<usize>)>, LpError> {
+    cold_two_phase_traced::<R>(costs, a, b, force_bland, pivots, None)
+}
+
+/// [`cold_two_phase`] with an optional pivot trace (see
+/// [`trace_cold_pivots`]); the production paths pass `None`.
+#[allow(clippy::type_complexity)]
+fn cold_two_phase_traced<R: BasisRepr>(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    force_bland: bool,
+    pivots: &mut usize,
+    trace: Option<&mut Vec<(usize, usize)>>,
+) -> Result<Option<(Vec<f64>, Vec<usize>)>, LpError> {
     let m = a.rows();
     let n = a.cols();
 
     // ---- Phase 1: artificial identity basis, minimize their sum. ----
     let mut state = Revised::new(a, (n..n + m).collect(), R::identity(m), b.to_vec());
+    if trace.is_some() {
+        state.trace = Some(Vec::new());
+    }
     let phase1_costs = vec![0.0; n];
     let phase1 = match state.run(&phase1_costs, 1.0, b, force_bland, true) {
         Ok(outcome) => outcome,
         Err(e) => {
             *pivots += state.pivots;
+            if let Some(t) = trace {
+                *t = state.trace.take().unwrap_or_default();
+            }
             return Err(e);
         }
     };
     if phase1 == RunOutcome::LostFeasibility {
         *pivots += state.pivots;
+        if let Some(t) = trace {
+            *t = state.trace.take().unwrap_or_default();
+        }
         return Ok(None);
     }
     let b_norm = b.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
     if state.objective(&phase1_costs, 1.0) > 1e-7 * (1.0 + b_norm) {
         *pivots += state.pivots;
+        if let Some(t) = trace {
+            *t = state.trace.take().unwrap_or_default();
+        }
         return Err(LpError::Infeasible);
     }
 
@@ -726,6 +935,9 @@ fn cold_two_phase<R: BasisRepr>(
     // only prices real columns. ----
     let phase2 = state.run(costs, 0.0, b, force_bland, false);
     *pivots += state.pivots;
+    if let Some(t) = trace {
+        *t = state.trace.take().unwrap_or_default();
+    }
     if phase2? == RunOutcome::LostFeasibility {
         return Ok(None);
     }
@@ -737,8 +949,9 @@ mod tests {
     use crate::presolve::StdRows;
     use crate::{BackendChoice, LpError, LpSolver};
 
-    /// The two revised-simplex backends every core test runs through.
-    const REVISED_BACKENDS: [BackendChoice; 2] = [BackendChoice::Sparse, BackendChoice::Lu];
+    /// The three revised-simplex backends every core test runs through.
+    const REVISED_BACKENDS: [BackendChoice; 3] =
+        [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt];
 
     fn rows_of(dense: Vec<Vec<f64>>) -> Vec<Vec<(usize, f64)>> {
         dense

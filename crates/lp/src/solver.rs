@@ -166,6 +166,39 @@ impl LpBackend for LuSimplex {
     }
 }
 
+/// The LU + Forrest–Tomlin revised simplex backend: the same pivoting
+/// loop and Markowitz-ordered factorization as [`LuSimplex`], but basis
+/// exchanges are absorbed **into the U factor** as spike swaps
+/// ([`crate::ft`]) instead of appended to a product-form eta file — so
+/// ftran/btran stay O(nnz(L) + nnz(U)) between refactorizations with no
+/// eta stack to traverse, and refactorization is driven by U fill-in
+/// growth and spike-pivot magnitude. The engine of choice for the
+/// longest pivot runs (the large degenerate Handelman/εmax systems);
+/// the eta-file `lu` backend remains available so the two update
+/// schemes can be differentially raced.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LuFtSimplex;
+
+impl LpBackend for LuFtSimplex {
+    fn name(&self) -> &'static str {
+        "lu-ft"
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn solve_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        warm: Option<&[usize]>,
+    ) -> Result<CoreSolution, LpError> {
+        revised::solve_equilibrated_lu_ft(costs, a, b, warm).map(CoreSolution::from)
+    }
+}
+
 impl From<revised::CoreOutcome> for CoreSolution {
     /// The one field mapping from the shared revised-simplex core to the
     /// backend interface, used by both warm-capable backends.
@@ -218,11 +251,12 @@ impl LpBackend for DenseTableau {
 pub enum BackendChoice {
     /// Hybrid dispatch by size **and** density of the reduced system:
     /// tiny models (≤ 16 rows, ≤ 96 columns) take the dense tableau,
-    /// large sparse ones (≥ 64 rows at ≤ 25% density) the LU-backed
-    /// simplex, everything in between the dense-inverse sparse revised
-    /// simplex. This is the default unless the crate is built with the
-    /// `dense-simplex` feature, which flips the default to
-    /// [`BackendChoice::Dense`].
+    /// large sparse ones (≥ 64 rows at ≤ 25% density) the
+    /// Forrest–Tomlin LU simplex (the classes with the longest pivot
+    /// runs, where the eta-free solves pay off most), everything in
+    /// between the dense-inverse sparse revised simplex. This is the
+    /// default unless the crate is built with the `dense-simplex`
+    /// feature, which flips the default to [`BackendChoice::Dense`].
     #[cfg_attr(not(feature = "dense-simplex"), default)]
     Auto,
     /// Always the sparse revised simplex (dense-inverse basis engine).
@@ -232,6 +266,8 @@ pub enum BackendChoice {
     Dense,
     /// Always the LU + eta-file revised simplex.
     Lu,
+    /// Always the LU + Forrest–Tomlin revised simplex.
+    LuFt,
 }
 
 impl std::str::FromStr for BackendChoice {
@@ -243,9 +279,10 @@ impl std::str::FromStr for BackendChoice {
             "sparse" => Ok(BackendChoice::Sparse),
             "dense" => Ok(BackendChoice::Dense),
             "lu" => Ok(BackendChoice::Lu),
-            other => {
-                Err(format!("unknown LP backend `{other}` (expected auto, sparse, dense, or lu)"))
-            }
+            "lu-ft" => Ok(BackendChoice::LuFt),
+            other => Err(format!(
+                "unknown LP backend `{other}` (expected auto, sparse, dense, lu, or lu-ft)"
+            )),
         }
     }
 }
@@ -264,9 +301,9 @@ impl BackendChoice {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if a == "--lp-backend" {
-                let v = it
-                    .next()
-                    .ok_or_else(|| "--lp-backend needs auto, sparse, dense, or lu".to_string())?;
+                let v = it.next().ok_or_else(|| {
+                    "--lp-backend needs auto, sparse, dense, lu, or lu-ft".to_string()
+                })?;
                 found = Some(v.parse()?);
             }
         }
@@ -281,6 +318,7 @@ impl std::fmt::Display for BackendChoice {
             BackendChoice::Sparse => "sparse",
             BackendChoice::Dense => "dense",
             BackendChoice::Lu => "lu",
+            BackendChoice::LuFt => "lu-ft",
         };
         write!(f, "{s}")
     }
@@ -463,6 +501,7 @@ pub struct LpSolver {
     sparse_idx: usize,
     dense_idx: usize,
     lu_idx: usize,
+    lu_ft_idx: usize,
     cache: BasisCache,
     stats: LpStats,
 }
@@ -500,11 +539,17 @@ impl LpSolver {
     /// Creates a session with an explicit built-in selection policy.
     pub fn with_choice(choice: BackendChoice) -> Self {
         let mut s = LpSolver {
-            backends: vec![Box::new(SparseRevised), Box::new(DenseTableau), Box::new(LuSimplex)],
+            backends: vec![
+                Box::new(SparseRevised),
+                Box::new(DenseTableau),
+                Box::new(LuSimplex),
+                Box::new(LuFtSimplex),
+            ],
             selection: Selection::Auto,
             sparse_idx: 0,
             dense_idx: 1,
             lu_idx: 2,
+            lu_ft_idx: 3,
             cache: BasisCache::new(DEFAULT_CACHE_CAPACITY),
             stats: LpStats::default(),
         };
@@ -519,6 +564,7 @@ impl LpSolver {
             BackendChoice::Sparse => Selection::Fixed(self.sparse_idx),
             BackendChoice::Dense => Selection::Fixed(self.dense_idx),
             BackendChoice::Lu => Selection::Fixed(self.lu_idx),
+            BackendChoice::LuFt => Selection::Fixed(self.lu_ft_idx),
         };
     }
 
@@ -682,10 +728,16 @@ impl LpSolver {
                     // Size alone is not enough: a big basis only favors
                     // the LU factors when the system is sparse enough
                     // that they stay compact. Dense mid-size systems keep
-                    // the explicit-inverse engine.
+                    // the explicit-inverse engine. Within the LU class
+                    // the Forrest-Tomlin engine is preferred: these are
+                    // the longest-pivot-run systems in the workload, and
+                    // eta-free solves win exactly when the pivot runs
+                    // between refactorizations are long (the eta-file
+                    // `lu` backend stays selectable for differential
+                    // racing).
                     let density = sa.nnz() as f64 / (m * n) as f64;
                     if m >= LU_CUTOVER_ROWS && density <= LU_MAX_DENSITY {
-                        self.lu_idx
+                        self.lu_ft_idx
                     } else {
                         self.sparse_idx
                     }
@@ -770,6 +822,7 @@ mod tests {
             BackendChoice::Sparse,
             BackendChoice::Dense,
             BackendChoice::Lu,
+            BackendChoice::LuFt,
         ] {
             let mut solver = LpSolver::with_choice(choice);
             let sol = solver.solve(&simple_lp(3.0)).unwrap();
@@ -799,7 +852,11 @@ mod tests {
         lp.maximize(sum);
         solver.solve(&lp).unwrap();
         assert_eq!(solver.stats().backends.len(), 1);
-        assert_eq!(solver.stats().backends[0].name, "lu", "large sparse model routes to lu");
+        assert_eq!(
+            solver.stats().backends[0].name,
+            "lu-ft",
+            "large sparse model routes to the Forrest–Tomlin engine"
+        );
     }
 
     #[test]
@@ -909,6 +966,10 @@ mod tests {
         assert_eq!(
             BackendChoice::from_args(&args(&["--lp-backend", "lu"])).unwrap(),
             Some(BackendChoice::Lu)
+        );
+        assert_eq!(
+            BackendChoice::from_args(&args(&["--lp-backend", "lu-ft"])).unwrap(),
+            Some(BackendChoice::LuFt)
         );
         assert_eq!(
             BackendChoice::from_args(&args(&["--lp-backend", "sparse", "--lp-backend", "auto"]))
