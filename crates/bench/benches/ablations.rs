@@ -15,9 +15,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qava_convex::SolverOptions;
-use qava_core::explinsyn::synthesize_upper_bound_with;
-use qava_core::explowsyn::synthesize_lower_bound;
-use qava_core::hoeffding::{synthesize_reprsm_bound_with, BoundKind};
+use qava_core::explinsyn::synthesize_upper_bound_with_in;
+use qava_core::explowsyn::synthesize_lower_bound_in;
+use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind};
+use qava_lp::LpSolver;
 use qava_core::suite::{m1dwalk_rows, race_rows, rdwalk_rows};
 
 fn ablation_azuma(c: &mut Criterion) {
@@ -26,12 +27,12 @@ fn ablation_azuma(c: &mut Criterion) {
     let b = &race_rows()[0];
     let pts = b.compile();
     for kind in [BoundKind::Hoeffding, BoundKind::Azuma] {
-        let r = synthesize_reprsm_bound_with(&pts, kind, 70).unwrap();
+        let r = synthesize_reprsm_bound_in(&pts, kind, 70, &mut LpSolver::new()).unwrap();
         println!("[ablation_azuma] {kind:?}: bound {}", r.bound);
         group.bench_with_input(
             BenchmarkId::new("race", format!("{kind:?}")),
             &kind,
-            |bench, &kind| bench.iter(|| synthesize_reprsm_bound_with(&pts, kind, 70).unwrap()),
+            |bench, &kind| bench.iter(|| synthesize_reprsm_bound_in(&pts, kind, 70, &mut LpSolver::new()).unwrap()),
         );
     }
     group.finish();
@@ -43,14 +44,14 @@ fn ablation_ser(c: &mut Criterion) {
     let b = &rdwalk_rows()[0];
     let pts = b.compile();
     for iters in [5usize, 10, 20, 40, 70] {
-        let r = synthesize_reprsm_bound_with(&pts, BoundKind::Hoeffding, iters).unwrap();
+        let r = synthesize_reprsm_bound_in(&pts, BoundKind::Hoeffding, iters, &mut LpSolver::new()).unwrap();
         println!(
             "[ablation_ser] {iters} iterations: {} LP solves, ln bound {:.4}",
             r.lp_solves,
             r.bound.ln()
         );
         group.bench_with_input(BenchmarkId::new("rdwalk", iters), &iters, |bench, &iters| {
-            bench.iter(|| synthesize_reprsm_bound_with(&pts, BoundKind::Hoeffding, iters).unwrap())
+            bench.iter(|| synthesize_reprsm_bound_in(&pts, BoundKind::Hoeffding, iters, &mut LpSolver::new()).unwrap())
         });
     }
     group.finish();
@@ -63,7 +64,7 @@ fn ablation_barrier(c: &mut Criterion) {
     let pts = b.compile();
     for mu in [2.0f64, 5.0, 20.0, 50.0] {
         let opts = SolverOptions { mu, ..SolverOptions::default() };
-        let r = synthesize_upper_bound_with(&pts, &opts).unwrap();
+        let r = synthesize_upper_bound_with_in(&pts, &opts, &mut LpSolver::new()).unwrap();
         println!(
             "[ablation_barrier] mu = {mu}: {} Newton iterations, ln bound {:.4}",
             r.newton_iterations,
@@ -72,7 +73,7 @@ fn ablation_barrier(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("race", format!("mu{mu}")),
             &opts,
-            |bench, opts| bench.iter(|| synthesize_upper_bound_with(&pts, opts).unwrap()),
+            |bench, opts| bench.iter(|| synthesize_upper_bound_with_in(&pts, opts, &mut LpSolver::new()).unwrap()),
         );
     }
     group.finish();
@@ -83,16 +84,16 @@ fn ablation_jensen(c: &mut Criterion) {
     group.sample_size(10);
     let b = &m1dwalk_rows()[0];
     let pts = b.compile();
-    let lo = synthesize_lower_bound(&pts).unwrap();
+    let lo = synthesize_lower_bound_in(&pts, &mut LpSolver::new()).unwrap();
     println!("[ablation_jensen] Jensen LP lower bound: {:.6}", lo.bound.to_f64());
     group.bench_function("m1dwalk/jensen_lp", |bench| {
-        bench.iter(|| synthesize_lower_bound(&pts).unwrap())
+        bench.iter(|| synthesize_lower_bound_in(&pts, &mut LpSolver::new()).unwrap())
     });
     // The upper-bound convex program on the same PTS gives the runtime
     // scale of a full barrier solve for comparison.
     group.bench_function("m1dwalk/barrier_reference", |bench| {
         bench.iter(|| {
-            synthesize_upper_bound_with(&pts, &SolverOptions::default()).unwrap()
+            synthesize_upper_bound_with_in(&pts, &SolverOptions::default(), &mut LpSolver::new()).unwrap()
         })
     });
     group.finish();
@@ -114,18 +115,64 @@ fn ablation_quadratic(c: &mut Criterion) {
     ";
     let pts = qava_lang::compile(src, &std::collections::BTreeMap::new()).unwrap();
     let quad =
-        qava_core::polyrsm::synthesize_quadratic_bound(&pts, BoundKind::Hoeffding, 20).unwrap();
+        qava_core::polyrsm::synthesize_quadratic_bound_in(&pts, BoundKind::Hoeffding, 20, &mut LpSolver::new()).unwrap();
     println!(
         "[ablation_quadratic] quadratic bound {} ({} LPs); affine: no RepRSM",
         quad.bound, quad.lp_solves
     );
     group.bench_function("driftless/affine_reports_none", |bench| {
-        bench.iter(|| synthesize_reprsm_bound_with(&pts, BoundKind::Hoeffding, 20))
+        bench.iter(|| synthesize_reprsm_bound_in(&pts, BoundKind::Hoeffding, 20, &mut LpSolver::new()))
     });
     group.bench_function("driftless/quadratic_certifies", |bench| {
         bench.iter(|| {
-            qava_core::polyrsm::synthesize_quadratic_bound(&pts, BoundKind::Hoeffding, 20)
+            qava_core::polyrsm::synthesize_quadratic_bound_in(&pts, BoundKind::Hoeffding, 20, &mut LpSolver::new())
                 .unwrap()
+        })
+    });
+    group.finish();
+}
+
+/// Racing vs. running the default upper lineup sequentially on one
+/// suite row (warn-only `suite/` regime: end-to-end numbers are too
+/// noisy to gate on shared runners). On a single-core box the race
+/// degenerates gracefully — the first engine finishes, the second is
+/// cancelled at its first LP solve — so the interesting number is the
+/// overhead of the racing machinery, which should be ≈ the cost of the
+/// *fastest* engine plus cancellation noise, against the sequential
+/// path's sum of both engines.
+fn suite_race_vs_sequential(c: &mut Criterion) {
+    use qava_core::engine::{race, AnalysisRequest, Direction, EngineRegistry};
+    use qava_core::suite::runner::default_engines;
+    use qava_lp::BackendChoice;
+
+    let mut group = c.benchmark_group("suite/race_vs_sequential");
+    group.sample_size(10);
+    let b = &rdwalk_rows()[0];
+    let pts = b.compile();
+    let registry = EngineRegistry::with_builtins();
+    let req = AnalysisRequest::upper(&pts);
+    let lineup: Vec<_> = default_engines(Direction::Upper)
+        .iter()
+        .map(|n| registry.engine(n).expect("built-in"))
+        .collect();
+    group.bench_function("rdwalk/sequential", |bench| {
+        bench.iter(|| {
+            lineup
+                .iter()
+                .map(|e| {
+                    registry
+                        .run_engine(e.name(), &req, BackendChoice::default())
+                        .expect("registered")
+                })
+                .filter(|r| r.outcome.is_ok())
+                .count()
+        })
+    });
+    group.bench_function("rdwalk/race", |bench| {
+        bench.iter(|| {
+            race(&lineup, &req, BackendChoice::default())
+                .winner
+                .expect("an upper engine certifies rdwalk")
         })
     });
     group.finish();
@@ -137,6 +184,7 @@ criterion_group!(
     ablation_ser,
     ablation_barrier,
     ablation_jensen,
-    ablation_quadratic
+    ablation_quadratic,
+    suite_race_vs_sequential
 );
 criterion_main!(benches);

@@ -91,18 +91,24 @@ fn walk3d_like_matrix() -> CscMatrix {
 
 /// The update schemes head to head at **equal refactorization counts**:
 /// one (trivial) factorization, an identical deterministic exchange
-/// chain of 64/128/192 pivots — the eta file's full
+/// chain of 16/64/128/192 pivots — a short run, the eta file's full
 /// between-refactorization budget, FT's, and a pivot-heavier run — then
 /// 256 rounds of one sparse ftran + one dense btran, the pivot loop's
-/// solve mix. These are the rows the Forrest–Tomlin engine exists for:
-/// with the updates absorbed into U there is no eta stack to traverse,
-/// so FT's ftran/btran cost stays flat as the chain grows while the eta
-/// file's climbs — the gap widens monotonically across the ladder.
+/// solve mix. The long rows are the ones the Forrest–Tomlin engine
+/// exists for: with the updates absorbed into U there is no eta stack
+/// to traverse, so FT's ftran/btran cost stays flat as the chain grows
+/// while the eta file's climbs — the gap widens monotonically across
+/// the ladder. The short `basis_update16` row watches the other end:
+/// with few updates the eta file's one-component pivot checks skip
+/// nearly everything, so this is where the eta engine is hardest to
+/// beat and where FT's row-eta support masks (which skip ~59% of eta
+/// applications on the real suite's sparse right-hand sides) are meant
+/// to keep the gap from widening further.
 fn bench_basis_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp/kernel");
     group.sample_size(10);
     let a = walk3d_like_matrix();
-    for updates in [64usize, 128, 192] {
+    for updates in [16usize, 64, 128, 192] {
         for (engine, name) in [(TraceEngine::LuEta, "lu"), (TraceEngine::LuFt, "lu-ft")] {
             group.bench_with_input(
                 BenchmarkId::new(format!("basis_update{updates}"), name),

@@ -3,8 +3,9 @@
 //! instance (its evaluation reports the maximum 1.72 s for ExpLinSyn).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qava_core::explinsyn::synthesize_upper_bound;
-use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
+use qava_core::explinsyn::synthesize_upper_bound_in;
+use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind, DEFAULT_SER_ITERATIONS};
+use qava_lp::LpSolver;
 use qava_core::suite::{race_rows, walk1d_rows, walk2d_rows, walk3d_rows};
 
 fn bench_stoinv(c: &mut Criterion) {
@@ -21,13 +22,13 @@ fn bench_stoinv(c: &mut Criterion) {
             BenchmarkId::new("hoeffding", format!("{} {}", b.name, b.label)),
             &pts,
             |bench, pts| {
-                bench.iter(|| synthesize_reprsm_bound(pts, BoundKind::Hoeffding).unwrap())
+                bench.iter(|| synthesize_reprsm_bound_in(pts, BoundKind::Hoeffding, DEFAULT_SER_ITERATIONS, &mut LpSolver::new()).unwrap())
             },
         );
         group.bench_with_input(
             BenchmarkId::new("explinsyn", format!("{} {}", b.name, b.label)),
             &pts,
-            |bench, pts| bench.iter(|| synthesize_upper_bound(pts).unwrap()),
+            |bench, pts| bench.iter(|| synthesize_upper_bound_in(pts, &mut LpSolver::new()).unwrap()),
         );
     }
     group.finish();

@@ -3,7 +3,8 @@
 //! lower bounds rely on.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qava_core::explowsyn::synthesize_lower_bound;
+use qava_core::explowsyn::synthesize_lower_bound_in;
+use qava_lp::LpSolver;
 use qava_core::rsm::prove_almost_sure_termination;
 use qava_core::suite::table2;
 
@@ -15,7 +16,7 @@ fn bench_hardware(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("explowsyn", format!("{} {}", b.name, b.label)),
             &pts,
-            |bench, pts| bench.iter(|| synthesize_lower_bound(pts).unwrap()),
+            |bench, pts| bench.iter(|| synthesize_lower_bound_in(pts, &mut LpSolver::new()).unwrap()),
         );
         // Ref's nested loops exceed the single-template RSM prover; the
         // paper, too, certifies termination per benchmark by hand.

@@ -19,11 +19,9 @@
 //! output is deterministic. Pass `--serial` to force one worker (e.g.
 //! for timing columns comparable with the paper's single-core numbers).
 
-use qava_core::explinsyn::synthesize_upper_bound;
-use qava_core::explowsyn::synthesize_lower_bound;
-use qava_core::hoeffding::{synthesize_reprsm_bound, BoundKind};
+use qava_core::engine::{AnalysisRequest, Certificate, Direction, EngineRegistry};
 use qava_core::logprob::LogProb;
-use qava_core::suite::runner::{default_algorithms, run_rows_with, suite_lp_stats, Algorithm};
+use qava_core::suite::runner::{default_engines, run_rows_with, suite_lp_stats};
 use qava_lp::BackendChoice;
 use qava_core::suite::{table1, table2, Benchmark};
 
@@ -109,15 +107,15 @@ fn print_table1(backend: BackendChoice) {
         "benchmark", "row", "§5.1", "t(s)", "§5.2", "t(s)", "previous", "ratio"
     );
     let rows = table1();
-    let reports = run_rows_with(&rows, |b| default_algorithms(b.direction).to_vec(), backend);
+    let reports = run_rows_with(&rows, |b| default_engines(b.direction).to_vec(), backend);
     let mut current = "";
     for (b, report) in rows.iter().zip(&reports) {
         if b.name != current {
             current = b.name;
             println!("-- {} ({})", b.name, b.category);
         }
-        let hoeff = report.run(Algorithm::Hoeffding).expect("scheduled");
-        let exp = report.run(Algorithm::ExpLinSyn).expect("scheduled");
+        let hoeff = report.run("hoeffding-linear").expect("scheduled");
+        let exp = report.run("explinsyn").expect("scheduled");
         let ratio = exp
             .bound
             .as_ref()
@@ -146,14 +144,14 @@ fn print_table2(backend: BackendChoice) {
         "benchmark", "row", "§6 lower", "t(s)", "previous", "ratio"
     );
     let rows = table2();
-    let reports = run_rows_with(&rows, |b| default_algorithms(b.direction).to_vec(), backend);
+    let reports = run_rows_with(&rows, |b| default_engines(b.direction).to_vec(), backend);
     let mut current = "";
     for (b, report) in rows.iter().zip(&reports) {
         if b.name != current {
             current = b.name;
             println!("-- {} ({})", b.name, b.category);
         }
-        let low = report.run(Algorithm::ExpLowSyn).expect("scheduled");
+        let low = report.run("explowsyn").expect("scheduled");
         let (bound_str, ratio) = match &low.bound {
             Ok(r) => (format!("{:.6}", r.to_f64()), fmt_ratio(*r, b.paper.previous, true)),
             Err(_) => ("failed".to_string(), "—".to_string()),
@@ -172,20 +170,27 @@ fn print_table2(backend: BackendChoice) {
     println!();
 }
 
-fn symbolic_rows(b: &Benchmark, what: &str) {
+fn symbolic_rows(registry: &EngineRegistry, b: &Benchmark, engine: &str) {
     let pts = b.compile();
-    let tmpl = match what {
-        "hoeffding" => synthesize_reprsm_bound(&pts, BoundKind::Hoeffding)
-            .ok()
-            .map(|r| (format!("exp(8·{:.3}·η)", r.epsilon), r.template)),
-        "explinsyn" => synthesize_upper_bound(&pts)
-            .ok()
-            .map(|r| ("exp".to_string(), r.template)),
-        "explowsyn" => synthesize_lower_bound(&pts)
-            .ok()
-            .map(|r| ("exp".to_string(), r.template)),
-        _ => unreachable!("symbolic_rows caller bug"),
-    };
+    let direction = registry.engine(engine).expect("built-in engine").direction();
+    let req = AnalysisRequest::new(&pts, direction);
+    let tmpl = registry
+        .run_engine(engine, &req, BackendChoice::default())
+        .expect("built-in engine")
+        .outcome
+        .ok()
+        .and_then(|c| {
+            // The §5.1 header records the Hoeffding factor around η.
+            let prefix = c
+                .details
+                .iter()
+                .find(|(k, _)| *k == "epsilon")
+                .map_or_else(|| "exp".to_string(), |(_, eps)| format!("exp(8·{eps:.3}·η)"));
+            match c.certificate {
+                Certificate::Template(t) => Some((prefix, t)),
+                Certificate::Quadratic(_) => None,
+            }
+        });
     match tmpl {
         Some((prefix, t)) if !t.per_location.is_empty() => {
             println!("{:<12} {:<22} {prefix}({})", b.name, b.label, t.exponent_string(0));
@@ -195,31 +200,39 @@ fn symbolic_rows(b: &Benchmark, what: &str) {
 }
 
 fn print_symbolic() {
+    let registry = EngineRegistry::with_builtins();
     println!("== Table 3: symbolic Hoeffding bounds (§5.1) ==");
     for b in table1() {
-        symbolic_rows(&b, "hoeffding");
+        symbolic_rows(&registry, &b, "hoeffding-linear");
     }
     println!();
     println!("== Table 4: symbolic ExpLinSyn bounds (§5.2) ==");
     for b in table1() {
-        symbolic_rows(&b, "explinsyn");
+        symbolic_rows(&registry, &b, "explinsyn");
     }
     println!();
     println!("== Table 5: symbolic ExpLowSyn bounds (§6) ==");
     for b in table2() {
-        symbolic_rows(&b, "explowsyn");
+        symbolic_rows(&registry, &b, "explowsyn");
     }
     println!();
 }
 
 fn monte_carlo_check() {
     println!("== Monte-Carlo sanity: certified lower ≤ empirical ≤ certified upper ==");
+    let registry = EngineRegistry::with_builtins();
     let mut sim = qava_sim::Simulator::new(0xC0FFEE);
     for b in table1().into_iter().chain(table2()) {
         let pts = b.compile();
         let est = sim.estimate_violation(&pts, 20_000, 100_000);
-        let upper = synthesize_upper_bound(&pts).ok().map(|r| r.bound);
-        let lower = synthesize_lower_bound(&pts).ok().map(|r| r.bound);
+        let bound_via = |engine: &str, direction| {
+            registry
+                .run_engine(engine, &AnalysisRequest::new(&pts, direction), BackendChoice::default())
+                .expect("built-in engine")
+                .bound()
+        };
+        let upper = bound_via("explinsyn", Direction::Upper);
+        let lower = bound_via("explowsyn", Direction::Lower);
         let ok_upper = upper.is_none_or(|u| est.lower_ci() <= u.to_f64() + 1e-9);
         let ok_lower = lower.is_none_or(|l| l.to_f64() <= est.upper_ci() + 1e-9);
         println!(

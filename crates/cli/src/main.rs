@@ -1,38 +1,59 @@
 //! `qava` — analyze a probabilistic program from the command line.
 //!
 //! ```text
-//! qava <program.qava> [--upper] [--lower] [--hoeffding] [--azuma]
+//! qava <program.qava> [--engines LIST] [--race] [--upper] [--lower]
 //!                     [--simulate N] [--symbolic] [--param name=value]...
-//! qava --suite
+//! qava --suite [--race] [--lp-backend B]
 //! ```
 //!
-//! With no mode flags, runs every applicable analysis. `--suite` runs
-//! the paper's full Table 1/Table 2 benchmark suite through the
-//! parallel driver ([`qava_core::suite::runner`]) and prints one line
-//! per (row, algorithm) outcome. Exit code 0 on success, 1 on usage
-//! errors, 2 on compile errors, 3 when a requested analysis fails.
+//! Analyses run through the bound-engine registry
+//! ([`qava_core::engine`]): every algorithm is a named engine
+//! (`hoeffding-linear`, `azuma`, `explinsyn`, `polyrsm-quadratic`,
+//! `explowsyn`, `polylow`), selected with `--engines` or the legacy mode
+//! flags. With `--race` the selected engines of each bound direction
+//! race in-process and the first certified bound wins; losers are
+//! cancelled cooperatively and their LP statistics are reported in a
+//! separate `abandoned` bucket.
+//!
+//! With no mode flags, runs the default engine lineup (`explinsyn`,
+//! `hoeffding-linear`, `explowsyn`). `--suite` runs the paper's full
+//! Table 1/Table 2 benchmark suite through the parallel driver
+//! ([`qava_core::suite::runner`]) and prints one line per (row, engine)
+//! outcome — one line per race with `--race`, naming the winner. Exit
+//! code 0 on success, 1 on usage errors, 2 on compile errors, 3 when a
+//! requested analysis fails.
 
-use qava_core::explinsyn::synthesize_upper_bound_in;
-use qava_core::explowsyn::synthesize_lower_bound_in;
-use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind, DEFAULT_SER_ITERATIONS};
+use qava_core::engine::{
+    race, AnalysisRequest, BoundEngine, Certificate, Direction, EngineRegistry,
+};
 use qava_core::rsm::prove_almost_sure_termination_in;
-use qava_lp::{BackendChoice, LpSolver};
+use qava_core::suite::runner::suite_abandoned_lp_stats;
+use qava_lp::{BackendChoice, LpSolver, LpStats};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
 usage: qava <program.qava> [options]
 
-modes (default: all applicable):
+engines (default: explinsyn + hoeffding-linear + explowsyn):
+  --engines LIST   comma-separated bound engines from the registry:
+                   hoeffding-linear, azuma, explinsyn, polyrsm-quadratic
+                   (upper); explowsyn, polylow (lower)
+  --race           race the selected engines of each direction in
+                   process: first certified bound wins, losers are
+                   cancelled at LP-solve boundaries and their solver
+                   statistics land in a separate `abandoned` bucket
+
+legacy mode flags (shorthands for --engines):
   --upper          complete exponential upper bound (ExpLinSyn, §5.2)
   --hoeffding      RepRSM + Hoeffding upper bound (§5.1)
   --azuma          RepRSM + Azuma baseline (POPL'17, for comparison)
   --lower          exponential lower bound (ExpLowSyn, §6); requires
                    almost-sure termination, which is certified first
   --quadratic      also try quadratic exponents (Remarks 3/5, Handelman)
-  --simulate N     seeded Monte-Carlo estimate over N trials
 
-output:
+other analyses and output:
+  --simulate N     seeded Monte-Carlo estimate over N trials
   --dump-pts       print the compiled transition system
   --symbolic       also print the synthesized exponential templates
   --param k=v      override a `param` declaration (repeatable)
@@ -51,10 +72,13 @@ solver:
 suite:
   --suite          run the paper's benchmark suite (Tables 1-2) through
                    the parallel driver instead of analyzing one file
+                   (honors --race and --lp-backend)
 ";
 
 struct Options {
     path: String,
+    engines: Vec<String>,
+    race: bool,
     upper: bool,
     hoeffding: bool,
     azuma: bool,
@@ -71,6 +95,8 @@ struct Options {
 fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut opts = Options {
         path: String::new(),
+        engines: Vec::new(),
+        race: false,
         upper: false,
         hoeffding: false,
         azuma: false,
@@ -91,8 +117,13 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--azuma" => opts.azuma = true,
             "--lower" => opts.lower = true,
             "--quadratic" => opts.quadratic = true,
+            "--race" => opts.race = true,
             "--symbolic" => opts.symbolic = true,
             "--dump-pts" => opts.dump_pts = true,
+            "--engines" => {
+                let list = it.next().ok_or("--engines needs a comma-separated list")?;
+                opts.engines.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
             "--simulate" => {
                 let n = it.next().ok_or("--simulate needs a trial count")?;
                 opts.simulate =
@@ -125,12 +156,53 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if opts.path.is_empty() {
         return Err("no program file given".to_string());
     }
-    if !(opts.upper || opts.hoeffding || opts.azuma || opts.lower || opts.simulate.is_some()) {
-        opts.upper = true;
-        opts.hoeffding = true;
-        opts.lower = true;
-    }
     Ok(opts)
+}
+
+/// Resolves the engine lineup: `--engines` wins, then the legacy mode
+/// flags, then the default lineup. Names are validated against the
+/// registry.
+fn engine_lineup(opts: &Options, registry: &EngineRegistry) -> Result<Vec<String>, String> {
+    let names: Vec<String> = if !opts.engines.is_empty() {
+        opts.engines.clone()
+    } else {
+        let mut names = Vec::new();
+        // `--quadratic` is additive ("also try quadratic exponents"), so
+        // it deliberately does not suppress the default lineup.
+        let any_flag = opts.upper
+            || opts.hoeffding
+            || opts.azuma
+            || opts.lower
+            || opts.simulate.is_some();
+        if opts.upper || !any_flag {
+            names.push("explinsyn");
+        }
+        if opts.hoeffding || !any_flag {
+            names.push("hoeffding-linear");
+        }
+        if opts.azuma {
+            names.push("azuma");
+        }
+        if opts.quadratic {
+            names.push("polyrsm-quadratic");
+        }
+        if opts.lower || !any_flag {
+            names.push("explowsyn");
+        }
+        if opts.quadratic {
+            names.push("polylow");
+        }
+        names.into_iter().map(String::from).collect()
+    };
+    for name in &names {
+        if registry.engine(name).is_none() {
+            return Err(format!(
+                "unknown engine `{name}` (registered: {})",
+                registry.names().join(", ")
+            ));
+        }
+    }
+    Ok(names)
 }
 
 fn print_template(kind: &str, t: &qava_core::template::SolvedTemplate) {
@@ -139,47 +211,151 @@ fn print_template(kind: &str, t: &qava_core::template::SolvedTemplate) {
     }
 }
 
+fn print_stats_footer(certified: &LpStats, abandoned: &LpStats) {
+    print!("{certified}");
+    if abandoned.solves > 0 {
+        print!("lp[abandoned]: {}", format_abandoned(abandoned));
+    }
+}
+
+/// One-line summary of the abandoned bucket (cancelled racers). The
+/// health counters are included so a watchdog restart or Bland retry
+/// inside a cancelled racer is still visible — the certified footer
+/// above deliberately excludes this bucket.
+fn format_abandoned(lp: &LpStats) -> String {
+    format!(
+        "{} solves, {} pivots, {:.3}s, {} watchdog restarts, {} bland retries \
+         (cancelled racers; excluded from the totals above)\n",
+        lp.solves, lp.pivots, lp.wall_seconds, lp.watchdog_restarts, lp.bland_retries
+    )
+}
+
 /// Runs the full Table 1/2 suite through the parallel driver.
-fn run_suite(backend: BackendChoice) -> ExitCode {
-    use qava_core::suite::runner::{default_algorithms, run_rows_with, suite_lp_stats};
+fn run_suite(backend: BackendChoice, racing: bool) -> ExitCode {
+    use qava_core::suite::runner::{
+        default_engines, race_rows_with, run_rows_with, suite_lp_stats,
+    };
     use qava_core::suite::{table1, table2};
     let rows: Vec<_> = table1().into_iter().chain(table2()).collect();
-    let reports = run_rows_with(&rows, |b| default_algorithms(b.direction).to_vec(), backend);
+    let reports = if racing {
+        race_rows_with(&rows, backend)
+    } else {
+        run_rows_with(&rows, |b| default_engines(b.direction).to_vec(), backend)
+    };
     let mut failures = 0usize;
     for report in &reports {
         for run in &report.runs {
             match &run.bound {
-                Ok(b) => println!(
-                    "{:<12} {:<24} {:<10} ln(bound) = {:>12.4}  ({:.2}s)",
-                    report.name,
-                    report.label,
-                    run.algorithm.to_string(),
-                    b.ln(),
-                    run.seconds
-                ),
+                Ok(b) => {
+                    let suffix = if run.raced.is_empty() {
+                        String::new()
+                    } else {
+                        let losers: Vec<_> =
+                            run.raced.iter().filter(|&&n| n != run.engine).copied().collect();
+                        if losers.is_empty() {
+                            "  [raced unopposed]".to_string()
+                        } else {
+                            format!(
+                                "  [won over {}; abandoned {} solves / {} pivots]",
+                                losers.join(", "),
+                                run.abandoned.solves,
+                                run.abandoned.pivots,
+                            )
+                        }
+                    };
+                    println!(
+                        "{:<12} {:<24} {:<17} ln(bound) = {:>12.4}  ({:.2}s){suffix}",
+                        report.name, report.label, run.engine, b.ln(), run.seconds
+                    );
+                }
                 Err(e) => {
                     failures += 1;
+                    // A failed race has no winner to crow about; name the
+                    // lineup without claiming anything was "won over".
+                    let suffix = if run.raced.is_empty() {
+                        String::new()
+                    } else {
+                        format!(
+                            "  [race of {}; {} solves / {} pivots spent]",
+                            run.raced.join(", "),
+                            run.abandoned.solves,
+                            run.abandoned.pivots,
+                        )
+                    };
                     println!(
-                        "{:<12} {:<24} {:<10} failed: {e}",
-                        report.name,
-                        report.label,
-                        run.algorithm.to_string()
+                        "{:<12} {:<24} {:<17} failed: {e}{suffix}",
+                        report.name, report.label, run.engine
                     );
                 }
             }
         }
     }
-    println!("{} rows, {} runs, {failures} failures", reports.len(), reports.iter().map(|r| r.runs.len()).sum::<usize>());
-    // Per-backend solver statistics, merged over every task's session.
-    print!("{}", suite_lp_stats(&reports));
+    println!(
+        "{} rows, {} runs, {failures} failures",
+        reports.len(),
+        reports.iter().map(|r| r.runs.len()).sum::<usize>()
+    );
+    // Per-backend solver statistics: certified work only, with the
+    // cancelled racers' share reported separately so nothing is counted
+    // twice.
+    print_stats_footer(&suite_lp_stats(&reports), &suite_abandoned_lp_stats(&reports));
     ExitCode::SUCCESS
+}
+
+/// Prints one engine report line (plus template with `--symbolic`).
+fn print_report(report: &qava_core::engine::AnalysisReport, symbolic: bool) -> bool {
+    let dir = match report.direction {
+        Direction::Upper => "upper",
+        Direction::Lower => "lower",
+    };
+    match &report.outcome {
+        Ok(c) => {
+            // A floored objective means "essentially zero", not the
+            // printed constant — and its template is the solver floor's,
+            // not a meaningful certificate.
+            let floored =
+                c.details.iter().any(|&(k, v)| k == "floored" && v != 0.0);
+            let details: Vec<String> = c
+                .details
+                .iter()
+                .filter(|(k, _)| *k != "floored")
+                .map(|(k, v)| {
+                    if (v.fract() == 0.0 && v.abs() < 1e9) || *v == 0.0 {
+                        format!("{k} = {v}")
+                    } else {
+                        format!("{k} = {v:.4}")
+                    }
+                })
+                .collect();
+            let suffix = if details.is_empty() {
+                String::new()
+            } else {
+                format!(" ({})", details.join(", "))
+            };
+            if floored {
+                println!("{dir} bound ({}): ≈ 0 (objective floored){suffix}", report.engine);
+            } else {
+                println!("{dir} bound ({}): {}{suffix}", report.engine, c.bound);
+                if symbolic {
+                    if let Certificate::Template(t) = &c.certificate {
+                        print_template(report.engine, t);
+                    }
+                }
+            }
+            true
+        }
+        Err(e) => {
+            println!("{dir} bound ({}): failed — {e}", report.engine);
+            false
+        }
+    }
 }
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--suite") {
-        // --suite ignores the single-file options; only --lp-backend
-        // applies.
+        // --suite ignores the single-file options; only --lp-backend and
+        // --race apply.
         let backend = match BackendChoice::from_args(&args) {
             Ok(b) => b.unwrap_or_default(),
             Err(msg) => {
@@ -188,7 +364,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
-        return run_suite(backend);
+        return run_suite(backend, args.iter().any(|a| a == "--race"));
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -227,104 +403,94 @@ fn main() -> ExitCode {
         print!("{pts}");
     }
 
-    let mut failures = 0u32;
-    // One solver session for the whole invocation: every analysis below
-    // shares its warm-start cache and contributes to one stats report.
-    let mut solver = LpSolver::with_choice(opts.lp_backend);
+    let registry = EngineRegistry::with_builtins();
+    let lineup = match engine_lineup(&opts, &registry) {
+        Ok(l) => l,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
 
-    if opts.upper {
-        match synthesize_upper_bound_in(&pts, &mut solver) {
-            Ok(r) => {
-                if r.floored {
-                    println!("upper bound (§5.2, complete): ≈ 0 (objective floored)");
-                } else {
-                    println!("upper bound (§5.2, complete): {}", r.bound);
-                }
-                if opts.symbolic && !r.floored {
-                    print_template("§5.2", &r.template);
-                }
-            }
-            Err(e) => {
-                println!("upper bound (§5.2, complete): failed — {e}");
-                failures += 1;
-            }
-        }
-    }
-    for (flag, kind, label) in [
-        (opts.hoeffding, BoundKind::Hoeffding, "§5.1, Hoeffding"),
-        (opts.azuma, BoundKind::Azuma, "POPL'17, Azuma"),
-    ] {
-        if !flag {
-            continue;
-        }
-        match synthesize_reprsm_bound_in(&pts, kind, DEFAULT_SER_ITERATIONS, &mut solver) {
-            Ok(r) => {
-                println!("upper bound ({label}): {} (ε = {:.4}, {} LPs)", r.bound, r.epsilon, r.lp_solves);
-                if opts.symbolic {
-                    print_template(label, &r.template);
-                }
-            }
-            Err(e) => {
-                println!("upper bound ({label}): failed — {e}");
-                failures += 1;
-            }
-        }
-    }
-    if opts.lower {
+    let mut failures = 0u32;
+    // One solver session for the whole invocation: every sequential
+    // analysis below shares its warm-start cache and contributes to one
+    // stats report (racers hold private sessions; their certified share
+    // is folded back in).
+    let mut solver = LpSolver::with_choice(opts.lp_backend);
+    let mut abandoned = LpStats::default();
+
+    // The lower-bound engines are sound only under almost-sure
+    // termination: certify it once, up front, if any are requested.
+    let wants_lower =
+        lineup.iter().any(|n| registry.engine(n).is_some_and(|e| e.direction() == Direction::Lower));
+    let lower_ok = if wants_lower {
         match prove_almost_sure_termination_in(&pts, &mut solver) {
             Ok(cert) => {
                 println!(
                     "almost-sure termination: certified (expected steps ≤ {:.1})",
                     cert.initial_rank
                 );
-                match synthesize_lower_bound_in(&pts, &mut solver) {
-                    Ok(r) => {
-                        println!("lower bound (§6): {:.6}", r.bound.to_f64());
-                        if opts.symbolic {
-                            print_template("§6", &r.template);
-                        }
+                true
+            }
+            Err(e) => {
+                println!("lower bounds: skipped — cannot certify a.s. termination ({e})");
+                failures += 1;
+                false
+            }
+        }
+    } else {
+        false
+    };
+
+    for direction in [Direction::Upper, Direction::Lower] {
+        let group: Vec<&dyn BoundEngine> = lineup
+            .iter()
+            .filter_map(|n| registry.engine(n))
+            .filter(|e| e.direction() == direction)
+            .collect();
+        if group.is_empty() || (direction == Direction::Lower && !lower_ok) {
+            continue;
+        }
+        let req = AnalysisRequest::new(&pts, direction);
+        if opts.race && group.len() > 1 {
+            let outcome = race(&group, &req, opts.lp_backend);
+            abandoned.merge(&outcome.abandoned);
+            match outcome.winning_report() {
+                Some(winner) => {
+                    let losers: Vec<_> = outcome
+                        .reports
+                        .iter()
+                        .filter(|r| r.engine != winner.engine)
+                        .map(|r| r.engine)
+                        .collect();
+                    println!(
+                        "race ({direction}): {} won over {}",
+                        winner.engine,
+                        if losers.is_empty() { "nobody".to_string() } else { losers.join(", ") }
+                    );
+                    print_report(winner, opts.symbolic);
+                    solver.merge_stats(&winner.lp);
+                }
+                None => {
+                    println!("race ({direction}): no engine certified a bound");
+                    for report in &outcome.reports {
+                        print_report(report, false);
                     }
-                    Err(e) => {
-                        println!("lower bound (§6): failed — {e}");
-                        failures += 1;
-                    }
+                    failures += 1;
                 }
             }
-            Err(e) => {
-                println!(
-                    "lower bound (§6): skipped — cannot certify a.s. termination ({e})"
-                );
-                failures += 1;
+        } else {
+            for engine in group {
+                let report = engine.run(&req, &mut solver);
+                if !print_report(&report, opts.symbolic) {
+                    failures += 1;
+                }
             }
         }
     }
-    if opts.quadratic {
-        match qava_core::polyrsm::synthesize_quadratic_bound_in(
-            &pts,
-            BoundKind::Hoeffding,
-            DEFAULT_SER_ITERATIONS,
-            &mut solver,
-        ) {
-            Ok(r) => println!(
-                "upper bound (Remark 3, quadratic RepRSM): {} (ε = {:.4}, {} LPs)",
-                r.bound, r.epsilon, r.lp_solves
-            ),
-            Err(e) => {
-                println!("upper bound (Remark 3, quadratic RepRSM): failed — {e}");
-                failures += 1;
-            }
-        }
-        match qava_core::polylow::synthesize_quadratic_lower_bound_in(&pts, &mut solver) {
-            Ok(r) => println!(
-                "lower bound (Remark 5, quadratic): {:.6} (needs a.s. termination)",
-                r.bound.to_f64()
-            ),
-            Err(e) => {
-                println!("lower bound (Remark 5, quadratic): failed — {e}");
-                failures += 1;
-            }
-        }
-    }
+
     if let Some(trials) = opts.simulate {
         let est = qava_sim::Simulator::new(opts.seed).estimate_violation(&pts, trials, 1_000_000);
         println!(
@@ -333,9 +499,11 @@ fn main() -> ExitCode {
         );
     }
 
+    // Abandoned-only work (e.g. a race where nothing certified) still
+    // prints a footer: spent LP work must never be invisible.
     let stats = solver.stats();
-    if stats.solves > 0 {
-        print!("{stats}");
+    if stats.solves > 0 || abandoned.solves > 0 {
+        print_stats_footer(stats, &abandoned);
     }
 
     if failures > 0 {
@@ -353,17 +521,56 @@ mod tests {
         list.iter().map(|s| s.to_string()).collect()
     }
 
+    fn lineup(list: &[&str]) -> Vec<String> {
+        let opts = parse_args(&args(list)).unwrap();
+        engine_lineup(&opts, &EngineRegistry::with_builtins()).unwrap()
+    }
+
     #[test]
     fn default_modes_enabled() {
-        let o = parse_args(&args(&["p.qava"])).unwrap();
-        assert!(o.upper && o.hoeffding && o.lower);
-        assert!(!o.azuma);
+        assert_eq!(lineup(&["p.qava"]), vec!["explinsyn", "hoeffding-linear", "explowsyn"]);
     }
 
     #[test]
     fn explicit_mode_disables_defaults() {
-        let o = parse_args(&args(&["p.qava", "--upper"])).unwrap();
-        assert!(o.upper && !o.hoeffding && !o.lower);
+        assert_eq!(lineup(&["p.qava", "--upper"]), vec!["explinsyn"]);
+        assert_eq!(lineup(&["p.qava", "--azuma"]), vec!["azuma"]);
+    }
+
+    #[test]
+    fn quadratic_is_additive() {
+        // `--quadratic` "also" tries quadratic exponents: the default
+        // lineup keeps running alongside the Handelman engines.
+        assert_eq!(
+            lineup(&["p.qava", "--quadratic"]),
+            vec!["explinsyn", "hoeffding-linear", "polyrsm-quadratic", "explowsyn", "polylow"]
+        );
+        assert_eq!(
+            lineup(&["p.qava", "--upper", "--quadratic"]),
+            vec!["explinsyn", "polyrsm-quadratic", "polylow"]
+        );
+    }
+
+    #[test]
+    fn engines_flag_overrides_modes() {
+        assert_eq!(
+            lineup(&["p.qava", "--upper", "--engines", "azuma,polylow"]),
+            vec!["azuma", "polylow"]
+        );
+    }
+
+    #[test]
+    fn unknown_engine_rejected() {
+        let opts = parse_args(&args(&["p.qava", "--engines", "simplex-prayer"])).unwrap();
+        let err = engine_lineup(&opts, &EngineRegistry::with_builtins()).unwrap_err();
+        assert!(err.contains("unknown engine `simplex-prayer`"));
+        assert!(err.contains("hoeffding-linear"), "message lists the registry: {err}");
+    }
+
+    #[test]
+    fn race_flag_parses() {
+        assert!(parse_args(&args(&["p.qava", "--race"])).unwrap().race);
+        assert!(!parse_args(&args(&["p.qava"])).unwrap().race);
     }
 
     #[test]
@@ -402,5 +609,7 @@ mod tests {
         let o = parse_args(&args(&["p.qava", "--simulate", "1000", "--seed", "9"])).unwrap();
         assert_eq!(o.simulate, Some(1000));
         assert_eq!(o.seed, 9);
+        // --simulate alone runs no synthesis engines.
+        assert_eq!(lineup(&["p.qava", "--simulate", "10"]), Vec::<String>::new());
     }
 }

@@ -41,6 +41,9 @@ pub enum ExpLinSynError {
     TrivialInitial,
     /// Numerical failure inside the convex solver.
     Solver(String),
+    /// The session's cooperative cancellation flag was raised (a lost
+    /// candidate race) before the convex solve started.
+    Cancelled,
 }
 
 impl std::fmt::Display for ExpLinSynError {
@@ -53,6 +56,7 @@ impl std::fmt::Display for ExpLinSynError {
                 write!(f, "initial location is absorbing; the bound is trivial")
             }
             ExpLinSynError::Solver(m) => write!(f, "convex solver failed: {m}"),
+            ExpLinSynError::Cancelled => write!(f, "cancelled before the convex solve"),
         }
     }
 }
@@ -78,11 +82,19 @@ pub struct ExpLinSynResult {
 
 /// Runs ExpLinSyn with default solver options.
 ///
+/// Deprecated shim over [`synthesize_upper_bound_in`] with a private
+/// throwaway session; new code goes through the engine API
+/// (`explinsyn` in an [`crate::engine::EngineRegistry`]) or threads an
+/// explicit session.
+///
 /// # Errors
 ///
 /// See [`ExpLinSynError`].
+#[deprecated(note = "use the `explinsyn` engine via `qava_core::engine`, \
+                     or `synthesize_upper_bound_in` with an explicit \
+                     `LpSolver` session")]
 pub fn synthesize_upper_bound(pts: &Pts) -> Result<ExpLinSynResult, ExpLinSynError> {
-    synthesize_upper_bound_with(pts, &SolverOptions::default())
+    synthesize_upper_bound_with_in(pts, &SolverOptions::default(), &mut LpSolver::new())
 }
 
 /// Runs ExpLinSyn with default convex-solver options, threading the
@@ -102,9 +114,14 @@ pub fn synthesize_upper_bound_in(
 
 /// Runs ExpLinSyn with explicit solver options.
 ///
+/// Deprecated shim; see [`synthesize_upper_bound`].
+///
 /// # Errors
 ///
 /// See [`ExpLinSynError`].
+#[deprecated(note = "use the engine API (`qava_core::engine`, with convex \
+                     options on the `AnalysisRequest`) or \
+                     `synthesize_upper_bound_with_in`")]
 pub fn synthesize_upper_bound_with(
     pts: &Pts,
     opts: &SolverOptions,
@@ -129,6 +146,13 @@ pub fn synthesize_upper_bound_with_in(
     let space = TemplateSpace::new(pts, false);
     let problem = build_convex_program_in(pts, &space, solver)?;
 
+    // The interior-point solve is this algorithm's one long phase and it
+    // runs outside the LP session, so honor a cooperative cancellation
+    // (a lost candidate race) here, at its boundary — the same contract
+    // the session applies to each LP solve.
+    if solver.is_cancelled() {
+        return Err(ExpLinSynError::Cancelled);
+    }
     let sol = match problem.solve(opts) {
         Ok(s) => s,
         Err(ConvexError::Infeasible) => return Err(ExpLinSynError::NoTemplate),
@@ -232,6 +256,9 @@ pub fn build_convex_program_in(
 }
 
 #[cfg(test)]
+// The deprecated session-less shims keep their behavioral coverage here
+// until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;

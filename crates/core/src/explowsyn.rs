@@ -83,9 +83,17 @@ pub struct ExpLowSynResult {
 /// surely from every reachable state (the paper's standing assumption for
 /// LQAVA; see [`crate::rsm::prove_almost_sure_termination`]).
 ///
+/// Deprecated shim over [`synthesize_lower_bound_in`] with a private
+/// throwaway session; new code goes through the engine API (`explowsyn`
+/// in an [`crate::engine::EngineRegistry`]) or threads an explicit
+/// session.
+///
 /// # Errors
 ///
 /// See [`ExpLowSynError`].
+#[deprecated(note = "use the `explowsyn` engine via `qava_core::engine`, \
+                     or `synthesize_lower_bound_in` with an explicit \
+                     `LpSolver` session")]
 pub fn synthesize_lower_bound(pts: &Pts) -> Result<ExpLowSynResult, ExpLowSynError> {
     synthesize_lower_bound_in(pts, &mut LpSolver::new())
 }
@@ -182,6 +190,9 @@ pub fn synthesize_lower_bound_in(
 }
 
 #[cfg(test)]
+// The deprecated session-less shims keep their behavioral coverage here
+// until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;

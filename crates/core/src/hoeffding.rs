@@ -104,20 +104,31 @@ pub const DEFAULT_SER_ITERATIONS: usize = 70;
 
 /// Synthesizes a RepRSM upper bound with the Ser ternary search.
 ///
+/// Deprecated shim over [`synthesize_reprsm_bound_in`] with a private
+/// throwaway session; new code goes through the engine API
+/// (`engine::HoeffdingLinear` / `engine::AzumaLinear` in an
+/// [`crate::engine::EngineRegistry`]) or threads an explicit session.
+///
 /// # Errors
 ///
 /// See [`RepRsmError`].
+#[deprecated(note = "use the `hoeffding-linear`/`azuma` engines via \
+                     `qava_core::engine`, or `synthesize_reprsm_bound_in` \
+                     with an explicit `LpSolver` session")]
 pub fn synthesize_reprsm_bound(pts: &Pts, kind: BoundKind) -> Result<RepRsmResult, RepRsmError> {
-    synthesize_reprsm_bound_with(pts, kind, DEFAULT_SER_ITERATIONS)
+    synthesize_reprsm_bound_in(pts, kind, DEFAULT_SER_ITERATIONS, &mut LpSolver::new())
 }
 
 /// [`synthesize_reprsm_bound`] with an explicit Ser iteration budget — the
-/// granularity/LP-count trade-off of Theorem C.1, exposed for the
-/// `ablation_ser` benchmark.
+/// granularity/LP-count trade-off of Theorem C.1.
+///
+/// Deprecated shim; see [`synthesize_reprsm_bound`].
 ///
 /// # Errors
 ///
 /// See [`RepRsmError`].
+#[deprecated(note = "use the engine API (`qava_core::engine`) or \
+                     `synthesize_reprsm_bound_in` with an explicit session")]
 pub fn synthesize_reprsm_bound_with(
     pts: &Pts,
     kind: BoundKind,
@@ -527,6 +538,9 @@ impl<'a> ConstraintGen<'a> {
 }
 
 #[cfg(test)]
+// The deprecated session-less shims keep their behavioral coverage here
+// until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use std::collections::BTreeMap;

@@ -8,18 +8,59 @@
 //! **upper and lower bounds** on the probability that execution reaches the
 //! assertion-violation location.
 //!
-//! ## The three algorithms
+//! ## The engine lineup
 //!
-//! | Module | Paper | Certifies | Method |
-//! |---|---|---|---|
-//! | [`hoeffding`] | §5.1 | upper bound | RepRSM + Hoeffding's lemma, Farkas LPs, Ser ternary search (plus the POPL'17 Azuma baseline) |
-//! | [`explinsyn`] | §5.2 | upper bound, **complete** for affine exponents | Minkowski decomposition, quantifier elimination, convex programming |
-//! | [`explowsyn`] | §6 | lower bound (under a.s. termination) | Jensen strengthening + Farkas LP |
+//! Every synthesis algorithm is a [`engine::BoundEngine`] — a named,
+//! runtime-dispatchable handle with a bound direction, an applicability
+//! screen, and a uniform run interface ([`engine::AnalysisRequest`] in,
+//! [`engine::AnalysisReport`] out: certified bound + certificate +
+//! per-engine LP statistics + wall time). Six built-ins ship in the
+//! [`engine::EngineRegistry`]:
+//!
+//! | Engine | Module | Paper | Certifies | Method |
+//! |---|---|---|---|---|
+//! | `hoeffding-linear` | [`hoeffding`] | §5.1 | upper | affine RepRSM + Hoeffding's lemma, Farkas LPs, Ser ternary search |
+//! | `azuma` | [`hoeffding`] | Remark 2 | upper | the POPL'17 Azuma baseline on the same template class |
+//! | `explinsyn` | [`explinsyn`] | §5.2 | upper, **complete** for affine exponents | Minkowski decomposition, quantifier elimination, convex programming |
+//! | `polyrsm-quadratic` | [`polyrsm`] | Remark 3 | upper | quadratic RepRSM via Handelman certificates |
+//! | `explowsyn` | [`explowsyn`] | §6 | lower (under a.s. termination) | Jensen strengthening + Farkas LP |
+//! | `polylow` | [`polylow`] | Remark 5 | lower (under a.s. termination) | quadratic templates via Handelman |
+//!
+//! External engines attach with
+//! [`register_engine`](engine::EngineRegistry::register_engine), exactly
+//! like LP backends attach to `LpSolver::register_backend` one layer
+//! down — and like there, re-registering a name shadows the built-in.
+//!
+//! ## Racing
+//!
+//! [`engine::race`] runs the applicable engines of one direction
+//! concurrently on the rayon pool, each in its own `LpSolver` session.
+//! The first **certified** bound wins; losers are cancelled
+//! cooperatively via a shared flag their sessions poll at LP-solve
+//! boundaries. Each engine's bound is individually certified, so the
+//! race trades tightness for latency, never soundness — and a winner's
+//! value is bit-identical to that engine run alone. Loser statistics are
+//! kept in a separate `abandoned` bucket
+//! ([`engine::RaceOutcome::abandoned`]) so aggregate footers never
+//! double-count cancelled work. `qava --race`, `qava --suite --race` and
+//! the suite runner's [`suite::runner::race_rows_with`] ride on this.
+//!
+//! ## Deprecation path
+//!
+//! The historical free-function entry points (`synthesize_reprsm_bound`,
+//! `synthesize_upper_bound`, `synthesize_lower_bound`,
+//! `synthesize_quadratic_bound`, `synthesize_quadratic_lower_bound` and
+//! their `_with` variants) remain as **deprecated** thin shims over the
+//! session-threaded `*_in` implementations, so downstream code and old
+//! doctests keep compiling. The `*_in` variants themselves are stable —
+//! they are what the engine adapters call. Migrate by picking an engine
+//! name and going through the registry; see the quickstart below.
 //!
 //! ## Supporting theory and tooling
 //!
 //! * [`fixpoint`] — executable Theorems 4.3/4.4: value iteration from `⊥`
-//!   and `⊤` brackets the true violation probability on finite instances;
+//!   and `⊤` brackets the true violation probability on finite instances
+//!   (the conformance tests hold every registered engine to it);
 //! * [`rsm`] — ranking-supermartingale certificates for the almost-sure
 //!   termination side condition;
 //! * [`invariants`] — sound invariant propagation onto intermediate control
@@ -27,13 +68,15 @@
 //! * [`verify`] — independent numerical re-checking of synthesized pre/post
 //!   fixed-points;
 //! * [`suite`] — all twelve benchmark programs of the paper's evaluation
-//!   (§7, Figures 1–12) with their parameters and the published numbers;
+//!   (§7, Figures 1–12) with their parameters and the published numbers,
+//!   plus the parallel suite driver ([`suite::runner`]) in sequential and
+//!   racing modes;
 //! * [`logprob`] — log-domain probabilities (bounds reach `1e-3230`).
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use qava_core::explinsyn;
+//! use qava_core::engine::{AnalysisRequest, EngineRegistry};
 //!
 //! // Fig. 1: the tortoise-hare race. Upper-bound the hare's win probability.
 //! let src = r"
@@ -44,12 +87,30 @@
 //!     assert x >= 100;
 //! ";
 //! let pts = qava_lang::compile(src, &Default::default())?;
-//! let upper = explinsyn::synthesize_upper_bound(&pts)?;
+//! let registry = EngineRegistry::with_builtins();
+//! let report = registry
+//!     .run_engine("explinsyn", &AnalysisRequest::upper(&pts), Default::default())
+//!     .expect("built-in engine");
+//! let upper = report.outcome?;
 //! assert!(upper.bound.ln() < -15.0); // ≈ 1.5e-7, §3.1 of the paper
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! The deprecated shims stay source-compatible:
+//!
+//! ```
+//! # #![allow(deprecated)]
+//! # let pts = qava_lang::compile(
+//! #     "x := 0; if prob(0.3) { assert false; } else { exit; }",
+//! #     &Default::default(),
+//! # )?;
+//! let upper = qava_core::explinsyn::synthesize_upper_bound(&pts)?;
+//! assert!((upper.bound.to_f64() - 0.3).abs() < 1e-3);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub mod canonical;
+pub mod engine;
 pub mod explinsyn;
 pub mod explowsyn;
 pub mod farkas;
@@ -66,10 +127,20 @@ pub mod suite;
 pub mod template;
 pub mod verify;
 
-pub use explinsyn::{synthesize_upper_bound, ExpLinSynResult};
-pub use explowsyn::{synthesize_lower_bound, ExpLowSynResult};
-pub use hoeffding::{synthesize_reprsm_bound, BoundKind, RepRsmResult};
+pub use engine::{
+    race, AnalysisReport, AnalysisRequest, BoundEngine, Certificate, Certified, Direction,
+    EngineError, EngineRegistry, RaceOutcome,
+};
+pub use explinsyn::ExpLinSynResult;
+pub use explowsyn::ExpLowSynResult;
+pub use hoeffding::{BoundKind, RepRsmResult};
 pub use logprob::LogProb;
-pub use polylow::{synthesize_quadratic_lower_bound, PolyLowResult};
-pub use polyrsm::{synthesize_quadratic_bound, PolyRsmResult};
+pub use polylow::PolyLowResult;
+pub use polyrsm::PolyRsmResult;
 pub use rsm::{prove_almost_sure_termination, RsmCertificate};
+#[allow(deprecated)]
+pub use {
+    explinsyn::synthesize_upper_bound, explowsyn::synthesize_lower_bound,
+    hoeffding::synthesize_reprsm_bound, polylow::synthesize_quadratic_lower_bound,
+    polyrsm::synthesize_quadratic_bound,
+};

@@ -77,9 +77,15 @@ const HANDELMAN_DEGREE: u32 = 2;
 /// Runs the quadratic lower-bound synthesis with a private solver
 /// session; see [`synthesize_quadratic_lower_bound_in`].
 ///
+/// Deprecated shim; new code goes through the engine API (`polylow` in
+/// an [`crate::engine::EngineRegistry`]) or threads an explicit session.
+///
 /// # Errors
 ///
 /// See [`PolyLowError`].
+#[deprecated(note = "use the `polylow` engine via `qava_core::engine`, or \
+                     `synthesize_quadratic_lower_bound_in` with an explicit \
+                     `LpSolver` session")]
 pub fn synthesize_quadratic_lower_bound(pts: &Pts) -> Result<PolyLowResult, PolyLowError> {
     synthesize_quadratic_lower_bound_in(pts, &mut LpSolver::new())
 }
@@ -194,6 +200,9 @@ pub fn synthesize_quadratic_lower_bound_in(
 }
 
 #[cfg(test)]
+// The deprecated session-less shims keep their behavioral coverage here
+// until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::explowsyn::synthesize_lower_bound;

@@ -251,9 +251,17 @@ const HANDELMAN_DEGREE: u32 = 2;
 
 /// Synthesizes a quadratic RepRSM bound `exp(factor·ε·η(init))`.
 ///
+/// Deprecated shim over [`synthesize_quadratic_bound_in`] with a private
+/// throwaway session; new code goes through the engine API
+/// (`polyrsm-quadratic` in an [`crate::engine::EngineRegistry`]) or
+/// threads an explicit session.
+///
 /// # Errors
 ///
 /// See [`PolyRsmError`].
+#[deprecated(note = "use the `polyrsm-quadratic` engine via \
+                     `qava_core::engine`, or `synthesize_quadratic_bound_in` \
+                     with an explicit `LpSolver` session")]
 pub fn synthesize_quadratic_bound(
     pts: &Pts,
     kind: BoundKind,
@@ -531,6 +539,9 @@ impl<'a> Generator<'a> {
 }
 
 #[cfg(test)]
+// The deprecated session-less shims keep their behavioral coverage here
+// until they are removed.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::hoeffding::{synthesize_reprsm_bound, RepRsmError};

@@ -49,14 +49,10 @@ impl std::fmt::Display for Category {
     }
 }
 
-/// Which bound direction the table row reports.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Direction {
-    /// Table 1 rows (UQAVA).
-    Upper,
-    /// Table 2 rows (LQAVA).
-    Lower,
-}
+/// Which bound direction the table row reports (Table 1 = upper,
+/// Table 2 = lower). Re-exported from the engine layer: the direction a
+/// row reports is exactly the direction its engines certify.
+pub use crate::engine::Direction;
 
 /// Numbers printed in the paper, for the ratio columns of Tables 1–2.
 #[derive(Debug, Clone, Copy, Default)]

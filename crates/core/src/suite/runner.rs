@@ -1,76 +1,69 @@
-//! Parallel driver for the benchmark suite.
+//! Parallel driver for the benchmark suite, built on the engine API.
 //!
-//! The paper's evaluation (Tables 1–2) runs up to four synthesis
-//! algorithms over 36 program rows. Each (row, algorithm) pair is an
+//! The paper's evaluation (Tables 1–2) runs several bound engines over
+//! 36 program rows. In **sequential mode** each (row, engine) pair is an
 //! independent piece of work: compilation, invariant propagation and
 //! synthesis share nothing across pairs (the monomial interner and
 //! Handelman product caches are thread-local by design, and every task
 //! owns its private [`LpSolver`] session — warm-start bases and solver
 //! statistics live in the session, not in ambient state). The driver
-//! therefore fans the pairs out over a rayon-style thread pool and
-//! reassembles the results **in input order**, so the emitted tables are
-//! byte-identical regardless of scheduling; the per-task [`LpStats`] are
-//! merged into one suite-wide total for the stats footer.
+//! fans the pairs out over a rayon-style thread pool and reassembles the
+//! results **in input order**, so the emitted tables are byte-identical
+//! regardless of scheduling.
 //!
-//! Used by the `tables` binary (`crates/bench`) and the `qava --suite`
-//! CLI mode (both expose `--lp-backend` and forward it here); the
+//! In **race mode** ([`race_rows_with`]) the unit of work is a row: the
+//! row's engines race in-process ([`crate::engine::race`]), the first
+//! *certified* bound wins, the losers are cancelled cooperatively, and
+//! the row reports the winner plus the losers' LP statistics in a
+//! separate `abandoned` bucket — [`suite_lp_stats`] only ever counts
+//! certified work, [`suite_abandoned_lp_stats`] only cancelled work, so
+//! footers never double-count pivots spent by losing candidates.
+//!
+//! Engines are resolved by name through an [`EngineRegistry`]
+//! ([`run_rows_in`] takes an explicit registry for externally registered
+//! engines; the convenience wrappers use the built-ins). Used by the
+//! `tables` binary (`crates/bench`) and the `qava --suite` CLI mode
+//! (both expose `--lp-backend`/`--race` and forward them here); the
 //! criterion benches keep calling the synthesis entry points directly so
 //! that measured times stay single-threaded.
 
+use crate::engine::{race, AnalysisRequest, Direction, EngineError, EngineRegistry};
 use crate::logprob::LogProb;
-use crate::suite::{Benchmark, Direction};
-use crate::{explinsyn, explowsyn, hoeffding};
+use crate::suite::Benchmark;
 use qava_lp::{BackendChoice, LpSolver, LpStats};
 use rayon::prelude::*;
 use std::time::Instant;
 
-/// A synthesis algorithm the driver can schedule.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Algorithm {
-    /// §5.1 RepRSM + Hoeffding upper bound.
-    Hoeffding,
-    /// POPL'17 Azuma baseline (same template class as Hoeffding).
-    Azuma,
-    /// §5.2 complete exponential upper bound.
-    ExpLinSyn,
-    /// §6 exponential lower bound (needs almost-sure termination).
-    ExpLowSyn,
-}
-
-impl std::fmt::Display for Algorithm {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
-            Algorithm::Hoeffding => "hoeffding",
-            Algorithm::Azuma => "azuma",
-            Algorithm::ExpLinSyn => "explinsyn",
-            Algorithm::ExpLowSyn => "explowsyn",
-        };
-        write!(f, "{s}")
-    }
-}
-
-/// The algorithms the paper's tables run for a bound direction.
-pub fn default_algorithms(direction: Direction) -> &'static [Algorithm] {
+/// The engines the paper's tables run for a bound direction, by
+/// registry name.
+pub fn default_engines(direction: Direction) -> &'static [&'static str] {
     match direction {
-        Direction::Upper => &[Algorithm::Hoeffding, Algorithm::ExpLinSyn],
-        Direction::Lower => &[Algorithm::ExpLowSyn],
+        Direction::Upper => &["hoeffding-linear", "explinsyn"],
+        Direction::Lower => &["explowsyn"],
     }
 }
 
-/// Outcome of one algorithm on one table row.
+/// Outcome of one engine (or one race) on one table row.
 #[derive(Debug, Clone)]
-pub struct AlgoRun {
-    /// Which algorithm ran.
-    pub algorithm: Algorithm,
+pub struct EngineRun {
+    /// Engine that produced this outcome — in race mode, the winner.
+    pub engine: &'static str,
     /// Certified bound, or the failure rendered as text.
     pub bound: Result<LogProb, String>,
     /// Wall-clock synthesis time (excluding compilation), seconds.
     pub seconds: f64,
-    /// LP solver statistics of this run's private session.
+    /// LP statistics behind the reported bound (the winner's session in
+    /// race mode).
     pub lp: LpStats,
+    /// LP statistics of cancelled/losing racers; empty in sequential
+    /// mode. Kept apart from `lp` so suite totals stay honest.
+    pub abandoned: LpStats,
+    /// Every engine that raced for this outcome (empty in sequential
+    /// mode), in race order.
+    pub raced: Vec<&'static str>,
 }
 
-/// All requested algorithm outcomes for one table row, in request order.
+/// All requested engine outcomes for one table row, in request order.
 #[derive(Debug, Clone)]
 pub struct RowReport {
     /// Index of the row in the input slice.
@@ -83,76 +76,64 @@ pub struct RowReport {
     pub previous: Option<LogProb>,
     /// Bound direction of the row.
     pub direction: Direction,
-    /// One entry per requested algorithm.
-    pub runs: Vec<AlgoRun>,
+    /// One entry per requested engine (or one racing entry per row).
+    pub runs: Vec<EngineRun>,
 }
 
-/// Runs one algorithm on a compiled program inside an explicit solver
-/// session.
-fn run_algorithm(
-    pts: &qava_pts::Pts,
-    algo: Algorithm,
-    solver: &mut LpSolver,
-) -> Result<LogProb, String> {
-    match algo {
-        Algorithm::Hoeffding => hoeffding::synthesize_reprsm_bound_in(
-            pts,
-            hoeffding::BoundKind::Hoeffding,
-            hoeffding::DEFAULT_SER_ITERATIONS,
-            solver,
-        )
-        .map(|r| r.bound)
-        .map_err(|e| e.to_string()),
-        Algorithm::Azuma => hoeffding::synthesize_reprsm_bound_in(
-            pts,
-            hoeffding::BoundKind::Azuma,
-            hoeffding::DEFAULT_SER_ITERATIONS,
-            solver,
-        )
-        .map(|r| r.bound)
-        .map_err(|e| e.to_string()),
-        Algorithm::ExpLinSyn => explinsyn::synthesize_upper_bound_in(pts, solver)
-            .map(|r| r.bound)
-            .map_err(|e| e.to_string()),
-        Algorithm::ExpLowSyn => explowsyn::synthesize_lower_bound_in(pts, solver)
-            .map(|r| r.bound)
-            .map_err(|e| e.to_string()),
+impl RowReport {
+    /// Returns the outcome of the engine with the given name, if it was
+    /// scheduled (in race mode: if it won).
+    pub fn run(&self, engine: &str) -> Option<&EngineRun> {
+        self.runs.iter().find(|r| r.engine == engine)
     }
 }
 
-/// [`run_rows`] with the default backend policy.
+/// [`run_rows_with`] with the default backend policy.
 pub fn run_rows(
     rows: &[Benchmark],
-    algorithms: impl Fn(&Benchmark) -> Vec<Algorithm>,
+    engines: impl Fn(&Benchmark) -> Vec<&'static str> + Sync,
 ) -> Vec<RowReport> {
-    run_rows_with(rows, algorithms, BackendChoice::default())
+    run_rows_with(rows, engines, BackendChoice::default())
 }
 
-/// Fans `rows × algorithms(row)` out over the thread pool and returns
-/// one report per row, in input order. Every task runs inside its own
-/// [`LpSolver`] session created with the given backend policy; the
-/// session's statistics are attached to the task's [`AlgoRun`] (merge
-/// them with [`suite_lp_stats`] for a fleet-wide total).
-///
-/// `algorithms` picks the algorithm set per row; use
-/// [`default_algorithms`] composed over [`Benchmark::direction`] for the
-/// paper's tables.
+/// Sequential mode over the built-in registry: fans
+/// `rows × engines(row)` out over the thread pool and returns one report
+/// per row, in input order.
 pub fn run_rows_with(
     rows: &[Benchmark],
-    algorithms: impl Fn(&Benchmark) -> Vec<Algorithm>,
+    engines: impl Fn(&Benchmark) -> Vec<&'static str> + Sync,
     backend: BackendChoice,
 ) -> Vec<RowReport> {
-    // Flatten to (row, algorithm) tasks so a slow row does not serialize
-    // the algorithms behind it.
-    let tasks: Vec<(usize, Algorithm)> = rows
+    run_rows_in(&EngineRegistry::with_builtins(), rows, engines, backend)
+}
+
+/// Sequential mode with an explicit registry (externally registered
+/// engines included). Every task runs inside its own [`LpSolver`]
+/// session created with the given backend policy; the session's
+/// statistics are attached to the task's [`EngineRun`] (merge them with
+/// [`suite_lp_stats`] for a fleet-wide total).
+///
+/// `engines` picks the engine names per row; use [`default_engines`]
+/// composed over [`Benchmark::direction`] for the paper's tables. An
+/// unknown name reports as a failed run rather than panicking the
+/// worker.
+pub fn run_rows_in(
+    registry: &EngineRegistry,
+    rows: &[Benchmark],
+    engines: impl Fn(&Benchmark) -> Vec<&'static str> + Sync,
+    backend: BackendChoice,
+) -> Vec<RowReport> {
+    // Flatten to (row, engine) tasks so a slow row does not serialize
+    // the engines behind it.
+    let tasks: Vec<(usize, &'static str)> = rows
         .iter()
         .enumerate()
-        .flat_map(|(i, b)| algorithms(b).into_iter().map(move |a| (i, a)))
+        .flat_map(|(i, b)| engines(b).into_iter().map(move |e| (i, e)))
         .collect();
 
-    let outcomes: Vec<(usize, AlgoRun)> = tasks
+    let outcomes: Vec<(usize, EngineRun)> = tasks
         .par_iter()
-        .map(|&(i, algo)| {
+        .map(|&(i, name)| {
             // Compile per task: compilation is cheap next to synthesis,
             // and it keeps every task self-contained on its worker
             // thread (monomial ids never cross threads). The solver
@@ -160,14 +141,144 @@ pub fn run_rows_with(
             // exactly the scope over which warm starts are sound ideas
             // and statistics are attributable.
             let pts = rows[i].compile();
-            let mut solver = LpSolver::with_choice(backend);
-            let t0 = Instant::now();
-            let bound = run_algorithm(&pts, algo, &mut solver);
-            let seconds = t0.elapsed().as_secs_f64();
-            (i, AlgoRun { algorithm: algo, bound, seconds, lp: solver.take_stats() })
+            let run = match registry.engine(name) {
+                None => EngineRun {
+                    engine: name,
+                    bound: Err(format!("unknown engine `{name}`")),
+                    seconds: 0.0,
+                    lp: LpStats::default(),
+                    abandoned: LpStats::default(),
+                    raced: Vec::new(),
+                },
+                Some(engine) => {
+                    let req = AnalysisRequest::new(&pts, engine.direction());
+                    let mut solver = LpSolver::with_choice(backend);
+                    let t0 = Instant::now();
+                    let report = engine.run(&req, &mut solver);
+                    let seconds = t0.elapsed().as_secs_f64();
+                    EngineRun {
+                        engine: name,
+                        bound: report
+                            .outcome
+                            .as_ref()
+                            .map(|c| c.bound)
+                            .map_err(ToString::to_string),
+                        seconds,
+                        lp: report.lp,
+                        abandoned: LpStats::default(),
+                        raced: Vec::new(),
+                    }
+                }
+            };
+            (i, run)
         })
         .collect();
 
+    assemble(rows, outcomes)
+}
+
+/// Race mode over the built-in registry: one racing task per row, over
+/// that row's [`default_engines`] lineup (falling back across every
+/// registered engine of the direction would change which bound a row
+/// reports; the default lineup mirrors what the paper's tables print).
+pub fn race_rows_with(rows: &[Benchmark], backend: BackendChoice) -> Vec<RowReport> {
+    race_rows_in(&EngineRegistry::with_builtins(), rows, |b| {
+        default_engines(b.direction).to_vec()
+    }, backend)
+}
+
+/// Race mode with an explicit registry and per-row lineup: each row's
+/// engines race in-process, the first certified bound is reported under
+/// the winner's name, and cancelled racers' LP statistics land in the
+/// run's `abandoned` bucket.
+pub fn race_rows_in(
+    registry: &EngineRegistry,
+    rows: &[Benchmark],
+    engines: impl Fn(&Benchmark) -> Vec<&'static str> + Sync,
+    backend: BackendChoice,
+) -> Vec<RowReport> {
+    let tasks: Vec<usize> = (0..rows.len()).collect();
+    let outcomes: Vec<(usize, EngineRun)> = tasks
+        .par_iter()
+        .map(|&i| {
+            let b = &rows[i];
+            let pts = b.compile();
+            let req = AnalysisRequest::new(&pts, b.direction);
+            let names = engines(b);
+            // An unknown name fails the row loudly, exactly like the
+            // sequential driver — silently racing a smaller lineup would
+            // report a winner the caller never asked to trust alone.
+            if let Some(unknown) = names.iter().find(|n| registry.engine(n).is_none()) {
+                let run = EngineRun {
+                    engine: "race",
+                    bound: Err(format!("unknown engine `{unknown}`")),
+                    seconds: 0.0,
+                    lp: LpStats::default(),
+                    abandoned: LpStats::default(),
+                    raced: names,
+                };
+                return (i, run);
+            }
+            let lineup: Vec<_> =
+                names.iter().filter_map(|n| registry.engine(n)).collect();
+            let raced: Vec<&'static str> = lineup.iter().map(|e| e.name()).collect();
+            let t0 = Instant::now();
+            let outcome = race(&lineup, &req, backend);
+            let seconds = t0.elapsed().as_secs_f64();
+            let run = match outcome.winner {
+                Some(w) => {
+                    let report = &outcome.reports[w];
+                    EngineRun {
+                        engine: report.engine,
+                        bound: Ok(report.outcome.as_ref().expect("winner is certified").bound),
+                        seconds,
+                        lp: report.lp.clone(),
+                        abandoned: outcome.abandoned,
+                        raced,
+                    }
+                }
+                None => {
+                    // No racer certified: render every failure, skipping
+                    // pure cancellations (there are none without a
+                    // winner, but an engine may decline mid-race).
+                    let msgs: Vec<String> = outcome
+                        .reports
+                        .iter()
+                        .filter(|r| !r.cancelled())
+                        .map(|r| {
+                            format!(
+                                "{}: {}",
+                                r.engine,
+                                r.outcome.as_ref().err().map_or_else(
+                                    || "uncertified".to_string(),
+                                    EngineError::to_string
+                                )
+                            )
+                        })
+                        .collect();
+                    EngineRun {
+                        engine: "race",
+                        bound: Err(if msgs.is_empty() {
+                            "no applicable engine".to_string()
+                        } else {
+                            msgs.join("; ")
+                        }),
+                        seconds,
+                        lp: LpStats::default(),
+                        abandoned: outcome.abandoned,
+                        raced,
+                    }
+                }
+            };
+            (i, run)
+        })
+        .collect();
+
+    assemble(rows, outcomes)
+}
+
+/// Reassembles per-task outcomes into per-row reports, in input order.
+fn assemble(rows: &[Benchmark], outcomes: Vec<(usize, EngineRun)>) -> Vec<RowReport> {
     let mut reports: Vec<RowReport> = rows
         .iter()
         .enumerate()
@@ -188,8 +299,9 @@ pub fn run_rows_with(
     reports
 }
 
-/// Merges every run's LP session statistics into one suite-wide total
-/// (the `qava --suite` stats footer).
+/// Merges every run's **certified** LP statistics into one suite-wide
+/// total (the `qava --suite` stats footer). Abandoned racer work is
+/// deliberately excluded; see [`suite_abandoned_lp_stats`].
 pub fn suite_lp_stats(reports: &[RowReport]) -> LpStats {
     let mut total = LpStats::default();
     for report in reports {
@@ -200,12 +312,16 @@ pub fn suite_lp_stats(reports: &[RowReport]) -> LpStats {
     total
 }
 
-/// Convenience accessor: the run of a given algorithm, if requested.
-impl RowReport {
-    /// Returns the outcome of `algo` on this row, if it was scheduled.
-    pub fn run(&self, algo: Algorithm) -> Option<&AlgoRun> {
-        self.runs.iter().find(|r| r.algorithm == algo)
+/// Merges every run's **abandoned** LP statistics (cancelled racers)
+/// into one suite-wide total. Zero everywhere in sequential mode.
+pub fn suite_abandoned_lp_stats(reports: &[RowReport]) -> LpStats {
+    let mut total = LpStats::default();
+    for report in reports {
+        for run in &report.runs {
+            total.merge(&run.abandoned);
+        }
     }
+    total
 }
 
 #[cfg(test)]
@@ -218,14 +334,15 @@ mod tests {
         // Three quick rows from table 2 (the affine lower bound is the
         // fastest synthesis); run twice and compare bounds exactly.
         let rows: Vec<Benchmark> = table2().into_iter().take(3).collect();
-        let a = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
-        let b = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+        let a = run_rows(&rows, |b| default_engines(b.direction).to_vec());
+        let b = run_rows(&rows, |b| default_engines(b.direction).to_vec());
         assert_eq!(a.len(), 3);
         for (ra, rb) in a.iter().zip(&b) {
             assert_eq!(ra.row, rb.row);
             assert_eq!(ra.name, rb.name);
             assert_eq!(ra.runs.len(), rb.runs.len());
             for (xa, xb) in ra.runs.iter().zip(&rb.runs) {
+                assert_eq!(xa.engine, xb.engine);
                 match (&xa.bound, &xb.bound) {
                     (Ok(pa), Ok(pb)) => assert_eq!(pa.ln(), pb.ln(), "{}", ra.name),
                     (Err(ea), Err(eb)) => assert_eq!(ea, eb),
@@ -240,7 +357,7 @@ mod tests {
         let rows: Vec<Benchmark> = table2().into_iter().take(1).collect();
         let reports = run_rows_with(
             &rows,
-            |b| default_algorithms(b.direction).to_vec(),
+            |b| default_engines(b.direction).to_vec(),
             BackendChoice::Sparse,
         );
         let stats = suite_lp_stats(&reports);
@@ -253,16 +370,47 @@ mod tests {
             .map(|run| run.lp.backends.iter().map(|t| t.solves).sum::<usize>())
             .sum();
         assert_eq!(stats.backends[0].solves, per_run, "merge must preserve totals");
+        assert_eq!(suite_abandoned_lp_stats(&reports).solves, 0, "no racing, no abandonment");
     }
 
     #[test]
-    fn upper_rows_get_two_algorithms() {
+    fn upper_rows_get_two_engines() {
         let rows: Vec<Benchmark> = table1().into_iter().take(1).collect();
-        let reports = run_rows(&rows, |b| default_algorithms(b.direction).to_vec());
+        let reports = run_rows(&rows, |b| default_engines(b.direction).to_vec());
         assert_eq!(reports[0].runs.len(), 2);
-        assert_eq!(reports[0].runs[0].algorithm, Algorithm::Hoeffding);
-        assert_eq!(reports[0].runs[1].algorithm, Algorithm::ExpLinSyn);
-        assert!(reports[0].run(Algorithm::ExpLinSyn).is_some());
-        assert!(reports[0].run(Algorithm::ExpLowSyn).is_none());
+        assert_eq!(reports[0].runs[0].engine, "hoeffding-linear");
+        assert_eq!(reports[0].runs[1].engine, "explinsyn");
+        assert!(reports[0].run("explinsyn").is_some());
+        assert!(reports[0].run("explowsyn").is_none());
+    }
+
+    #[test]
+    fn unknown_engine_reports_failure_not_panic() {
+        let rows: Vec<Benchmark> = table2().into_iter().take(1).collect();
+        let reports = run_rows(&rows, |_| vec!["interior-point"]);
+        let run = &reports[0].runs[0];
+        assert!(run.bound.as_ref().unwrap_err().contains("unknown engine"));
+    }
+
+    #[test]
+    fn race_mode_reports_winner_and_abandoned_bucket() {
+        let rows: Vec<Benchmark> = table2().into_iter().take(2).collect();
+        let reports = race_rows_with(&rows, BackendChoice::default());
+        for report in &reports {
+            assert_eq!(report.runs.len(), 1, "one racing run per row");
+            let run = &report.runs[0];
+            let bound = run.bound.as_ref().expect("lower rows certify");
+            assert_eq!(run.raced, vec!["explowsyn"], "lower lineup races explowsyn");
+            assert_eq!(run.engine, "explowsyn");
+            // Single-engine race: nothing abandoned; the sequential run
+            // must agree exactly.
+            assert_eq!(run.abandoned.solves, 0);
+            let seq = run_rows(
+                &rows[report.row..=report.row],
+                |b| default_engines(b.direction).to_vec(),
+            );
+            let seq_bound = seq[0].runs[0].bound.as_ref().unwrap();
+            assert_eq!(bound.ln(), seq_bound.ln(), "{}: race must not change the value", report.name);
+        }
     }
 }

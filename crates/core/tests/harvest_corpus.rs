@@ -145,7 +145,9 @@ fn render(name: &str, origin: &str, inst: &Instance, warm: Option<&[usize]>) -> 
         }
         Err(LpError::Infeasible) => writeln!(s, "expect infeasible").unwrap(),
         Err(LpError::Unbounded) => writeln!(s, "expect unbounded").unwrap(),
-        Err(LpError::PivotLimit) => return None,
+        // No capture session runs with a cancellation flag; either way a
+        // solve without a verdict has nothing worth harvesting.
+        Err(LpError::PivotLimit | LpError::Cancelled) => return None,
     }
     Some(s)
 }

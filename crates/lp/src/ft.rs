@@ -116,6 +116,29 @@ impl SpikeCache {
 struct RowEta {
     row: usize,
     col: SparseCol,
+    /// Support bitmask of `col.idx` over row keys. A forward solve
+    /// intersects it with the running nonzero-row mask of the solve
+    /// vector: no overlap means the gather is provably zero and the eta
+    /// is skipped outright. This is the row-eta analogue of the eta
+    /// file's one-component pivot check — a *row* operation reads many
+    /// components, so restoring sparse-RHS skipping takes a set
+    /// intersection instead of a single load.
+    mask: Vec<u64>,
+}
+
+/// Number of `u64` words a row-key bitmask over `m` rows needs.
+fn mask_words(m: usize) -> usize {
+    m.div_ceil(64)
+}
+
+/// Sets `row`'s bit.
+fn mask_set(mask: &mut [u64], row: usize) {
+    mask[row >> 6] |= 1u64 << (row & 63);
+}
+
+/// Whether two equally sized masks share any set bit.
+fn masks_intersect(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(&x, &y)| x & y != 0)
 }
 
 /// The Forrest–Tomlin basis representation behind the `lu-ft` backend
@@ -171,6 +194,10 @@ pub(crate) struct FtBasis {
     row_nnz: Vec<usize>,
     /// See [`SpikeCache`].
     spike_cache: RefCell<SpikeCache>,
+    /// Reusable nonzero-row mask for [`apply_etas_forward`]
+    /// (`RefCell`: the solve paths take `&self`); rebuilt at the start
+    /// of every use, so no cross-call state.
+    live_mask: RefCell<Vec<u64>>,
 }
 
 impl FtBasis {
@@ -210,6 +237,40 @@ impl FtBasis {
         self.spike_cache.borrow_mut().valid = false;
     }
 
+    /// Applies the stored spike-row etas, oldest first, to a vector that
+    /// has already been carried through the frozen L part. Each eta's
+    /// support mask is intersected with a running nonzero-row mask of
+    /// the solve vector, so etas that provably gather zero are skipped —
+    /// on the sparse right-hand sides of the pivot loop's column ftrans
+    /// most etas are (the L solve confines fill to the columns it
+    /// touches). The mask only ever grows: between etas nothing else
+    /// writes `x`, and an applied eta adds exactly the one row it
+    /// updates, so staying a superset of the true nonzero set is
+    /// invariant (cancellation to exact zero just leaves a stale bit).
+    fn apply_etas_forward(&self, x: &mut [f64]) {
+        if self.etas.is_empty() {
+            return;
+        }
+        let mut live = self.live_mask.borrow_mut();
+        live.clear();
+        live.resize(mask_words(self.m), 0);
+        for (r, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                mask_set(&mut live, r);
+            }
+        }
+        for eta in &self.etas {
+            if !masks_intersect(&eta.mask, &live) {
+                continue;
+            }
+            let s = vecops::gather_dot(&eta.col.idx, &eta.col.vals, x);
+            if s != 0.0 {
+                x[eta.row] -= s;
+                mask_set(&mut live, eta.row);
+            }
+        }
+    }
+
     /// Solves `B·z = b` for `b` given dense in row indexing; returns `z`
     /// in basis-slot indexing. When `cache_as` carries the originating
     /// sparse column, the intermediate spike (post-L, post-etas, pre-U)
@@ -219,12 +280,7 @@ impl FtBasis {
         // Frozen L, then the spike-row etas oldest first (they sit
         // between L and U by construction), then the mutable U.
         self.lu.l_solve(&mut x);
-        for eta in &self.etas {
-            let s = vecops::gather_dot(&eta.col.idx, &eta.col.vals, &x);
-            if s != 0.0 {
-                x[eta.row] -= s;
-            }
-        }
+        self.apply_etas_forward(&mut x);
         if let Some((idx, vals)) = cache_as {
             let mut cache = self.spike_cache.borrow_mut();
             cache.col_idx.clear();
@@ -270,6 +326,7 @@ impl BasisRepr for FtBasis {
             relim: vec![0.0; m],
             row_nnz: vec![0; m],
             spike_cache: RefCell::new(SpikeCache::default()),
+            live_mask: RefCell::new(Vec::new()),
         };
         repr.install(LuFactors::identity(m));
         repr
@@ -368,16 +425,13 @@ impl BasisRepr for FtBasis {
                 std::mem::swap(&mut self.spike, &mut cache.spike);
             } else {
                 drop(cache);
+                let mut spike = std::mem::take(&mut self.spike);
                 for (&r, &v) in col_idx.iter().zip(col_vals) {
-                    self.spike[r] = v;
+                    spike[r] = v;
                 }
-                self.lu.l_solve(&mut self.spike);
-                for eta in &self.etas {
-                    let s = vecops::gather_dot(&eta.col.idx, &eta.col.vals, &self.spike);
-                    if s != 0.0 {
-                        self.spike[eta.row] -= s;
-                    }
-                }
+                self.lu.l_solve(&mut spike);
+                self.apply_etas_forward(&mut spike);
+                self.spike = spike;
             }
         }
         // Any cached spike is stale once U changes below.
@@ -520,10 +574,15 @@ impl BasisRepr for FtBasis {
         }
 
         // ---- 9. Record the spike-row eta (it sits between L and U in
-        // every later solve).
+        // every later solve), with its support bitmask so forward solves
+        // can skip it when the solve vector has no mass on its rows.
         if !eta_entries.is_empty() {
             self.eta_nnz += eta_entries.len();
-            self.etas.push(RowEta { row: rt, col: SparseCol::from_entries(eta_entries) });
+            let mut mask = vec![0u64; mask_words(m)];
+            for &(c, _) in &eta_entries {
+                mask_set(&mut mask, c);
+            }
+            self.etas.push(RowEta { row: rt, col: SparseCol::from_entries(eta_entries), mask });
         }
         self.updates += 1;
     }

@@ -44,7 +44,12 @@
 //!   the dense-inverse revised simplex), a bounded-LRU warm-start basis
 //!   cache keyed by LP sparsity pattern, and per-solve statistics
 //!   ([`LpStats`]: pivots, presolve reductions, warm-start hits,
-//!   feasibility-watchdog restarts, anti-cycling retries, wall time);
+//!   feasibility-watchdog restarts, anti-cycling retries, wall time).
+//!   Sessions also carry an optional **cooperative cancellation flag**
+//!   ([`LpSolver::set_cancel_flag`]), polled once per solve boundary:
+//!   once raised, further solves return [`LpError::Cancelled`] without
+//!   work — the engine-racing layer in `qava-core` winds down losing
+//!   candidates through it, never interrupting a solve in flight;
 //! * exact infeasibility / unboundedness reporting via [`LpError`].
 //!
 //! The synthesis LPs routinely reach hundreds of rows and thousands of
@@ -82,7 +87,7 @@
 //!
 //! # Registering and selecting backends
 //!
-//! Sessions are born with the two built-ins, selected by policy or by
+//! Sessions are born with the four built-ins, selected by policy or by
 //! name; external backends implement [`LpBackend`] against the
 //! presolved/equilibrated core form and plug in without touching any
 //! synthesis code:
@@ -287,6 +292,11 @@ pub enum LpError {
     Unbounded,
     /// The pivot limit was exceeded (numerically pathological input).
     PivotLimit,
+    /// The session's cooperative cancellation flag was raised
+    /// ([`LpSolver::set_cancel_flag`]) before this solve started. The
+    /// bound-engine racer uses this to wind down losing candidates at
+    /// LP-solve boundaries; the solve performed no work.
+    Cancelled,
 }
 
 impl std::fmt::Display for LpError {
@@ -295,6 +305,7 @@ impl std::fmt::Display for LpError {
             LpError::Infeasible => write!(f, "linear program is infeasible"),
             LpError::Unbounded => write!(f, "linear program is unbounded"),
             LpError::PivotLimit => write!(f, "simplex pivot limit exceeded"),
+            LpError::Cancelled => write!(f, "solve cancelled (session cancellation flag raised)"),
         }
     }
 }

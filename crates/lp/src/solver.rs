@@ -28,6 +28,8 @@ use crate::csc::CscMatrix;
 use crate::presolve::{self, StdRows};
 use crate::{revised, simplex, LpBuilder, LpError, LpSolution};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Row/column cutovers below which [`BackendChoice::Auto`] prefers the
@@ -504,6 +506,9 @@ pub struct LpSolver {
     lu_ft_idx: usize,
     cache: BasisCache,
     stats: LpStats,
+    /// Shared cooperative-cancellation flag, polled once at every solve
+    /// boundary; see [`set_cancel_flag`](Self::set_cancel_flag).
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -552,6 +557,7 @@ impl LpSolver {
             lu_ft_idx: 3,
             cache: BasisCache::new(DEFAULT_CACHE_CAPACITY),
             stats: LpStats::default(),
+            cancel: None,
         };
         s.set_choice(choice);
         s
@@ -608,6 +614,37 @@ impl LpSolver {
     /// Zeroes the statistics.
     pub fn reset_stats(&mut self) {
         self.stats = LpStats::default();
+    }
+
+    /// Folds an externally captured [`LpStats`] into this session's
+    /// totals. Together with [`take_stats`](Self::take_stats) this lets a
+    /// caller carve a session's statistics into per-phase slices without
+    /// losing the session-wide running total (the bound-engine adapters
+    /// in `qava-core` do exactly that).
+    pub fn merge_stats(&mut self, other: &LpStats) {
+        self.stats.merge(other);
+    }
+
+    /// Attaches a shared cooperative-cancellation flag. The session polls
+    /// it once at the start of every solve; once the flag is `true`,
+    /// every subsequent solve returns [`LpError::Cancelled`] immediately
+    /// without doing any work. Raising the flag never corrupts a solve
+    /// already in flight — cancellation happens only at solve
+    /// boundaries, so whatever result the current solve produces is
+    /// still exact. The candidate racer gives every racing engine's
+    /// session the same flag; the winner raises it.
+    pub fn set_cancel_flag(&mut self, flag: Arc<AtomicBool>) {
+        self.cancel = Some(flag);
+    }
+
+    /// Detaches the cancellation flag; solves run to completion again.
+    pub fn clear_cancel_flag(&mut self) {
+        self.cancel = None;
+    }
+
+    /// Whether the attached cancellation flag (if any) has been raised.
+    pub fn is_cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
     /// Re-bounds the warm-start cache, evicting least-recently-used
@@ -672,6 +709,9 @@ impl LpSolver {
     /// The shared solve pipeline: presolve → equilibration → warm-start
     /// lookup → selected backend → cache update → solution restore.
     pub(crate) fn solve_std_rows(&mut self, lp: StdRows) -> Result<Vec<f64>, LpError> {
+        if self.is_cancelled() {
+            return Err(LpError::Cancelled);
+        }
         let started = Instant::now();
         self.stats.solves += 1;
         let out = self.pipeline(lp);
@@ -979,6 +1019,35 @@ mod tests {
         );
         assert!(BackendChoice::from_args(&args(&["--lp-backend"])).is_err());
         assert!(BackendChoice::from_args(&args(&["--lp-backend", "cuda"])).is_err());
+    }
+
+    #[test]
+    fn cancellation_flag_stops_solves_at_boundaries() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        let flag = Arc::new(AtomicBool::new(false));
+        solver.set_cancel_flag(flag.clone());
+        // Flag down: solves run normally.
+        solver.solve(&simple_lp(3.0)).unwrap();
+        assert!(!solver.is_cancelled());
+        // Flag up: every further solve returns Cancelled without work.
+        flag.store(true, Ordering::Relaxed);
+        assert!(solver.is_cancelled());
+        let solves_before = solver.stats().solves;
+        assert_eq!(solver.solve(&simple_lp(4.0)).unwrap_err(), LpError::Cancelled);
+        assert_eq!(solver.stats().solves, solves_before, "cancelled solves are not counted");
+        // Detaching the flag restores normal operation.
+        solver.clear_cancel_flag();
+        solver.solve(&simple_lp(5.0)).unwrap();
+    }
+
+    #[test]
+    fn merge_stats_folds_external_counters() {
+        let mut a = LpSolver::with_choice(BackendChoice::Sparse);
+        a.solve(&simple_lp(3.0)).unwrap();
+        let taken = a.take_stats();
+        assert_eq!(a.stats().solves, 0);
+        a.merge_stats(&taken);
+        assert_eq!(a.stats(), &taken, "take + merge round-trips the session total");
     }
 
     #[test]

@@ -235,6 +235,10 @@ impl Polyhedron {
         match solver.solve(&self.feasibility_lp()) {
             Ok(_) => false,
             Err(LpError::Infeasible) => true,
+            // A cancelled racer must not panic its worker: answer
+            // conservatively (keep the region) — the run is being wound
+            // down and its next real solve surfaces the cancellation.
+            Err(LpError::Cancelled) => false,
             Err(e) => panic!("feasibility probe failed unexpectedly: {e}"),
         }
     }
@@ -307,6 +311,9 @@ impl Polyhedron {
             Ok(sol) => sol.objective <= h.rhs + 1e-7,
             Err(LpError::Infeasible) => true,
             Err(LpError::Unbounded) => false,
+            // Cancelled racer: answer conservatively ("not implied") and
+            // let the caller's next solve report the cancellation.
+            Err(LpError::Cancelled) => false,
             Err(e) => panic!("implication probe failed unexpectedly: {e}"),
         }
     }

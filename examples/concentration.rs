@@ -11,7 +11,8 @@
 //! cargo run --release --example concentration
 //! ```
 
-use qava::analysis::hoeffding::{synthesize_reprsm_bound, BoundKind};
+use qava::analysis::hoeffding::{synthesize_reprsm_bound_in, BoundKind, DEFAULT_SER_ITERATIONS};
+use qava::lp::LpSolver;
 use std::collections::BTreeMap;
 
 const WALK: &str = r"
@@ -38,10 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut params = BTreeMap::new();
         params.insert("n".to_string(), f64::from(n));
         let pts = qava::lang::compile(WALK, &params)?;
+        // One solver session per row: the three analyses share its
+        // warm-start cache, as the synthesis layers do internally.
+        let mut solver = LpSolver::new();
 
-        let complete = qava::analysis::explinsyn::synthesize_upper_bound(&pts)?;
-        let hoeffding = synthesize_reprsm_bound(&pts, BoundKind::Hoeffding)?;
-        let azuma = synthesize_reprsm_bound(&pts, BoundKind::Azuma)?;
+        let complete = qava::analysis::explinsyn::synthesize_upper_bound_in(&pts, &mut solver)?;
+        let hoeffding = synthesize_reprsm_bound_in(&pts, BoundKind::Hoeffding, DEFAULT_SER_ITERATIONS, &mut solver)?;
+        let azuma = synthesize_reprsm_bound_in(&pts, BoundKind::Azuma, DEFAULT_SER_ITERATIONS, &mut solver)?;
 
         println!(
             "{n:>6} {:>14} {:>14} {:>14}",
@@ -64,7 +68,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut params = BTreeMap::new();
     params.insert("n".to_string(), 500.0);
     let pts = qava::lang::compile(WALK, &params)?;
-    let b = qava::analysis::explinsyn::synthesize_upper_bound(&pts)?;
+    let mut solver = LpSolver::new();
+    let b = qava::analysis::explinsyn::synthesize_upper_bound_in(&pts, &mut solver)?;
     assert!(
         (b.bound.ln() + 27.181).abs() < 0.5 && b.bound.ln() <= -27.181 + 1e-6,
         "expected the paper's exp(−27.181) or tighter, got ln = {}",

@@ -13,8 +13,9 @@
 //! cargo run --release --example driftless_deadline
 //! ```
 
-use qava::analysis::hoeffding::{synthesize_reprsm_bound, BoundKind, RepRsmError};
-use qava::analysis::polyrsm::synthesize_quadratic_bound;
+use qava::analysis::hoeffding::{synthesize_reprsm_bound_in, BoundKind, RepRsmError, DEFAULT_SER_ITERATIONS};
+use qava::lp::LpSolver;
+use qava::analysis::polyrsm::synthesize_quadratic_bound_in;
 use std::collections::BTreeMap;
 
 const WALK: &str = r"
@@ -39,13 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         params.insert("deadline".to_string(), f64::from(deadline));
         let pts = qava::lang::compile(WALK, &params)?;
 
-        let affine = match synthesize_reprsm_bound(&pts, BoundKind::Hoeffding) {
+        let affine = match synthesize_reprsm_bound_in(&pts, BoundKind::Hoeffding, DEFAULT_SER_ITERATIONS, &mut LpSolver::new()) {
             Err(RepRsmError::NoRepRsm) => "none exists".to_string(),
             Ok(r) if r.bound.ln() > -1e-6 => "trivial (1)".to_string(),
             Ok(r) => r.bound.to_string(),
             Err(e) => return Err(e.into()),
         };
-        let quad = synthesize_quadratic_bound(&pts, BoundKind::Hoeffding, 40)?;
+        let quad = synthesize_quadratic_bound_in(&pts, BoundKind::Hoeffding, 40, &mut LpSolver::new())?;
         let est = qava::sim::Simulator::new(1).estimate_violation(&pts, 40_000, 10_000);
 
         println!(

@@ -6,6 +6,8 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use qava::analysis::engine::{AnalysisRequest, EngineRegistry};
+use qava::lp::BackendChoice;
 use std::collections::BTreeMap;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -33,15 +35,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         pts.transitions().len()
     );
 
-    // 2. Upper bound via the complete algorithm of §5.2.
-    let upper = qava::analysis::explinsyn::synthesize_upper_bound(&pts)?;
+    // 2. Every synthesis algorithm is a `BoundEngine` behind one
+    //    registry; ask it for the complete upper-bound engine of §5.2.
+    let registry = EngineRegistry::with_builtins();
+    let request = AnalysisRequest::upper(&pts);
+    let upper = registry
+        .run_engine("explinsyn", &request, BackendChoice::default())
+        .expect("built-in engine")
+        .outcome?;
     println!("upper bound (ExpLinSyn, §5.2): {}", upper.bound);
 
-    // 3. Upper bound via the polynomial-time algorithm of §5.1.
-    let hoeffding = qava::analysis::hoeffding::synthesize_reprsm_bound(
-        &pts,
-        qava::analysis::hoeffding::BoundKind::Hoeffding,
-    )?;
+    // 3. Same request, the polynomial-time engine of §5.1.
+    let hoeffding = registry
+        .run_engine("hoeffding-linear", &request, BackendChoice::default())
+        .expect("built-in engine")
+        .outcome?;
     println!("upper bound (Hoeffding, §5.1): {}", hoeffding.bound);
 
     // 4. Monte-Carlo cross-check: the certified bound must dominate the
@@ -76,7 +84,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Sound only under almost-sure termination — certify it first.
     let cert = qava::analysis::rsm::prove_almost_sure_termination(&pts)?;
     println!("a.s. termination certified; expected steps ≤ {:.1}", cert.initial_rank);
-    let lower = qava::analysis::explowsyn::synthesize_lower_bound(&pts)?;
+    let lower = registry
+        .run_engine("explowsyn", &AnalysisRequest::lower(&pts), BackendChoice::default())
+        .expect("built-in engine")
+        .outcome?;
     println!("lower bound on fault-free completion (ExpLowSyn, §6): {:.6}", lower.bound.to_f64());
     let est = sim.estimate_violation(&pts, 200_000, 10_000);
     assert!(lower.bound.to_f64() <= est.upper_ci());

@@ -9,6 +9,7 @@
 //! cargo run --release --example tortoise_hare
 //! ```
 
+use qava::lp::LpSolver;
 use std::collections::BTreeMap;
 
 const RACE: &str = r"
@@ -29,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let mut params = BTreeMap::new();
         params.insert("start".to_string(), f64::from(start));
         let pts = qava::lang::compile(RACE, &params)?;
-        let r = qava::analysis::explinsyn::synthesize_upper_bound(&pts)?;
+        let r = qava::analysis::explinsyn::synthesize_upper_bound_in(&pts, &mut LpSolver::new())?;
         if r.floored {
             // The objective is unbounded below: no path violates at all.
             // (With a 50-unit head start the hare needs 50 double-jumps in

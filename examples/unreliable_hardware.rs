@@ -10,6 +10,7 @@
 //! cargo run --release --example unreliable_hardware
 //! ```
 
+use qava::lp::LpSolver;
 use std::collections::BTreeMap;
 
 const WALK_ON_FAULTY_CPU: &str = r"
@@ -39,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // with a linear ranking supermartingale.
         qava::analysis::rsm::prove_almost_sure_termination(&pts)?;
 
-        let r = qava::analysis::explowsyn::synthesize_lower_bound(&pts)?;
+        let r = qava::analysis::explowsyn::synthesize_lower_bound_in(&pts, &mut LpSolver::new())?;
         let success = r.bound.to_f64();
         println!("{p:>10.0e} {success:>22.9} {:>16.3e}", 1.0 - success);
     }
@@ -49,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("template there is exp(a·x + b) with a ≈ 2e-7, b ≈ −2e-5 (Table 5).");
 
     let pts = qava::lang::compile(WALK_ON_FAULTY_CPU, &BTreeMap::new())?;
-    let r = qava::analysis::explowsyn::synthesize_lower_bound(&pts)?;
+    let r = qava::analysis::explowsyn::synthesize_lower_bound_in(&pts, &mut LpSolver::new())?;
     assert!((r.bound.to_f64() - 0.99998).abs() < 1e-5);
     println!("reproduced ✓ (got {:.6})", r.bound.to_f64());
     Ok(())

@@ -35,8 +35,15 @@
 //!     }
 //!     assert x >= 100;
 //! ";
+//! use qava::analysis::engine::{AnalysisRequest, EngineRegistry};
+//!
 //! let pts = qava::lang::compile(program, &BTreeMap::new())?;
-//! let upper = qava::analysis::explinsyn::synthesize_upper_bound(&pts)?;
+//! // Every synthesis algorithm is a `BoundEngine` behind one registry.
+//! let registry = EngineRegistry::with_builtins();
+//! let upper = registry
+//!     .run_engine("explinsyn", &AnalysisRequest::upper(&pts), Default::default())
+//!     .expect("built-in engine")
+//!     .outcome?;
 //! // The paper derives ≈ exp(−15.697) ≈ 1.52e-7 for this program.
 //! assert!((upper.bound.ln() + 15.697).abs() < 0.05);
 //! # Ok(())

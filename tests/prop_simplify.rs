@@ -7,6 +7,14 @@
 //! reachable states exactly, so equality with a hand-rolled interpreter of
 //! the original source is the real property under test.
 
+
+// NOTE: these integration tests deliberately run through the *deprecated*
+// session-less `synthesize_*` shims: they are the compatibility surface the
+// engine API (PR 5) keeps alive for downstream code, and this file is the
+// proof that the shims still compile and behave. New code uses
+// `qava::analysis::engine` (see `examples/quickstart.rs`).
+#![allow(deprecated)]
+
 use proptest::prelude::*;
 use qava::analysis::fixpoint::VpfOracle;
 use rand::rngs::StdRng;

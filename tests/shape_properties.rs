@@ -8,6 +8,14 @@
 //! * Bounds degrade monotonically with the benchmark parameter in the
 //!   direction the paper's tables show.
 
+
+// NOTE: these integration tests deliberately run through the *deprecated*
+// session-less `synthesize_*` shims: they are the compatibility surface the
+// engine API (PR 5) keeps alive for downstream code, and this file is the
+// proof that the shims still compile and behave. New code uses
+// `qava::analysis::engine` (see `examples/quickstart.rs`).
+#![allow(deprecated)]
+
 use qava::analysis::explinsyn::synthesize_upper_bound;
 use qava::analysis::explowsyn::synthesize_lower_bound;
 use qava::analysis::hoeffding::{synthesize_reprsm_bound, BoundKind};
