@@ -2,8 +2,9 @@
 //!
 //! ```text
 //! qava <program.qava> [--engines LIST] [--race] [--upper] [--lower]
-//!                     [--simulate N] [--symbolic] [--param name=value]...
-//! qava --suite [--race] [--lp-backend B]
+//!                     [--deadline-ms N] [--simulate N] [--symbolic]
+//!                     [--param name=value]...
+//! qava --suite [--race | --chaos SEED] [--lp-backend B]
 //! ```
 //!
 //! Analyses run through the bound-engine registry
@@ -19,9 +20,12 @@
 //! `hoeffding-linear`, `explowsyn`). `--suite` runs the paper's full
 //! Table 1/Table 2 benchmark suite through the parallel driver
 //! ([`qava_core::suite::runner`]) and prints one line per (row, engine)
-//! outcome — one line per race with `--race`, naming the winner. Exit
-//! code 0 on success, 1 on usage errors, 2 on compile errors, 3 when a
-//! requested analysis fails.
+//! outcome — one line per race with `--race`, naming the winner.
+//! `--suite --chaos SEED` is the robustness gate: it replays the suite
+//! with one deterministic recoverable solver fault injected per task and
+//! fails loudly unless every row still certifies the fault-free bound.
+//! Exit code 0 on success, 1 on usage errors, 2 on compile errors, 3
+//! when a requested analysis fails.
 
 use qava_core::engine::{
     race, AnalysisRequest, BoundEngine, Certificate, Direction, EngineRegistry,
@@ -31,6 +35,7 @@ use qava_core::suite::runner::suite_abandoned_lp_stats;
 use qava_lp::{BackendChoice, LpSolver, LpStats};
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "\
 usage: qava <program.qava> [options]
@@ -53,6 +58,9 @@ legacy mode flags (shorthands for --engines):
   --quadratic      also try quadratic exponents (Remarks 3/5, Handelman)
 
 other analyses and output:
+  --deadline-ms N  wall-clock budget per engine run, enforced at
+                   LP-solve boundaries: an expired run winds down as
+                   cancelled instead of blocking the invocation
   --simulate N     seeded Monte-Carlo estimate over N trials
   --dump-pts       print the compiled transition system
   --symbolic       also print the synthesized exponential templates
@@ -72,7 +80,11 @@ solver:
 suite:
   --suite          run the paper's benchmark suite (Tables 1-2) through
                    the parallel driver instead of analyzing one file
-                   (honors --race and --lp-backend)
+                   (honors --race, --chaos and --lp-backend)
+  --chaos SEED     with --suite: replay the suite twice — fault-free,
+                   then with one seeded recoverable solver fault per
+                   (row, engine) task — and fail unless every row still
+                   certifies a bound within 1e-7 of the fault-free value
 ";
 
 struct Options {
@@ -88,6 +100,7 @@ struct Options {
     symbolic: bool,
     dump_pts: bool,
     seed: u64,
+    deadline_ms: Option<u64>,
     params: BTreeMap<String, f64>,
     lp_backend: BackendChoice,
 }
@@ -106,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         symbolic: false,
         dump_pts: false,
         seed: 0,
+        deadline_ms: None,
         params: BTreeMap::new(),
         lp_backend: BackendChoice::default(),
     };
@@ -132,6 +146,11 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--seed" => {
                 let s = it.next().ok_or("--seed needs a value")?;
                 opts.seed = s.parse().map_err(|_| format!("bad seed `{s}`"))?;
+            }
+            "--deadline-ms" => {
+                let s = it.next().ok_or("--deadline-ms needs a millisecond count")?;
+                opts.deadline_ms =
+                    Some(s.parse().map_err(|_| format!("bad deadline `{s}`"))?);
             }
             "--lp-backend" => {
                 let s =
@@ -302,6 +321,85 @@ fn run_suite(backend: BackendChoice, racing: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The robustness gate behind `--suite --chaos SEED`: replay the suite
+/// fault-free, then again with one seeded recoverable fault injected
+/// into every (row, engine) task's solver session, and require every
+/// row to still certify a bound within 1e-7 of the fault-free value.
+fn run_chaos_suite(backend: BackendChoice, seed: u64) -> ExitCode {
+    use qava_core::suite::runner::{
+        default_engines, run_rows_chaos, run_rows_with, suite_lp_stats,
+    };
+    use qava_core::suite::{table1, table2};
+    let rows: Vec<_> = table1().into_iter().chain(table2()).collect();
+    let engines = |b: &qava_core::suite::Benchmark| default_engines(b.direction).to_vec();
+    let clean = run_rows_with(&rows, engines, backend);
+    let chaotic = run_rows_chaos(&rows, engines, backend, seed);
+
+    let tol = |reference: f64| 1e-7 * (1.0 + reference.abs());
+    let mut certified_rows = 0usize;
+    let mut faults_fired = 0usize;
+    let mut divergences = 0usize;
+    let mut uncertified = 0usize;
+    let mut max_divergence = 0.0f64;
+    for (c, f) in clean.iter().zip(&chaotic) {
+        let mut row_ok = true;
+        for (cr, fr) in c.runs.iter().zip(&f.runs) {
+            let plan = fr.fault.as_deref().unwrap_or("no fault fired");
+            faults_fired += usize::from(fr.fault.is_some());
+            match (&cr.bound, &fr.bound) {
+                (Ok(clean_bound), Ok(chaos_bound)) => {
+                    let (lc, lf) = (clean_bound.ln(), chaos_bound.ln());
+                    let delta = (lf - lc).abs();
+                    max_divergence = max_divergence.max(delta);
+                    if delta > tol(lc) {
+                        row_ok = false;
+                        divergences += 1;
+                        println!(
+                            "{:<12} {:<24} {:<17} DIVERGED under {plan}: \
+                             ln(bound) {lf:.10} vs fault-free {lc:.10}",
+                            c.name, c.label, fr.engine
+                        );
+                    }
+                }
+                (Ok(_), Err(e)) => {
+                    row_ok = false;
+                    uncertified += 1;
+                    println!(
+                        "{:<12} {:<24} {:<17} LOST CERTIFICATION under {plan}: {e}",
+                        c.name, c.label, fr.engine
+                    );
+                }
+                // A row the fault-free suite cannot certify is outside
+                // the chaos contract; nothing to compare.
+                (Err(_), _) => {}
+            }
+        }
+        certified_rows += usize::from(row_ok);
+    }
+    println!(
+        "chaos: {certified_rows}/{} rows certified under seed {seed} \
+         ({faults_fired} faults fired, max ln-bound divergence {max_divergence:.2e})",
+        rows.len()
+    );
+    print_stats_footer(&suite_lp_stats(&chaotic), &LpStats::default());
+    if divergences == 0 && uncertified == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
+/// Extracts `--chaos SEED` from a raw `--suite` argument list.
+fn chaos_from_args(args: &[String]) -> Result<Option<u64>, String> {
+    match args.iter().position(|a| a == "--chaos") {
+        None => Ok(None),
+        Some(i) => {
+            let seed = args.get(i + 1).ok_or("--chaos needs a seed")?;
+            seed.parse().map(Some).map_err(|_| format!("bad chaos seed `{seed}`"))
+        }
+    }
+}
+
 /// Prints one engine report line (plus template with `--symbolic`).
 fn print_report(report: &qava_core::engine::AnalysisReport, symbolic: bool) -> bool {
     let dir = match report.direction {
@@ -354,8 +452,8 @@ fn print_report(report: &qava_core::engine::AnalysisReport, symbolic: bool) -> b
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--suite") {
-        // --suite ignores the single-file options; only --lp-backend and
-        // --race apply.
+        // --suite ignores the single-file options; only --lp-backend,
+        // --race and --chaos apply.
         let backend = match BackendChoice::from_args(&args) {
             Ok(b) => b.unwrap_or_default(),
             Err(msg) => {
@@ -364,6 +462,22 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
+        let chaos = match chaos_from_args(&args) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("error: {msg}\n");
+                eprintln!("{USAGE}");
+                return ExitCode::from(1);
+            }
+        };
+        if let Some(seed) = chaos {
+            if args.iter().any(|a| a == "--race") {
+                eprintln!("error: --chaos replays the sequential driver; drop --race\n");
+                eprintln!("{USAGE}");
+                return ExitCode::from(1);
+            }
+            return run_chaos_suite(backend, seed);
+        }
         return run_suite(backend, args.iter().any(|a| a == "--race"));
     }
     let opts = match parse_args(&args) {
@@ -453,7 +567,10 @@ fn main() -> ExitCode {
         if group.is_empty() || (direction == Direction::Lower && !lower_ok) {
             continue;
         }
-        let req = AnalysisRequest::new(&pts, direction);
+        let mut req = AnalysisRequest::new(&pts, direction);
+        if let Some(ms) = opts.deadline_ms {
+            req = req.deadline(Duration::from_millis(ms));
+        }
         if opts.race && group.len() > 1 {
             let outcome = race(&group, &req, opts.lp_backend);
             abandoned.merge(&outcome.abandoned);
@@ -602,6 +719,23 @@ mod tests {
         assert_eq!(o.lp_backend, BackendChoice::default());
         assert!(parse_args(&args(&["p.qava", "--lp-backend", "cuda"])).is_err());
         assert!(parse_args(&args(&["p.qava", "--lp-backend"])).is_err());
+    }
+
+    #[test]
+    fn deadline_ms_parses() {
+        let o = parse_args(&args(&["p.qava", "--deadline-ms", "250"])).unwrap();
+        assert_eq!(o.deadline_ms, Some(250));
+        assert_eq!(parse_args(&args(&["p.qava"])).unwrap().deadline_ms, None);
+        assert!(parse_args(&args(&["p.qava", "--deadline-ms", "soon"])).is_err());
+        assert!(parse_args(&args(&["p.qava", "--deadline-ms"])).is_err());
+    }
+
+    #[test]
+    fn chaos_seed_parses() {
+        assert_eq!(chaos_from_args(&args(&["--suite"])).unwrap(), None);
+        assert_eq!(chaos_from_args(&args(&["--suite", "--chaos", "4242"])).unwrap(), Some(4242));
+        assert!(chaos_from_args(&args(&["--suite", "--chaos"])).is_err());
+        assert!(chaos_from_args(&args(&["--suite", "--chaos", "dice"])).is_err());
     }
 
     #[test]

@@ -50,9 +50,10 @@ use qava_convex::SolverOptions;
 use qava_lp::{BackendChoice, LpError, LpSolver, LpStats};
 use qava_pts::Pts;
 use rayon::prelude::*;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Which side of the true violation probability a bound certifies.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,6 +88,12 @@ pub struct AnalysisRequest<'a> {
     pub ser_iterations: usize,
     /// Interior-point options for the convex-programming engine.
     pub convex: SolverOptions,
+    /// Optional wall-clock budget for each engine run. Enforced at
+    /// LP-solve boundaries through the session's deadline check, so an
+    /// expired run winds down with [`EngineError::Cancelled`] rather
+    /// than being killed mid-pivot — the same cooperative path a lost
+    /// race uses.
+    pub deadline: Option<Duration>,
 }
 
 impl<'a> AnalysisRequest<'a> {
@@ -97,7 +104,15 @@ impl<'a> AnalysisRequest<'a> {
             direction,
             ser_iterations: hoeffding::DEFAULT_SER_ITERATIONS,
             convex: SolverOptions::default(),
+            deadline: None,
         }
+    }
+
+    /// Sets a per-run wall-clock budget (see [`Self::deadline`]).
+    #[must_use]
+    pub fn deadline(mut self, budget: Duration) -> Self {
+        self.deadline = Some(budget);
+        self
     }
 
     /// Shorthand for an upper-bound request with default budgets.
@@ -138,19 +153,28 @@ pub struct Certified {
 /// Why an engine produced no certified bound.
 #[derive(Debug, Clone, PartialEq)]
 pub enum EngineError {
-    /// The run was cooperatively cancelled — it lost a [`race`] and its
-    /// session's cancel flag was raised. No verdict of any kind.
+    /// The run was cooperatively cancelled: it lost a [`race`] and its
+    /// session's cancel flag was raised, or its request's deadline
+    /// expired. No verdict of any kind.
     Cancelled,
     /// The engine genuinely declined or failed (no certificate exists,
     /// numerical failure, …), rendered exactly as the legacy error.
     Failed(String),
+    /// The engine panicked mid-run. Only [`race`] produces this — it
+    /// isolates each racer behind a panic boundary so one buggy
+    /// candidate cannot take down the whole race; running an engine
+    /// directly propagates the panic as usual.
+    Panicked(String),
 }
 
 impl std::fmt::Display for EngineError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            EngineError::Cancelled => write!(f, "cancelled (lost the candidate race)"),
+            EngineError::Cancelled => {
+                write!(f, "cancelled (lost the candidate race or ran out of deadline)")
+            }
             EngineError::Failed(msg) => write!(f, "{msg}"),
+            EngineError::Panicked(msg) => write!(f, "engine panicked: {msg}"),
         }
     }
 }
@@ -244,7 +268,13 @@ fn run_report(
     f: impl FnOnce(&AnalysisRequest<'_>, &mut LpSolver) -> Result<Certified, EngineError>,
 ) -> AnalysisReport {
     let started = Instant::now();
+    if let Some(budget) = req.deadline {
+        solver.set_deadline_in(budget);
+    }
     let (outcome, lp) = scoped_stats(solver, |solver| f(req, solver));
+    if req.deadline.is_some() {
+        solver.clear_deadline();
+    }
     AnalysisReport {
         engine: name,
         direction,
@@ -570,6 +600,18 @@ impl RaceOutcome {
     }
 }
 
+/// Renders a panic payload the way the default panic hook would: the
+/// `&str`/`String` message when there is one, a placeholder otherwise.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Races `engines` on `req`: every engine of the right direction that is
 /// applicable to the program runs concurrently on the rayon pool, each
 /// inside its own fresh [`LpSolver`] session (with the given backend
@@ -582,6 +624,10 @@ impl RaceOutcome {
 /// so the winner's bound is identical to what that engine reports when
 /// run alone — racing affects *which* engine answers, never *what* an
 /// engine answers.
+///
+/// Each racer additionally runs behind a panic boundary: a candidate
+/// that panics is recorded as [`EngineError::Panicked`] (an ordinary
+/// loser with empty stats) and the remaining candidates keep racing.
 pub fn race(
     engines: &[&dyn BoundEngine],
     req: &AnalysisRequest<'_>,
@@ -608,7 +654,19 @@ pub fn race(
         .map(|&(i, engine)| {
             let mut solver = LpSolver::with_choice(backend);
             solver.set_cancel_flag(cancel.clone());
-            let report = engine.run(req, &mut solver);
+            let started = Instant::now();
+            // Panic boundary: a racer that panics becomes an ordinary
+            // loser (Err(Panicked), no stats) instead of poisoning the
+            // pool and aborting the race — it never claims the winner
+            // slot and never cancels the healthy candidates.
+            let report = catch_unwind(AssertUnwindSafe(|| engine.run(req, &mut solver)))
+                .unwrap_or_else(|payload| AnalysisReport {
+                    engine: engine.name(),
+                    direction: engine.direction(),
+                    outcome: Err(EngineError::Panicked(panic_message(payload.as_ref()))),
+                    lp: LpStats::default(),
+                    wall_seconds: started.elapsed().as_secs_f64(),
+                });
             if report.outcome.is_ok()
                 && first_certified
                     .compare_exchange(usize::MAX, i, Ordering::SeqCst, Ordering::SeqCst)

@@ -45,6 +45,30 @@
 //! double-count cancelled work. `qava --race`, `qava --suite --race` and
 //! the suite runner's [`suite::runner::race_rows_with`] ride on this.
 //!
+//! ## Failure semantics
+//!
+//! A certified bound only ever comes from a run that *succeeded*; every
+//! failure mode below degrades into an explicit, attributable loser —
+//! nothing is silently retried into a different answer.
+//!
+//! * **Panics.** Each racer runs behind a panic boundary: a candidate
+//!   that panics is recorded as [`engine::EngineError::Panicked`] with
+//!   empty LP statistics and the remaining candidates keep racing.
+//!   Running an engine directly (outside a race) propagates the panic.
+//! * **Deadlines.** [`engine::AnalysisRequest::deadline`] sets a
+//!   wall-clock budget per engine run, enforced at LP-solve boundaries
+//!   through the session deadline — an expired run winds down with
+//!   [`engine::EngineError::Cancelled`], exactly like a lost race.
+//! * **LP-level degradation.** Inside a session, transient solver
+//!   failures are first absorbed by in-backend recovery (watchdog
+//!   refactorization, Bland retries) and then by `qava_lp`'s failover
+//!   ladder, which re-runs the solve on the next backend rung; the
+//!   `LpStats` failover counters in every [`engine::AnalysisReport`]
+//!   say when that happened. The chaos suite
+//!   ([`suite::runner::run_rows_chaos`], `qava --suite --chaos SEED`)
+//!   injects one deterministic recoverable fault per task and asserts
+//!   every row still certifies the fault-free bound.
+//!
 //! ## Deprecation path
 //!
 //! The historical free-function entry points (`synthesize_reprsm_bound`,

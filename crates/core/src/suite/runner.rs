@@ -30,7 +30,7 @@
 use crate::engine::{race, AnalysisRequest, Direction, EngineError, EngineRegistry};
 use crate::logprob::LogProb;
 use crate::suite::Benchmark;
-use qava_lp::{BackendChoice, LpSolver, LpStats};
+use qava_lp::{BackendChoice, FaultPlan, LpSolver, LpStats};
 use rayon::prelude::*;
 use std::time::Instant;
 
@@ -61,6 +61,11 @@ pub struct EngineRun {
     /// Every engine that raced for this outcome (empty in sequential
     /// mode), in race order.
     pub raced: Vec<&'static str>,
+    /// In chaos mode ([`run_rows_chaos`]): the spec label of the fault
+    /// plan that actually fired during this run (`"pivot-limit:2"`),
+    /// `None` when the planned site was never reached or no chaos was
+    /// requested.
+    pub fault: Option<String>,
 }
 
 /// All requested engine outcomes for one table row, in request order.
@@ -123,6 +128,44 @@ pub fn run_rows_in(
     engines: impl Fn(&Benchmark) -> Vec<&'static str> + Sync,
     backend: BackendChoice,
 ) -> Vec<RowReport> {
+    run_rows_inner(registry, rows, engines, backend, None)
+}
+
+/// Chaos mode: sequential mode over the built-in registry, with one
+/// pseudo-random *recoverable* fault plan injected into every task's
+/// solver session. The plan for a task is derived from `seed` and the
+/// task's `(row, engine)` identity — never from scheduling — so the
+/// same seed always injects the same faults regardless of thread
+/// interleaving. The robustness contract under test: every row must
+/// still certify, and every certified bound must agree with the
+/// fault-free run (the `qava --suite --chaos` driver asserts both).
+pub fn run_rows_chaos(
+    rows: &[Benchmark],
+    engines: impl Fn(&Benchmark) -> Vec<&'static str> + Sync,
+    backend: BackendChoice,
+    seed: u64,
+) -> Vec<RowReport> {
+    run_rows_inner(&EngineRegistry::with_builtins(), rows, engines, backend, Some(seed))
+}
+
+/// Mixes a suite-level chaos seed with a task's stable identity. FNV-1a
+/// over the engine name folded into the row index keeps the per-task
+/// seed independent of how rayon schedules the tasks.
+fn chaos_task_seed(seed: u64, row: usize, engine: &str) -> u64 {
+    let mut h = seed ^ (row as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &byte in engine.as_bytes() {
+        h = (h ^ u64::from(byte)).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn run_rows_inner(
+    registry: &EngineRegistry,
+    rows: &[Benchmark],
+    engines: impl Fn(&Benchmark) -> Vec<&'static str> + Sync,
+    backend: BackendChoice,
+    chaos: Option<u64>,
+) -> Vec<RowReport> {
     // Flatten to (row, engine) tasks so a slow row does not serialize
     // the engines behind it.
     let tasks: Vec<(usize, &'static str)> = rows
@@ -149,13 +192,20 @@ pub fn run_rows_in(
                     lp: LpStats::default(),
                     abandoned: LpStats::default(),
                     raced: Vec::new(),
+                    fault: None,
                 },
                 Some(engine) => {
                     let req = AnalysisRequest::new(&pts, engine.direction());
                     let mut solver = LpSolver::with_choice(backend);
+                    let plan =
+                        chaos.map(|seed| FaultPlan::chaos(chaos_task_seed(seed, i, name)));
+                    if let Some(plan) = &plan {
+                        solver.install_fault_plan(plan.clone());
+                    }
                     let t0 = Instant::now();
                     let report = engine.run(&req, &mut solver);
                     let seconds = t0.elapsed().as_secs_f64();
+                    let fault = plan.filter(|_| solver.fault_fired()).map(|p| p.label());
                     EngineRun {
                         engine: name,
                         bound: report
@@ -167,6 +217,7 @@ pub fn run_rows_in(
                         lp: report.lp,
                         abandoned: LpStats::default(),
                         raced: Vec::new(),
+                        fault,
                     }
                 }
             };
@@ -216,6 +267,7 @@ pub fn race_rows_in(
                     lp: LpStats::default(),
                     abandoned: LpStats::default(),
                     raced: names,
+                    fault: None,
                 };
                 return (i, run);
             }
@@ -235,6 +287,7 @@ pub fn race_rows_in(
                         lp: report.lp.clone(),
                         abandoned: outcome.abandoned,
                         raced,
+                        fault: None,
                     }
                 }
                 None => {
@@ -267,6 +320,7 @@ pub fn race_rows_in(
                         lp: LpStats::default(),
                         abandoned: outcome.abandoned,
                         raced,
+                        fault: None,
                     }
                 }
             };
@@ -390,6 +444,28 @@ mod tests {
         let reports = run_rows(&rows, |_| vec!["interior-point"]);
         let run = &reports[0].runs[0];
         assert!(run.bound.as_ref().unwrap_err().contains("unknown engine"));
+    }
+
+    #[test]
+    fn chaos_mode_is_deterministic_and_value_preserving() {
+        let rows: Vec<Benchmark> = table2().into_iter().take(2).collect();
+        let clean = run_rows(&rows, |b| default_engines(b.direction).to_vec());
+        let engines = |b: &Benchmark| default_engines(b.direction).to_vec();
+        let a = run_rows_chaos(&rows, engines, BackendChoice::default(), 4242);
+        let b = run_rows_chaos(&rows, engines, BackendChoice::default(), 4242);
+        for ((ra, rb), rc) in a.iter().zip(&b).zip(&clean) {
+            for ((xa, xb), xc) in ra.runs.iter().zip(&rb.runs).zip(&rc.runs) {
+                assert_eq!(xa.fault, xb.fault, "{}: same seed, same plan fired", ra.name);
+                let (la, lb) = (xa.bound.as_ref().unwrap().ln(), xb.bound.as_ref().unwrap().ln());
+                assert_eq!(la, lb, "{}: chaos must be deterministic", ra.name);
+                let lc = xc.bound.as_ref().unwrap().ln();
+                assert!(
+                    (la - lc).abs() <= 1e-7 * (1.0 + lc.abs()),
+                    "{}: chaos bound {la} diverged from clean {lc}",
+                    ra.name
+                );
+            }
+        }
     }
 
     #[test]

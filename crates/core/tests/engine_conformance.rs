@@ -281,6 +281,7 @@ fn abandoned_bucket_merge_partitions_totals() {
         lp: stats(winner, 10 * winner),
         abandoned: stats(lost, 10 * lost),
         raced: vec!["hoeffding-linear", "explinsyn"],
+        fault: None,
     };
     let reports = vec![
         RowReport {

@@ -31,7 +31,8 @@ use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind};
 use qava_core::suite;
 use qava_core::{explowsyn, hoeffding};
 use qava_lp::{
-    BackendChoice, CoreSolution, CscMatrix, DenseTableau, LpBackend, LpError, LpSolver, LuSimplex,
+    BackendChoice, CoreSolution, CscMatrix, DenseTableau, FaultKind, FaultPlan, LpBackend,
+    LpError, LpSolver, LuSimplex,
 };
 use std::cell::RefCell;
 use std::fmt::Write as _;
@@ -286,4 +287,57 @@ fn harvest_conformance_corpus() {
 
     assert!(written >= 9, "harvest produced only {written} corpus files");
     println!("harvest: wrote {written} corpus files to {}", dir.display());
+}
+
+/// Captures the instances that *trigger the failover ladder*: a real
+/// synthesis run with a forced `PivotLimit` injected on the nth backend
+/// call. Because the injected fault replaces the result **after** the
+/// real backend ran, the capture log still records the exact system the
+/// failed rung saw — that is the instance the ladder then re-solves on
+/// the next rung, and the one worth replaying through every backend
+/// forever.
+#[test]
+#[ignore = "writes crates/lp/tests/corpus — run deliberately to (re)capture"]
+fn harvest_failover_instances() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut written = 0usize;
+
+    let row = &suite::coupon_rows()[0];
+    let pts = row.compile();
+    for (nth, slug) in [(1usize, "failover_trigger_first"), (7, "failover_trigger_mid")] {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut solver = LpSolver::with_choice(BackendChoice::Lu);
+        solver.register_backend(Box::new(Capturing {
+            inner: Box::new(LuSimplex),
+            log: Rc::clone(&log),
+        }));
+        solver.install_fault_plan(FaultPlan::new(FaultKind::PivotLimit, nth));
+        synthesize_reprsm_bound_in(
+            &pts,
+            BoundKind::Hoeffding,
+            hoeffding::DEFAULT_SER_ITERATIONS,
+            &mut solver,
+        )
+        .unwrap();
+        assert!(solver.fault_fired(), "the forced PivotLimit never fired");
+        assert!(solver.stats().failover_recoveries >= 1, "the ladder never rescued");
+        // Before the one-shot plan fires, every backend call is a
+        // capturing call, so the nth log entry is exactly the system
+        // whose verdict the fault discarded.
+        let log = log.borrow();
+        let inst = &log[nth - 1];
+        let origin = format!(
+            "Coupon {} Hoeffding synthesis, backend call {nth} forced to PivotLimit: \
+             the instance the failover ladder re-solved (suite Table 1)",
+            row.label
+        );
+        if let Some(text) = render(slug, &origin, inst, None) {
+            std::fs::write(dir.join(format!("{slug}.qlp")), text).unwrap();
+            written += 1;
+        }
+    }
+
+    assert_eq!(written, 2, "failover harvest produced only {written} corpus files");
+    println!("failover harvest: wrote {written} corpus files to {}", dir.display());
 }

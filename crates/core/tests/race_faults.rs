@@ -1,0 +1,127 @@
+//! Race-level fault tolerance: a panicking candidate, an expired
+//! deadline, and cooperative cancellation must all degrade into ordinary
+//! loser reports — never a poisoned pool, a missing report, or a bound
+//! that differs from the same engine run alone.
+
+use qava_core::engine::{
+    race, AnalysisReport, AnalysisRequest, BoundEngine, Direction, EngineError, EngineRegistry,
+};
+use qava_lp::{BackendChoice, LpSolver};
+use qava_pts::Pts;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+fn race_pts() -> Pts {
+    let src = r"
+        x := 40; y := 0;
+        while x <= 99 and y <= 99 invariant x <= 100 and y <= 101 {
+            if prob(0.5) { x, y := x + 1, y + 2; } else { x := x + 1; }
+        }
+        assert x >= 100;
+    ";
+    qava_lang::compile(src, &BTreeMap::new()).unwrap()
+}
+
+/// An engine that panics partway through its run — the buggy-candidate
+/// stand-in the race's panic boundary exists for.
+struct Panicker;
+
+impl BoundEngine for Panicker {
+    fn name(&self) -> &'static str {
+        "panicker"
+    }
+    fn direction(&self) -> Direction {
+        Direction::Upper
+    }
+    fn run(&self, _req: &AnalysisRequest<'_>, _solver: &mut LpSolver) -> AnalysisReport {
+        panic!("synthetic mid-run engine failure");
+    }
+}
+
+#[test]
+fn race_survives_a_panicking_candidate() {
+    let pts = race_pts();
+    let req = AnalysisRequest::upper(&pts);
+    let reg = EngineRegistry::with_builtins();
+    let mut lineup: Vec<&dyn BoundEngine> = vec![&Panicker];
+    lineup.extend(reg.for_direction(Direction::Upper));
+    let outcome = race(&lineup, &req, BackendChoice::default());
+
+    // Every racer reports, in lineup order; the panicker is an ordinary
+    // loser with the panic message and no LP stats.
+    assert_eq!(outcome.reports.len(), lineup.len());
+    let panicked = &outcome.reports[0];
+    assert_eq!(panicked.engine, "panicker");
+    match &panicked.outcome {
+        Err(EngineError::Panicked(msg)) => {
+            assert!(msg.contains("synthetic mid-run engine failure"), "payload: {msg}");
+        }
+        other => panic!("panicker must report Err(Panicked), got {other:?}"),
+    }
+    assert_eq!(panicked.lp.solves, 0, "a panicked run has no attributable LP work");
+
+    // A healthy candidate still wins, with the same bound it reports
+    // when run alone.
+    let winner = outcome.winning_report().expect("healthy racers certify despite the panic");
+    assert_ne!(winner.engine, "panicker");
+    let alone = reg
+        .run_engine(winner.engine, &req, BackendChoice::default())
+        .unwrap()
+        .bound()
+        .unwrap();
+    assert_eq!(winner.bound().unwrap().ln(), alone.ln());
+
+    // The abandoned bucket is exactly the non-winners' LP work.
+    let loser_solves: usize = outcome
+        .reports
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| Some(i) != outcome.winner)
+        .map(|(_, r)| r.lp.solves)
+        .sum();
+    assert_eq!(outcome.abandoned.solves, loser_solves);
+}
+
+#[test]
+fn expired_deadline_cancels_every_lp_backed_racer() {
+    // Deadlines are enforced at LP-solve boundaries, so the lineup here
+    // is the LP-backed engines (the convex-programming engine does its
+    // work outside the LP session and only observes cooperative
+    // cancellation, not the session deadline).
+    let pts = race_pts();
+    let req = AnalysisRequest::upper(&pts).deadline(Duration::ZERO);
+    let reg = EngineRegistry::with_builtins();
+    let lineup: Vec<&dyn BoundEngine> = ["hoeffding-linear", "azuma", "polyrsm-quadratic"]
+        .iter()
+        .map(|n| reg.engine(n).unwrap())
+        .collect();
+    let outcome = race(&lineup, &req, BackendChoice::default());
+    assert!(outcome.winner.is_none(), "nothing certifies inside a zero budget");
+    for report in &outcome.reports {
+        assert!(
+            report.cancelled(),
+            "{}: an expired deadline must read as Cancelled, got {:?}",
+            report.engine,
+            report.outcome.as_ref().err()
+        );
+    }
+}
+
+#[test]
+fn deadline_only_applies_to_the_budgeted_request() {
+    let pts = race_pts();
+    let reg = EngineRegistry::with_builtins();
+    let engine = reg.engine("hoeffding-linear").unwrap();
+    // One shared session, as `qava` single-file mode uses: a run under
+    // an expired budget winds down with Cancelled …
+    let mut solver = LpSolver::with_choice(BackendChoice::default());
+    let strict = AnalysisRequest::upper(&pts).deadline(Duration::ZERO);
+    let report = engine.run(&strict, &mut solver);
+    assert!(report.cancelled(), "got {:?}", report.outcome.as_ref().err());
+    // … and a follow-up request without one runs to certification on the
+    // same session: the engine adapter cleared the session deadline on
+    // its way out.
+    let relaxed = AnalysisRequest::upper(&pts);
+    let report = engine.run(&relaxed, &mut solver);
+    assert!(report.bound().is_some(), "got {:?}", report.outcome.as_ref().err());
+}

@@ -196,7 +196,7 @@ impl BasisRepr for LuBasis {
         _col_idx: &[usize],
         _col_vals: &[f64],
     ) {
-        if u[row].abs() < SHAKY_PIVOT {
+        if u[row].abs() < SHAKY_PIVOT || crate::faults::trip(crate::faults::Site::UpdatePivot) {
             self.shaky = true;
         }
         self.etas.push(row, u, support);

@@ -402,7 +402,7 @@ impl BasisRepr for FtBasis {
         // direct measurement of accumulated/cancellation error and flags
         // the update shaky (the Forrest–Tomlin accuracy check).
         let predicted = u[row] * self.u_diag[rt];
-        if u[row].abs() < SHAKY_PIVOT {
+        if u[row].abs() < SHAKY_PIVOT || crate::faults::trip(crate::faults::Site::UpdatePivot) {
             // Tiny simplex pivots shrink the diagonal by the same factor
             // and amplify every later solve — the same trigger the eta
             // file applies to its pivot components.
@@ -516,7 +516,8 @@ impl BasisRepr for FtBasis {
             d -= rj * self.spike[c];
         }
         let tiny = d.abs() < SHAKY_PIVOT;
-        let drifted = (d - predicted).abs() > ACCURACY_DRIFT * (d.abs() + predicted.abs());
+        let drifted = (d - predicted).abs() > ACCURACY_DRIFT * (d.abs() + predicted.abs())
+            || crate::faults::trip(crate::faults::Site::FtAccuracy);
         if tiny || drifted {
             self.shaky = true;
             // Same diagnostics channel as the feasibility watchdog in

@@ -62,6 +62,39 @@
 //! free-function shims) to the dense tableau. All backends are always
 //! compiled and always selectable at runtime.
 //!
+//! # Failure semantics
+//!
+//! The session's contract under degradation is: **a verdict is only ever
+//! produced by a backend run that actually succeeded** — never
+//! reconstructed from a failed run's partial state.
+//!
+//! * **In-backend recovery** comes first: the feasibility watchdog
+//!   refactorizes mid-run and falls back from a warm to a cold start,
+//!   and a cold run that loses feasibility under Dantzig pricing is
+//!   retried under Bland's rule. [`LpStats`] counts these
+//!   (`watchdog_restarts`, split into `watchdog_singular` /
+//!   `watchdog_infeasible` by cause, and `bland_retries`).
+//! * **The failover ladder** comes second: if a built-in backend still
+//!   returns [`LpError::PivotLimit`], the session invalidates the
+//!   warm-start cache entry that seeded the failed run and steps down
+//!   `lu-ft → lu → sparse → dense`, re-running the full pipeline
+//!   (presolve + equilibration) on each rung. Each step increments
+//!   `LpStats::failovers`; a rung that succeeds increments
+//!   `LpStats::failover_recoveries` and its verdict is the session's.
+//!   `Infeasible`/`Unbounded` are *verdicts*, not faults — they return
+//!   immediately without failover. [`LpSolver::set_failover`] disables
+//!   the ladder for callers that want raw backend behavior.
+//! * **Deadlines and cancellation** share one boundary: a raised cancel
+//!   flag ([`LpSolver::set_cancel_flag`]) or an expired deadline
+//!   ([`LpSolver::set_deadline`]) makes the next solve return
+//!   [`LpError::Cancelled`] before any work; solves in flight are never
+//!   interrupted.
+//! * **Fault injection** ([`faults`], env-gated via `QAVA_LP_FAULTS`)
+//!   exercises all of the above deterministically: every injected
+//!   transient fault must be absorbed by recovery or the ladder without
+//!   moving any certified objective beyond the conformance tolerance —
+//!   the chaos suite (`qava --suite --chaos SEED`) asserts exactly that.
+//!
 //! # Examples
 //!
 //! Building and solving through an explicit session (what the synthesis
@@ -118,6 +151,7 @@
 mod csc;
 mod eta;
 mod expr;
+pub mod faults;
 mod ft;
 mod lu;
 mod presolve;
@@ -127,6 +161,7 @@ mod solver;
 
 pub use csc::CscMatrix;
 pub use expr::{LinExpr, VarId};
+pub use faults::{FaultKind, FaultPlan};
 pub use simplex::{solve_standard_dense, MAX_PIVOTS};
 pub use solver::{
     BackendChoice, BackendTally, CoreSolution, DenseTableau, LpBackend, LpSolver, LpStats,

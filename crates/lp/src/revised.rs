@@ -40,6 +40,7 @@
 
 use crate::csc::CscMatrix;
 use crate::eta::LuBasis;
+use crate::faults::{self, Site};
 use crate::ft::FtBasis;
 use crate::simplex::MAX_PIVOTS;
 use crate::LpError;
@@ -248,6 +249,12 @@ struct Revised<'a, R: BasisRepr> {
     in_basis: Vec<bool>,
     /// Total pivots performed, for solver-session statistics.
     pivots: usize,
+    /// Watchdog causes observed by this run, split for
+    /// [`LpStats`](crate::LpStats): refactorization failed on a singular
+    /// basis where incremental state must not be trusted…
+    wd_singular: usize,
+    /// …or a refactorization exposed an infeasible (negative) `x_B`.
+    wd_infeasible: usize,
     /// When present, every pivot is recorded as `(entering column,
     /// leaving slot)` — the metamorphic pivot-sequence tests compare the
     /// FT and eta engines step by step through this. `None` on every
@@ -274,15 +281,28 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
                 in_basis[j] = true;
             }
         }
-        Revised { a, n, m, basis, repr, xb, in_basis, pivots: 0, trace: None }
+        Revised {
+            a,
+            n,
+            m,
+            basis,
+            repr,
+            xb,
+            in_basis,
+            pivots: 0,
+            wd_singular: 0,
+            wd_infeasible: 0,
+            trace: None,
+        }
     }
 
     /// Rebuilds the representation and `x_B` from scratch off the
     /// current basis, resetting accumulated update error. Keeps the
     /// incremental state — and returns `false` — on a (numerically
-    /// near-impossible) singular refactorization.
+    /// near-impossible) singular refactorization, or on an injected
+    /// transient refactorization failure.
     fn refactor(&mut self, b: &[f64]) -> bool {
-        if !self.repr.refactor(self.a, self.n, &self.basis) {
+        if faults::trip(Site::Refactor) || !self.repr.refactor(self.a, self.n, &self.basis) {
             return false;
         }
         self.xb = self
@@ -308,15 +328,22 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
     /// dense-inverse behavior).
     fn refactor_checked(&mut self, b: &[f64], feas_tol: f64) -> bool {
         if !self.refactor(b) && !self.repr.trusts_incremental_optimal() {
+            self.wd_singular += 1;
             if std::env::var_os("QAVA_LP_DEBUG_WATCHDOG").is_some() {
                 eprintln!("watchdog: refactor failed (singular basis), pivots={}", self.pivots);
             }
             return false;
         }
         let ok = self.xb.iter().all(|&v| v >= -feas_tol);
-        if !ok && std::env::var_os("QAVA_LP_DEBUG_WATCHDOG").is_some() {
-            let min = self.xb.iter().cloned().fold(f64::INFINITY, f64::min);
-            eprintln!("watchdog: min xb = {min:e} (tol {feas_tol:e}), pivots={}", self.pivots);
+        if !ok {
+            self.wd_infeasible += 1;
+            if std::env::var_os("QAVA_LP_DEBUG_WATCHDOG").is_some() {
+                let min = self.xb.iter().cloned().fold(f64::INFINITY, f64::min);
+                eprintln!(
+                    "watchdog: min xb = {min:e} (tol {feas_tol:e}), pivots={}",
+                    self.pivots
+                );
+            }
         }
         ok
     }
@@ -505,6 +532,7 @@ impl<'a, R: BasisRepr> Revised<'a, R> {
                 // it did not (the historical dense-inverse behavior).
                 let refreshed = self.refactor(b);
                 if !self.xb.iter().all(|&v| v >= -feas_tol) {
+                    self.wd_infeasible += 1;
                     return Ok(RunOutcome::LostFeasibility);
                 }
                 just_refactored = refreshed;
@@ -611,9 +639,33 @@ pub(crate) struct CoreOutcome {
     /// trajectory or conditioning collapsed — the symptoms the LU
     /// representation exists to eliminate.
     pub watchdog_restarts: usize,
+    /// Watchdog causes observed across every attempted run (including
+    /// abandoned warm starts): singular refactorizations…
+    pub watchdog_singular: usize,
+    /// …and infeasible (negative) recomputed `x_B`.
+    pub watchdog_infeasible: usize,
     /// Cold re-solves forced into all-Bland mode (after a Dantzig
     /// pivot-limit grind or a watchdog trip).
     pub bland_retries: usize,
+}
+
+/// Counters a [`Revised`] run leaves behind, accumulated across the
+/// warm/cold/retry attempts of one core solve (each attempt builds a
+/// fresh state, so the telemetry outlives them).
+#[derive(Debug, Default, Clone, Copy)]
+struct RunTelemetry {
+    pivots: usize,
+    wd_singular: usize,
+    wd_infeasible: usize,
+}
+
+impl RunTelemetry {
+    /// Folds a finished (or abandoned) run's counters in.
+    fn absorb<R: BasisRepr>(&mut self, state: &Revised<'_, R>) {
+        self.pivots += state.pivots;
+        self.wd_singular += state.wd_singular;
+        self.wd_infeasible += state.wd_infeasible;
+    }
 }
 
 /// Two-phase (or warm-started) revised simplex on an equilibrated
@@ -757,9 +809,9 @@ fn trace_cold_with<R: BasisRepr>(
     b: &[f64],
     force_bland: bool,
 ) -> TraceOutcome {
-    let mut pivots = 0usize;
+    let mut tele = RunTelemetry::default();
     let mut trace = Vec::new();
-    let out = cold_two_phase_traced::<R>(costs, a, b, force_bland, &mut pivots, Some(&mut trace));
+    let out = cold_two_phase_traced::<R>(costs, a, b, force_bland, &mut tele, Some(&mut trace));
     (out.map(|r| r.map(|(x, _)| x)), trace)
 }
 
@@ -771,20 +823,28 @@ fn solve_equilibrated_with<R: BasisRepr>(
 ) -> Result<CoreOutcome, LpError> {
     let m = a.rows();
     let n = a.cols();
-    let mut pivots = 0usize;
+    let mut tele = RunTelemetry::default();
     let mut watchdog_restarts = 0usize;
+    let outcome = |tele: RunTelemetry,
+                   restarts: usize,
+                   x: Vec<f64>,
+                   basis: Vec<usize>,
+                   warm_start_used: bool,
+                   bland_retries: usize| CoreOutcome {
+        x,
+        basis,
+        pivots: tele.pivots,
+        warm_start_used,
+        watchdog_restarts: restarts,
+        watchdog_singular: tele.wd_singular,
+        watchdog_infeasible: tele.wd_infeasible,
+        bland_retries,
+    };
     if m == 0 {
         return if costs.iter().any(|&c| c < -EPS) {
             Err(LpError::Unbounded)
         } else {
-            Ok(CoreOutcome {
-                x: vec![0.0; n],
-                basis: Vec::new(),
-                pivots,
-                warm_start_used: false,
-                watchdog_restarts,
-                bland_retries: 0,
-            })
+            Ok(outcome(tele, 0, vec![0.0; n], Vec::new(), false, 0))
         };
     }
 
@@ -804,17 +864,17 @@ fn solve_equilibrated_with<R: BasisRepr>(
                     let xb = xb.into_iter().map(|v| v.max(0.0)).collect();
                     let mut state = Revised::new(a, basis.to_vec(), repr, xb);
                     let run = state.run(costs, 0.0, b, false, true);
-                    pivots += state.pivots;
+                    tele.absorb(&state);
                     match run {
                         Ok(RunOutcome::Optimal) => {
-                            return Ok(CoreOutcome {
-                                x: state.solution(),
-                                basis: state.basis,
-                                pivots,
-                                warm_start_used: true,
+                            return Ok(outcome(
+                                tele,
                                 watchdog_restarts,
-                                bland_retries: 0,
-                            });
+                                state.solution(),
+                                state.basis,
+                                true,
+                                0,
+                            ));
                         }
                         Ok(RunOutcome::LostFeasibility) => watchdog_restarts += 1,
                         Err(LpError::PivotLimit) => {}
@@ -830,30 +890,16 @@ fn solve_equilibrated_with<R: BasisRepr>(
     // attempt ground into the pivot limit: the pathological walk3d-style
     // LPs can cycle for tens of thousands of degenerate pivots under
     // Dantzig pricing, while Bland's rule terminates by construction.
-    match cold_two_phase::<R>(costs, a, b, false, &mut pivots) {
+    match cold_two_phase::<R>(costs, a, b, false, &mut tele) {
         Ok(Some((x, basis))) => {
-            return Ok(CoreOutcome {
-                x,
-                basis,
-                pivots,
-                warm_start_used: false,
-                watchdog_restarts,
-                bland_retries: 0,
-            })
+            return Ok(outcome(tele, watchdog_restarts, x, basis, false, 0))
         }
         Ok(None) => watchdog_restarts += 1,
         Err(LpError::PivotLimit) => {}
         Err(e) => return Err(e),
     }
-    match cold_two_phase::<R>(costs, a, b, true, &mut pivots)? {
-        Some((x, basis)) => Ok(CoreOutcome {
-            x,
-            basis,
-            pivots,
-            warm_start_used: false,
-            watchdog_restarts,
-            bland_retries: 1,
-        }),
+    match cold_two_phase::<R>(costs, a, b, true, &mut tele)? {
+        Some((x, basis)) => Ok(outcome(tele, watchdog_restarts, x, basis, false, 1)),
         None => Err(LpError::PivotLimit),
     }
 }
@@ -866,9 +912,9 @@ fn cold_two_phase<R: BasisRepr>(
     a: &CscMatrix,
     b: &[f64],
     force_bland: bool,
-    pivots: &mut usize,
+    tele: &mut RunTelemetry,
 ) -> Result<Option<(Vec<f64>, Vec<usize>)>, LpError> {
-    cold_two_phase_traced::<R>(costs, a, b, force_bland, pivots, None)
+    cold_two_phase_traced::<R>(costs, a, b, force_bland, tele, None)
 }
 
 /// [`cold_two_phase`] with an optional pivot trace (see
@@ -879,7 +925,7 @@ fn cold_two_phase_traced<R: BasisRepr>(
     a: &CscMatrix,
     b: &[f64],
     force_bland: bool,
-    pivots: &mut usize,
+    tele: &mut RunTelemetry,
     trace: Option<&mut Vec<(usize, usize)>>,
 ) -> Result<Option<(Vec<f64>, Vec<usize>)>, LpError> {
     let m = a.rows();
@@ -894,7 +940,7 @@ fn cold_two_phase_traced<R: BasisRepr>(
     let phase1 = match state.run(&phase1_costs, 1.0, b, force_bland, true) {
         Ok(outcome) => outcome,
         Err(e) => {
-            *pivots += state.pivots;
+            tele.absorb(&state);
             if let Some(t) = trace {
                 *t = state.trace.take().unwrap_or_default();
             }
@@ -902,7 +948,7 @@ fn cold_two_phase_traced<R: BasisRepr>(
         }
     };
     if phase1 == RunOutcome::LostFeasibility {
-        *pivots += state.pivots;
+        tele.absorb(&state);
         if let Some(t) = trace {
             *t = state.trace.take().unwrap_or_default();
         }
@@ -910,7 +956,7 @@ fn cold_two_phase_traced<R: BasisRepr>(
     }
     let b_norm = b.iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
     if state.objective(&phase1_costs, 1.0) > 1e-7 * (1.0 + b_norm) {
-        *pivots += state.pivots;
+        tele.absorb(&state);
         if let Some(t) = trace {
             *t = state.trace.take().unwrap_or_default();
         }
@@ -934,7 +980,7 @@ fn cold_two_phase_traced<R: BasisRepr>(
     // ---- Phase 2: real costs. Artificials cannot re-enter: `entering`
     // only prices real columns. ----
     let phase2 = state.run(costs, 0.0, b, force_bland, false);
-    *pivots += state.pivots;
+    tele.absorb(&state);
     if let Some(t) = trace {
         *t = state.trace.take().unwrap_or_default();
     }

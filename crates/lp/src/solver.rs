@@ -25,12 +25,13 @@
 //! per-backend solve statistics.
 
 use crate::csc::CscMatrix;
+use crate::faults::{self, FaultPlan, Site};
 use crate::presolve::{self, StdRows};
 use crate::{revised, simplex, LpBuilder, LpError, LpSolution};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Row/column cutovers below which [`BackendChoice::Auto`] prefers the
 /// dense tableau: the sparse pipeline's fixed costs (pattern hashing,
@@ -70,6 +71,12 @@ pub struct CoreSolution {
     /// be trusted). Always 0 for backends without incremental basis
     /// updates.
     pub watchdog_restarts: usize,
+    /// The share of watchdog trips caused by a refactorization failing
+    /// outright on a singular basis.
+    pub watchdog_singular: usize,
+    /// The share of watchdog trips caused by a refactorization exposing
+    /// an infeasible (negative) `x_B`.
+    pub watchdog_infeasible: usize,
     /// Cold re-solves forced into all-Bland mode (anti-cycling retries).
     pub bland_retries: usize,
 }
@@ -211,6 +218,8 @@ impl From<revised::CoreOutcome> for CoreSolution {
             pivots: out.pivots,
             warm_start_used: out.warm_start_used,
             watchdog_restarts: out.watchdog_restarts,
+            watchdog_singular: out.watchdog_singular,
+            watchdog_infeasible: out.watchdog_infeasible,
             bland_retries: out.bland_retries,
         }
     }
@@ -243,6 +252,8 @@ impl LpBackend for DenseTableau {
             pivots,
             warm_start_used: false,
             watchdog_restarts: 0,
+            watchdog_singular: 0,
+            watchdog_infeasible: 0,
             bland_retries: 0,
         })
     }
@@ -367,9 +378,24 @@ pub struct LpStats {
     /// on a workload mean the selected basis representation is
     /// numerically outmatched (route it to the `lu` backend).
     pub watchdog_restarts: usize,
+    /// Watchdog trips whose cause was a refactorization failing outright
+    /// on a singular basis (the `watchdog_restarts` cause split;
+    /// formerly only visible as `QAVA_LP_DEBUG_WATCHDOG` prints).
+    pub watchdog_singular: usize,
+    /// Watchdog trips whose cause was a refactorization exposing an
+    /// infeasible (negative) `x_B`.
+    pub watchdog_infeasible: usize,
     /// Cold re-solves forced into all-Bland mode (Dantzig-cycle and
     /// watchdog retries).
     pub bland_retries: usize,
+    /// Failover-ladder rungs attempted after a backend exhausted its
+    /// in-backend recovery and still returned
+    /// [`LpError::PivotLimit`] — each rung re-runs the full pipeline on
+    /// the next backend down (`lu-ft → lu → sparse → dense`).
+    pub failovers: usize,
+    /// Failover rungs that rescued the solve: the stepped-down backend
+    /// produced the certified verdict.
+    pub failover_recoveries: usize,
     /// Total wall time in the solve pipeline, seconds.
     pub wall_seconds: f64,
     /// Per-backend breakdown, in first-use order.
@@ -387,7 +413,11 @@ impl LpStats {
         self.warm_start_misses += other.warm_start_misses;
         self.cache_evictions += other.cache_evictions;
         self.watchdog_restarts += other.watchdog_restarts;
+        self.watchdog_singular += other.watchdog_singular;
+        self.watchdog_infeasible += other.watchdog_infeasible;
         self.bland_retries += other.bland_retries;
+        self.failovers += other.failovers;
+        self.failover_recoveries += other.failover_recoveries;
         self.wall_seconds += other.wall_seconds;
         for t in &other.backends {
             self.tally_mut(t.name).fold(t);
@@ -410,7 +440,8 @@ impl std::fmt::Display for LpStats {
             f,
             "lp: {} solves, {} pivots, {:.3}s; presolve removed {} rows / {} cols; \
              warm start {} hits / {} misses, {} evictions; \
-             {} watchdog restarts, {} bland retries",
+             {} watchdog restarts ({} singular / {} infeasible), {} bland retries; \
+             {} failovers / {} rescues",
             self.solves,
             self.pivots,
             self.wall_seconds,
@@ -420,7 +451,11 @@ impl std::fmt::Display for LpStats {
             self.warm_start_misses,
             self.cache_evictions,
             self.watchdog_restarts,
+            self.watchdog_singular,
+            self.watchdog_infeasible,
             self.bland_retries,
+            self.failovers,
+            self.failover_recoveries,
         )?;
         for t in &self.backends {
             writeln!(
@@ -482,6 +517,13 @@ impl BasisCache {
         }
     }
 
+    /// Drops one entry (failover invalidation: a basis that led a
+    /// backend into the ladder must not seed the next solve of the same
+    /// pattern). Returns whether an entry existed.
+    fn remove(&mut self, key: u64) -> bool {
+        self.map.remove(&key).is_some()
+    }
+
     fn clear(&mut self) {
         self.map.clear();
     }
@@ -509,6 +551,14 @@ pub struct LpSolver {
     /// Shared cooperative-cancellation flag, polled once at every solve
     /// boundary; see [`set_cancel_flag`](Self::set_cancel_flag).
     cancel: Option<Arc<AtomicBool>>,
+    /// Per-request deadline, enforced at the same solve boundaries as
+    /// the cancel flag; see [`set_deadline`](Self::set_deadline).
+    deadline: Option<Instant>,
+    /// The session's installed fault-injection plan (testing only); see
+    /// [`install_fault_plan`](Self::install_fault_plan).
+    faults: Option<FaultPlan>,
+    /// Whether the graceful-degradation failover ladder is enabled.
+    failover: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -558,6 +608,9 @@ impl LpSolver {
             cache: BasisCache::new(DEFAULT_CACHE_CAPACITY),
             stats: LpStats::default(),
             cancel: None,
+            deadline: None,
+            faults: faults::from_env(),
+            failover: true,
         };
         s.set_choice(choice);
         s
@@ -647,6 +700,64 @@ impl LpSolver {
         self.cancel.as_ref().is_some_and(|f| f.load(Ordering::Relaxed))
     }
 
+    /// Sets an absolute per-request deadline, enforced at the same solve
+    /// boundaries as the cancel flag: once it passes, every subsequent
+    /// solve returns [`LpError::Cancelled`] without work. A solve in
+    /// flight is never interrupted — deadline expiry, like
+    /// cancellation, only ever suppresses *future* solves, so whatever
+    /// the current solve returns is still exact.
+    pub fn set_deadline(&mut self, deadline: Instant) {
+        self.deadline = Some(deadline);
+    }
+
+    /// Sets the deadline `budget` from now
+    /// ([`set_deadline`](Self::set_deadline) with `Instant::now() + budget`).
+    pub fn set_deadline_in(&mut self, budget: Duration) {
+        self.deadline = Some(Instant::now() + budget);
+    }
+
+    /// Removes the deadline; solves run to completion again.
+    pub fn clear_deadline(&mut self) {
+        self.deadline = None;
+    }
+
+    /// Whether the deadline (if any) has passed.
+    pub fn deadline_expired(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// Installs a fault-injection plan for this session (replacing any
+    /// previous one, including one read from `QAVA_LP_FAULTS` at
+    /// construction). See [`crate::faults`] for the fault catalogue and
+    /// firing semantics.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
+    }
+
+    /// Removes the installed fault plan, returning it (so tests can
+    /// inspect [`FaultPlan::fired`]).
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.faults.take()
+    }
+
+    /// Whether the installed fault plan (if any) has fired.
+    pub fn fault_fired(&self) -> bool {
+        self.faults.as_ref().is_some_and(|p| p.fired())
+    }
+
+    /// Enables or disables the graceful-degradation failover ladder
+    /// (enabled by default). With the ladder off, a backend's
+    /// [`LpError::PivotLimit`] surfaces directly — the raw-backend
+    /// behavior the differential tests rely on.
+    pub fn set_failover(&mut self, enabled: bool) {
+        self.failover = enabled;
+    }
+
+    /// Probes the session fault plan at an injection site.
+    fn fault_trip(&mut self, site: Site) -> bool {
+        self.faults.as_mut().is_some_and(|p| p.arm(site))
+    }
+
     /// Re-bounds the warm-start cache, evicting least-recently-used
     /// entries down to the new capacity immediately. Capacity 0 disables
     /// caching.
@@ -706,10 +817,41 @@ impl LpSolver {
         })
     }
 
+    /// Solves `min cᵀx, A·x = b, x ≥ 0` (with `b ≥ 0`) given sparse
+    /// constraint rows (`(column, coefficient)` pairs), without
+    /// materializing a dense matrix — the sparse-form sibling of
+    /// [`solve_standard`](Self::solve_standard).
+    ///
+    /// # Errors
+    ///
+    /// [`LpError::Infeasible`], [`LpError::Unbounded`],
+    /// [`LpError::PivotLimit`], or [`LpError::Cancelled`].
+    pub fn solve_standard_sparse(
+        &mut self,
+        costs: &[f64],
+        rows: &[Vec<(usize, f64)>],
+        b: &[f64],
+        ncols: usize,
+    ) -> Result<Vec<f64>, LpError> {
+        self.solve_std_rows(StdRows {
+            costs: costs.to_vec(),
+            rows: rows.to_vec(),
+            b: b.to_vec(),
+            ncols,
+        })
+    }
+
     /// The shared solve pipeline: presolve → equilibration → warm-start
-    /// lookup → selected backend → cache update → solution restore.
+    /// lookup → selected backend → cache update → solution restore,
+    /// wrapped in the failover ladder.
     pub(crate) fn solve_std_rows(&mut self, lp: StdRows) -> Result<Vec<f64>, LpError> {
-        if self.is_cancelled() {
+        // Cancellation, deadline expiry, and the injected flavor of the
+        // latter share one boundary and one error: the solve performs no
+        // work and is not counted.
+        if self.is_cancelled()
+            || self.deadline_expired()
+            || self.fault_trip(Site::SolveBoundary)
+        {
             return Err(LpError::Cancelled);
         }
         let started = Instant::now();
@@ -719,19 +861,80 @@ impl LpSolver {
         out
     }
 
+    /// Runs [`attempt`](Self::attempt) on the selected backend, then —
+    /// when it exhausts in-backend recovery and still reports
+    /// [`LpError::PivotLimit`] — steps down the failover ladder
+    /// `lu-ft → lu → sparse → dense` (wrapping past the bottom so every
+    /// other rung is tried exactly once), re-running the full pipeline
+    /// per rung. `Infeasible`/`Unbounded`/`Cancelled` are verdicts, not
+    /// faults: they return immediately from whichever rung produced
+    /// them.
     fn pipeline(&mut self, lp: StdRows) -> Result<Vec<f64>, LpError> {
+        let first = self.attempt(&lp, None);
+        let failover_from = match &first.result {
+            Err(LpError::PivotLimit) if self.failover => first.backend_idx,
+            _ => None,
+        };
+        let Some(failed_idx) = failover_from else {
+            return first.result;
+        };
+        // The basis that seeded the failed run must not seed the next
+        // solve of this pattern (nor the rungs below, which share the
+        // cache key).
+        if let Some(key) = first.warm_key {
+            self.cache.remove(key);
+        }
+        let ladder = [self.lu_ft_idx, self.lu_idx, self.sparse_idx, self.dense_idx];
+        // External backends (not on the ladder) fail over to the top
+        // rung; built-ins resume below their own position. The walk
+        // wraps: when the *bottom* rung is the one that failed (a
+        // transient fault on the dense oracle), the rungs above it are
+        // still untried solvers and each gets one shot before the
+        // session gives up.
+        let start = ladder.iter().position(|&i| i == failed_idx).map_or(0, |p| p + 1);
+        let rungs =
+            (start..start + ladder.len()).map(|k| ladder[k % ladder.len()]).filter(|&i| {
+                i != failed_idx
+            });
+        for idx in rungs {
+            self.stats.failovers += 1;
+            let retry = self.attempt(&lp, Some(idx));
+            match retry.result {
+                Err(LpError::PivotLimit) => {
+                    if let Some(key) = retry.warm_key {
+                        self.cache.remove(key);
+                    }
+                }
+                Ok(x) => {
+                    self.stats.failover_recoveries += 1;
+                    return Ok(x);
+                }
+                err => return err,
+            }
+        }
+        Err(LpError::PivotLimit)
+    }
+
+    /// One full pipeline pass on one backend: presolve → equilibration →
+    /// warm-start lookup → backend call → cache update → restore.
+    /// `force` pins the backend (a failover rung); `None` applies the
+    /// session's selection policy.
+    fn attempt(&mut self, lp: &StdRows, force: Option<usize>) -> Attempt {
         let orig_rows = lp.rows.len();
         let orig_cols = lp.ncols;
-        let (reduced, restore) = presolve::reduce(lp)?;
+        let (reduced, restore) = match presolve::reduce(lp.clone()) {
+            Ok(pair) => pair,
+            Err(e) => return Attempt::verdict(Err(e)),
+        };
         self.stats.presolve_rows_removed += orig_rows - reduced.rows.len();
         self.stats.presolve_cols_removed += orig_cols - reduced.ncols;
         if reduced.rows.is_empty() {
             // Fully presolved: the (empty) system is trivially feasible.
-            return if restore.unbounded_if_feasible {
+            return Attempt::verdict(if restore.unbounded_if_feasible {
                 Err(LpError::Unbounded)
             } else {
                 Ok(restore.expand(&vec![0.0; reduced.ncols]))
-            };
+            });
         }
 
         let a = CscMatrix::from_sparse_rows(reduced.rows.len(), reduced.ncols, &reduced.rows);
@@ -759,7 +962,7 @@ impl LpSolver {
             reduced.costs.iter().zip(&col_scale).map(|(&c, &s)| c * s).collect();
 
         // ---- Backend selection and warm-start lookup. ----
-        let idx = match self.selection {
+        let idx = force.unwrap_or_else(|| match self.selection {
             Selection::Fixed(idx) => idx,
             Selection::Auto => {
                 if m <= DENSE_CUTOVER_ROWS && n <= DENSE_CUTOVER_COLS {
@@ -783,27 +986,60 @@ impl LpSolver {
                     }
                 }
             }
-        };
-        let backend = &self.backends[idx];
+        });
         // Warm-start bookkeeping (pattern hash, cache lookup, hit/miss
         // counters) only for backends that can consume a basis; the
         // dense tableau's whole point is a minimal per-solve fixed cost.
-        let warm_capable = backend.supports_warm_start();
+        let warm_capable = self.backends[idx].supports_warm_start();
         let key = if warm_capable { sa.pattern_hash() } else { 0 };
-        let warm = if warm_capable { self.cache.get(key) } else { None };
+        let mut warm = if warm_capable { self.cache.get(key) } else { None };
+        if let Some(basis) = warm.as_mut() {
+            if self.fault_trip(Site::WarmLookup) {
+                // Poison: duplicate the first slot everywhere, making the
+                // warm basis singular. The backend's warm-start
+                // validation must reject it and run cold.
+                let first = basis[0];
+                basis.iter_mut().for_each(|slot| *slot = first);
+            }
+        }
 
+        // The in-backend injection sites (refactor, update pivots, FT
+        // accuracy) read the plan through a thread-local installed only
+        // for the duration of the call; the visit counters round-trip
+        // back into the session.
         let backend_started = Instant::now();
-        let core = backend.solve_core(&scaled_costs, &sa, &sb, warm.as_deref());
+        let prev = faults::install(self.faults.take());
+        let core = self.backends[idx].solve_core(&scaled_costs, &sa, &sb, warm.as_deref());
+        self.faults = faults::install(prev);
+        let core = if self.fault_trip(Site::BackendCall) {
+            // The real result (and any instance-capture wrapper's log of
+            // it) already exists; only the session's view turns into the
+            // fault.
+            Err(LpError::PivotLimit)
+        } else {
+            core
+        };
         let backend_wall = backend_started.elapsed().as_secs_f64();
-        let name = backend.name();
+        let name = self.backends[idx].name();
         let pivots = core.as_ref().map(|c| c.pivots).unwrap_or(0);
         self.stats.pivots += pivots;
         let tally = self.stats.tally_mut(name);
         tally.solves += 1;
         tally.pivots += pivots;
         tally.wall_seconds += backend_wall;
-        let core = core?;
+        let core = match core {
+            Ok(core) => core,
+            Err(e) => {
+                return Attempt {
+                    result: Err(e),
+                    backend_idx: Some(idx),
+                    warm_key: warm_capable.then_some(key),
+                }
+            }
+        };
         self.stats.watchdog_restarts += core.watchdog_restarts;
+        self.stats.watchdog_singular += core.watchdog_singular;
+        self.stats.watchdog_infeasible += core.watchdog_infeasible;
         self.stats.bland_retries += core.bland_retries;
         if warm_capable {
             if core.warm_start_used {
@@ -824,12 +1060,31 @@ impl LpSolver {
         for (xj, s) in x.iter_mut().zip(&col_scale) {
             *xj *= s;
         }
-        if restore.unbounded_if_feasible {
+        let result = if restore.unbounded_if_feasible {
             // The reduced system is feasible, so the removed negative-cost
             // empty column really is an improving ray.
-            return Err(LpError::Unbounded);
-        }
-        Ok(restore.expand(&x))
+            Err(LpError::Unbounded)
+        } else {
+            Ok(restore.expand(&x))
+        };
+        Attempt { result, backend_idx: Some(idx), warm_key: warm_capable.then_some(key) }
+    }
+}
+
+/// One [`LpSolver::attempt`]'s outcome, with the context the failover
+/// ladder needs: which backend ran (None when presolve settled the
+/// system before any backend) and the warm-start cache key it was seeded
+/// under (None for warm-incapable backends).
+struct Attempt {
+    result: Result<Vec<f64>, LpError>,
+    backend_idx: Option<usize>,
+    warm_key: Option<u64>,
+}
+
+impl Attempt {
+    /// An outcome decided before (or without) a backend run.
+    fn verdict(result: Result<Vec<f64>, LpError>) -> Self {
+        Attempt { result, backend_idx: None, warm_key: None }
     }
 }
 
@@ -1048,6 +1303,138 @@ mod tests {
         assert_eq!(a.stats().solves, 0);
         a.merge_stats(&taken);
         assert_eq!(a.stats(), &taken, "take + merge round-trips the session total");
+    }
+
+    /// A backend that always gives up — the raw material of the
+    /// failover tests.
+    struct AlwaysPivotLimit;
+
+    impl LpBackend for AlwaysPivotLimit {
+        fn name(&self) -> &'static str {
+            "always-pivot-limit"
+        }
+
+        fn solve_core(
+            &self,
+            _costs: &[f64],
+            _a: &CscMatrix,
+            _b: &[f64],
+            _warm: Option<&[usize]>,
+        ) -> Result<CoreSolution, LpError> {
+            Err(LpError::PivotLimit)
+        }
+    }
+
+    #[test]
+    fn failover_ladder_rescues_a_failing_backend() {
+        let mut solver = LpSolver::new();
+        solver.register_backend(Box::new(AlwaysPivotLimit));
+        let sol = solver.solve(&simple_lp(3.0)).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-7);
+        let stats = solver.stats();
+        assert_eq!(stats.failovers, 1, "the top rung rescues immediately");
+        assert_eq!(stats.failover_recoveries, 1);
+        let names: Vec<_> = stats.backends.iter().map(|t| t.name).collect();
+        assert_eq!(
+            names,
+            vec!["always-pivot-limit", "lu-ft"],
+            "an external backend fails over to the top of the ladder"
+        );
+    }
+
+    #[test]
+    fn failover_disabled_surfaces_the_raw_error() {
+        let mut solver = LpSolver::new();
+        solver.register_backend(Box::new(AlwaysPivotLimit));
+        solver.set_failover(false);
+        assert_eq!(solver.solve(&simple_lp(3.0)).unwrap_err(), LpError::PivotLimit);
+        assert_eq!(solver.stats().failovers, 0);
+    }
+
+    #[test]
+    fn injected_pivot_limit_steps_down_one_rung() {
+        let mut solver = LpSolver::with_choice(BackendChoice::LuFt);
+        solver.install_fault_plan(FaultPlan::once(crate::FaultKind::PivotLimit));
+        let sol = solver.solve(&simple_lp(3.0)).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-7);
+        assert!(solver.fault_fired());
+        let stats = solver.stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.failover_recoveries, 1);
+        let names: Vec<_> = stats.backends.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["lu-ft", "lu"], "lu-ft steps down to lu");
+    }
+
+    #[test]
+    fn bottom_rung_failure_wraps_back_to_the_top() {
+        // A transient fault on the dense oracle — the ladder's last rung
+        // — must not strand the session: the walk wraps and the rungs
+        // above get one shot each.
+        let mut solver = LpSolver::with_choice(BackendChoice::Dense);
+        solver.install_fault_plan(FaultPlan::once(crate::FaultKind::PivotLimit));
+        let sol = solver.solve(&simple_lp(3.0)).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-7);
+        assert!(solver.fault_fired());
+        let stats = solver.stats();
+        assert_eq!(stats.failovers, 1);
+        assert_eq!(stats.failover_recoveries, 1);
+        let names: Vec<_> = stats.backends.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["dense", "lu-ft"], "dense wraps to the top rung");
+    }
+
+    #[test]
+    fn failover_invalidates_the_seeding_warm_start_entry() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        solver.solve(&simple_lp(3.0)).unwrap();
+        solver.solve(&simple_lp(4.0)).unwrap();
+        assert_eq!(solver.cache.map.len(), 1);
+        assert!(solver.stats().warm_start_hits >= 1, "second solve warm-starts");
+        // Third solve of the same pattern: the backend call "fails", so
+        // the cached basis that seeded it must be dropped before the
+        // ladder (here: sparse → dense) takes over.
+        solver.install_fault_plan(FaultPlan::once(crate::FaultKind::PivotLimit));
+        let sol = solver.solve(&simple_lp(5.0)).unwrap();
+        assert!((sol.objective - 10.0).abs() < 1e-7);
+        assert_eq!(
+            solver.cache.map.len(),
+            0,
+            "the poisoned pattern's entry is gone (the dense rescue rung caches nothing)"
+        );
+        let names: Vec<_> = solver.stats().backends.iter().map(|t| t.name).collect();
+        assert_eq!(names, vec!["sparse", "dense"]);
+    }
+
+    #[test]
+    fn poisoned_warm_start_recovers_cold() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Lu);
+        solver.solve(&simple_lp(3.0)).unwrap();
+        solver.install_fault_plan(FaultPlan::once(crate::FaultKind::WarmPoison));
+        let sol = solver.solve(&simple_lp(4.0)).unwrap();
+        assert!((sol.objective - 8.0).abs() < 1e-7, "got {}", sol.objective);
+        assert!(solver.fault_fired(), "the cache hit was poisoned");
+        assert_eq!(solver.stats().failovers, 0, "cold restart absorbs it in-backend");
+    }
+
+    #[test]
+    fn past_deadline_cancels_at_the_boundary() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        solver.solve(&simple_lp(3.0)).unwrap();
+        solver.set_deadline(Instant::now());
+        assert!(solver.deadline_expired());
+        let solves_before = solver.stats().solves;
+        assert_eq!(solver.solve(&simple_lp(4.0)).unwrap_err(), LpError::Cancelled);
+        assert_eq!(solver.stats().solves, solves_before, "expired solves are not counted");
+        solver.clear_deadline();
+        solver.solve(&simple_lp(5.0)).unwrap();
+    }
+
+    #[test]
+    fn injected_deadline_expiry_fires_once() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        solver.install_fault_plan(FaultPlan::once(crate::FaultKind::Deadline));
+        assert_eq!(solver.solve(&simple_lp(3.0)).unwrap_err(), LpError::Cancelled);
+        assert!(solver.fault_fired());
+        solver.solve(&simple_lp(3.0)).unwrap();
     }
 
     #[test]

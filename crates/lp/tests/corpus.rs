@@ -31,8 +31,8 @@
 //! trips exactly.
 
 use qava_lp::{
-    CoreSolution, CscMatrix, DenseTableau, LpBackend, LpError, LuFtSimplex, LuSimplex,
-    SparseRevised,
+    BackendChoice, CoreSolution, CscMatrix, DenseTableau, FaultKind, FaultPlan, LpBackend,
+    LpError, LpSolver, LuFtSimplex, LuSimplex, SparseRevised,
 };
 use std::path::{Path, PathBuf};
 
@@ -226,4 +226,84 @@ fn corpus_warm_bases_never_change_results() {
         }
     }
     assert!(exercised > 0, "corpus holds no warm-basis instance — capture files lost?");
+}
+
+/// Solves one corpus instance through a full `LpSolver` session (so the
+/// presolve/equilibration/failover pipeline is engaged) and checks the
+/// result against the pinned verdict and objective.
+fn check_session(inst: &CorpusInstance, solver: &mut LpSolver, tag: &str) {
+    let out =
+        solver.solve_standard_sparse(&inst.costs, &inst.rows, &inst.b, inst.costs.len());
+    match inst.expect {
+        Expect::Infeasible => {
+            assert_eq!(out.unwrap_err(), LpError::Infeasible, "{tag}: verdict");
+        }
+        Expect::Unbounded => {
+            assert_eq!(out.unwrap_err(), LpError::Unbounded, "{tag}: verdict");
+        }
+        Expect::Optimal => {
+            let x = out.unwrap_or_else(|e| panic!("{tag}: expected optimal, got {e}"));
+            let pinned = inst.objective.expect("checked at parse time");
+            let obj: f64 = inst.costs.iter().zip(&x).map(|(c, v)| c * v).sum();
+            assert!(
+                (obj - pinned).abs() <= OBJECTIVE_TOL * (1.0 + pinned.abs()),
+                "{tag}: objective {obj:.12e} drifted from pinned {pinned:.12e}"
+            );
+        }
+    }
+}
+
+/// Metamorphic fault replay: every corpus instance, re-solved under each
+/// single-fault plan a backend can plausibly hit, must still land on the
+/// pinned verdict and objective — recovery (in-backend restart or the
+/// failover ladder) may change *how* the answer is reached, never *what*
+/// it is. Plans whose site is never visited on a given instance simply
+/// don't fire, which is also a valid outcome.
+#[test]
+fn corpus_survives_every_single_fault_plan() {
+    let plans: &[(FaultKind, &[BackendChoice])] = &[
+        (
+            FaultKind::RefactorFail,
+            &[BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt],
+        ),
+        (FaultKind::ShakyPivot, &[BackendChoice::Lu, BackendChoice::LuFt]),
+        (FaultKind::AccuracyTrip, &[BackendChoice::LuFt]),
+        (FaultKind::PivotLimit, &[BackendChoice::LuFt, BackendChoice::Sparse]),
+    ];
+    let mut fired = 0usize;
+    for path in corpus_files() {
+        let inst = parse(&path);
+        for &(kind, choices) in plans {
+            for &choice in choices {
+                let mut solver = LpSolver::with_choice(choice);
+                solver.install_fault_plan(FaultPlan::once(kind));
+                let tag = format!("{} [{choice:?}, fault {}]", inst.name, kind.label());
+                check_session(&inst, &mut solver, &tag);
+                fired += usize::from(solver.fault_fired());
+            }
+        }
+    }
+    assert!(fired > 0, "no fault plan ever fired — injection sites unreachable?");
+}
+
+/// Warm-poison replay: prime the warm-start cache with a clean solve,
+/// then re-solve with a plan that corrupts the looked-up basis into a
+/// singular one. The backend must fall back to a cold start (or the
+/// ladder must rescue it) and still reproduce the pinned answer.
+#[test]
+fn corpus_survives_poisoned_warm_starts() {
+    let mut fired = 0usize;
+    for path in corpus_files() {
+        let inst = parse(&path);
+        for choice in [BackendChoice::Lu, BackendChoice::LuFt] {
+            let mut solver = LpSolver::with_choice(choice);
+            let tag_clean = format!("{} [{choice:?}, warm prime]", inst.name);
+            check_session(&inst, &mut solver, &tag_clean);
+            solver.install_fault_plan(FaultPlan::once(FaultKind::WarmPoison));
+            let tag = format!("{} [{choice:?}, warm poison]", inst.name);
+            check_session(&inst, &mut solver, &tag);
+            fired += usize::from(solver.fault_fired());
+        }
+    }
+    assert!(fired > 0, "no warm lookup was ever poisoned — cache never hit?");
 }

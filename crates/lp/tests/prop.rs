@@ -423,7 +423,10 @@ impl LpBackend for GivesUp {
 #[test]
 fn pivot_limit_propagates_through_registered_backend() {
     let inst = feasible_std_lp(7);
+    // With the failover ladder disabled, the custom backend's raw
+    // verdict surfaces unchanged — the differential-testing contract.
     let mut solver = LpSolver::new();
+    solver.set_failover(false);
     solver.register_backend(Box::new(GivesUp));
     assert_eq!(
         solver.solve_standard(&inst.costs, &inst.matrix(), &inst.b).unwrap_err(),
@@ -434,11 +437,35 @@ fn pivot_limit_propagates_through_registered_backend() {
     assert_eq!(stats.solves, 1);
     assert_eq!(stats.backends.len(), 1);
     assert_eq!(stats.backends[0].name, "gives-up");
+    assert_eq!(stats.failovers, 0);
     // Selecting a real backend afterwards recovers the optimum.
     assert!(solver.select_backend("sparse"));
     solver
         .solve_standard(&inst.costs, &inst.matrix(), &inst.b)
         .expect("sparse backend solves the same instance");
+}
+
+#[test]
+fn pivot_limit_rescued_by_failover_ladder() {
+    let inst = feasible_std_lp(7);
+    // Default sessions instead rescue the solve: the ladder steps down
+    // to a built-in rung, which must certify the same optimum the
+    // backend would have.
+    let mut oracle = LpSolver::with_choice(BackendChoice::Dense);
+    let xref = oracle.solve_standard(&inst.costs, &inst.matrix(), &inst.b).unwrap();
+    let oref = objective(&inst.costs, &xref);
+    let mut solver = LpSolver::new();
+    solver.register_backend(Box::new(GivesUp));
+    let x = solver
+        .solve_standard(&inst.costs, &inst.matrix(), &inst.b)
+        .expect("the ladder rescues the giving-up backend");
+    let o = objective(&inst.costs, &x);
+    assert!((o - oref).abs() <= 1e-7 * (1.0 + oref.abs()), "{o} vs {oref}");
+    let stats = solver.stats();
+    assert_eq!(stats.failovers, 1, "the first rung rescues");
+    assert_eq!(stats.failover_recoveries, 1);
+    let names: Vec<_> = stats.backends.iter().map(|t| t.name).collect();
+    assert_eq!(names, vec!["gives-up", "lu-ft"], "both the failure and the rescue are tallied");
 }
 
 /// Regression (column-scaling undo): a template-LP-shaped system mixing
