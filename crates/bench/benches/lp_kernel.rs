@@ -17,6 +17,13 @@
 //!   swaps) update schemes race on identical LP streams — the
 //!   pivot-heavy runs FT exists for.
 //!
+//! The `sweep_coupon`/`sweep_epsmax` rows race the two LP strategies a
+//! `qava --sweep` chooses between on the harvested reoptimization
+//! chains (`crates/lp/tests/corpus/sweep_*.qlp`): `cold` solves every
+//! chain member from scratch, `reopt` cold-solves the head and
+//! dual-reoptimizes each successor from the previous final basis —
+//! the per-point LP cost a sweep actually pays.
+//!
 //! `bench_compare` holds every `lp/` benchmark to the hard ±25% gate
 //! (the suite benches stay warn-only), so a regression in any backend's
 //! kernel fails CI even on noisy shared runners.
@@ -25,7 +32,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qava_core::hoeffding::{synthesize_reprsm_bound_in, BoundKind};
 use qava_core::suite::{coupon_rows, rdwalk_rows, walk3d_rows};
 use qava_lp::debug::{update_solve_cycle, TraceEngine};
-use qava_lp::{BackendChoice, CscMatrix, LpSolver};
+use qava_lp::{BackendChoice, CscMatrix, LpBackend, LpSolver, LuSimplex};
 
 /// Reduced Ser budget: enough ε-probe LPs to exercise warm starts and
 /// the εmax knife edge while keeping the matrix quick.
@@ -120,5 +127,109 @@ fn bench_basis_update(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_lp_kernel, bench_basis_update);
+/// One member of a harvested sweep chain, ready to solve.
+struct ChainInst {
+    costs: Vec<f64>,
+    a: CscMatrix,
+    b: Vec<f64>,
+}
+
+/// Loads an ordered `sweep_*_NN.qlp` reoptimization chain from the LP
+/// conformance corpus (a minimal reader for the subset of the `.qlp`
+/// grammar the chain files use; `crates/lp/tests/corpus.rs` documents
+/// the full format and replays the same files for correctness).
+fn load_chain(prefix: &str) -> Vec<ChainInst> {
+    let dir = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../lp/tests/corpus");
+    let mut files: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("corpus dir {}: {e}", dir.display()))
+        .map(|e| e.unwrap().path())
+        .filter(|p| {
+            p.extension().is_some_and(|x| x == "qlp")
+                && p.file_name().is_some_and(|f| f.to_string_lossy().starts_with(prefix))
+        })
+        .collect();
+    files.sort();
+    assert!(files.len() >= 3, "{prefix}: sweep chain missing from the corpus");
+    files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).unwrap();
+            let (mut costs, mut b) = (Vec::new(), Vec::new());
+            let mut rows: Vec<Vec<(usize, f64)>> = Vec::new();
+            for line in text.lines() {
+                let mut t = line.split_whitespace();
+                match t.next() {
+                    Some("m") => {
+                        let m: usize = t.next().unwrap().parse().unwrap();
+                        let n: usize = t.nth(1).unwrap().parse().unwrap();
+                        costs = vec![0.0; n];
+                        b = vec![0.0; m];
+                        rows = vec![Vec::new(); m];
+                    }
+                    Some("c") => {
+                        let j: usize = t.next().unwrap().parse().unwrap();
+                        costs[j] = t.next().unwrap().parse().unwrap();
+                    }
+                    Some("b") => {
+                        let i: usize = t.next().unwrap().parse().unwrap();
+                        b[i] = t.next().unwrap().parse().unwrap();
+                    }
+                    Some("a") => {
+                        let i: usize = t.next().unwrap().parse().unwrap();
+                        let j: usize = t.next().unwrap().parse().unwrap();
+                        rows[i].push((j, t.next().unwrap().parse().unwrap()));
+                    }
+                    _ => {}
+                }
+            }
+            let a = CscMatrix::from_sparse_rows(rows.len(), costs.len(), &rows);
+            ChainInst { costs, a, b }
+        })
+        .collect()
+}
+
+/// Reoptimized vs cold sweep LP cost on the harvested chains, through
+/// the `lu` backend (the engine the sweep harvest captured). `cold` is
+/// what a per-point baseline pays; `reopt` is the sweep fast path,
+/// falling back cold on a declined attempt exactly like the session
+/// does — so the row measures the honest cost, not the happy path.
+fn bench_sweep_chains(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lp/kernel");
+    group.sample_size(10);
+    for class in ["sweep_coupon", "sweep_epsmax"] {
+        let chain = load_chain(&format!("{class}_"));
+        group.bench_with_input(BenchmarkId::new(class, "cold"), &chain, |bench, chain| {
+            bench.iter(|| {
+                let mut pivots = 0usize;
+                for inst in chain {
+                    pivots +=
+                        LuSimplex.solve_core(&inst.costs, &inst.a, &inst.b, None).unwrap().pivots;
+                }
+                pivots
+            })
+        });
+        group.bench_with_input(BenchmarkId::new(class, "reopt"), &chain, |bench, chain| {
+            bench.iter(|| {
+                let head =
+                    LuSimplex.solve_core(&chain[0].costs, &chain[0].a, &chain[0].b, None).unwrap();
+                let mut pivots = head.pivots;
+                let mut basis = head.basis;
+                for inst in &chain[1..] {
+                    let sol = basis
+                        .as_deref()
+                        .and_then(|p| LuSimplex.reoptimize_core(&inst.costs, &inst.a, &inst.b, p))
+                        .unwrap_or_else(|| {
+                            LuSimplex.solve_core(&inst.costs, &inst.a, &inst.b, None).unwrap()
+                        });
+                    pivots += sol.pivots;
+                    basis = sol.basis;
+                }
+                pivots
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lp_kernel, bench_basis_update, bench_sweep_chains);
 criterion_main!(benches);

@@ -5,6 +5,7 @@
 //!                     [--deadline-ms N] [--simulate N] [--symbolic]
 //!                     [--param name=value]...
 //! qava --suite [--race | --chaos SEED] [--lp-backend B]
+//! qava --sweep [--lp-backend B]
 //! ```
 //!
 //! Analyses run through the bound-engine registry
@@ -24,6 +25,11 @@
 //! `--suite --chaos SEED` is the robustness gate: it replays the suite
 //! with one deterministic recoverable solver fault injected per task and
 //! fails loudly unless every row still certifies the fault-free bound.
+//! `--sweep` walks the suite's parametric families (Coupon, 3DWalk, Ref)
+//! through the sweep driver ([`qava_core::sweep`]): one shared
+//! reoptimizing solver session per family, each point cross-checked
+//! against a fresh cold solve, emitting a certified bound-vs-parameter
+//! curve with per-point reopt-vs-cold statistics in the footer.
 //! Exit code 0 on success, 1 on usage errors, 2 on compile errors, 3
 //! when a requested analysis fails.
 
@@ -85,6 +91,16 @@ suite:
                    then with one seeded recoverable solver fault per
                    (row, engine) task — and fail unless every row still
                    certifies a bound within 1e-7 of the fault-free value
+  --sweep          walk the suite's parametric families (Coupon
+                   Pr[T > n], the 3DWalk εmax ladder, the Ref p ladder)
+                   through the sweep driver: points run in order inside
+                   one shared solver session with dual-simplex
+                   reoptimization and template seeding between
+                   neighbors, every point is cross-checked against a
+                   fresh cold solve (falling back to the cold bound past
+                   a relative 1e-7), and the footer reports per-point
+                   reopt-vs-cold statistics (honors --lp-backend; not
+                   combinable with --race or --chaos)
 ";
 
 struct Options {
@@ -321,6 +337,76 @@ fn run_suite(backend: BackendChoice, racing: bool) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// The certified bound-vs-parameter curves behind `qava --sweep`: every
+/// parametric family of the suite, each point reoptimized from its
+/// neighbor's basis/template and cross-checked against a fresh cold
+/// solve (see [`qava_core::sweep`]).
+fn run_sweep_suite(backend: BackendChoice) -> ExitCode {
+    let reports = qava_core::suite::runner::sweep_families_with(backend, true);
+    let mut failures = 0usize;
+    let mut points = 0usize;
+    let mut fallbacks = 0usize;
+    let mut attempts = 0usize;
+    let mut successes = 0usize;
+    let mut max_drift = 0.0f64;
+    let mut certified = LpStats::default();
+    for report in &reports {
+        for p in &report.points {
+            points += 1;
+            // Reoptimization counters of the *sweep-session* attempt:
+            // after a cold fallback they live in the abandoned bucket.
+            let (att, hits) = (
+                p.lp.reopt_attempts + p.abandoned.reopt_attempts,
+                p.lp.reopt_successes + p.abandoned.reopt_successes,
+            );
+            attempts += att;
+            successes += hits;
+            fallbacks += usize::from(p.cold_fallback);
+            certified.merge(&p.lp);
+            let mut tags = vec![format!("reopt {hits}/{att}")];
+            if p.seeded {
+                tags.push("seeded".to_string());
+            }
+            if p.cold_fallback {
+                tags.push("cold fallback".to_string());
+            }
+            if let Some(d) = p.drift {
+                max_drift = max_drift.max(d);
+                tags.push(format!("cold Δ {d:.1e}"));
+            }
+            let suffix = format!("  [{}]", tags.join(", "));
+            match &p.bound {
+                Ok(b) => println!(
+                    "{:<12} {:<24} {:<17} ln(bound) = {:>12.4}  ({:.2}s){suffix}",
+                    p.name,
+                    p.label,
+                    p.engine,
+                    b.ln(),
+                    p.seconds
+                ),
+                Err(e) => {
+                    failures += 1;
+                    println!("{:<12} {:<24} {:<17} failed: {e}{suffix}", p.name, p.label, p.engine);
+                }
+            }
+        }
+    }
+    println!(
+        "sweep: {} families, {points} points, {failures} failures; \
+         {successes}/{attempts} dual reopts succeeded, {fallbacks} cold fallbacks, \
+         max sweep-vs-cold drift {max_drift:.2e}",
+        reports.len()
+    );
+    // The certified footer counts only the work behind the reported
+    // bounds; cold cross-checks and discarded sweep attempts stay out.
+    print_stats_footer(&certified, &LpStats::default());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(3)
+    }
+}
+
 /// The robustness gate behind `--suite --chaos SEED`: replay the suite
 /// fault-free, then again with one seeded recoverable fault injected
 /// into every (row, engine) task's solver session, and require every
@@ -451,9 +537,9 @@ fn print_report(report: &qava_core::engine::AnalysisReport, symbolic: bool) -> b
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.iter().any(|a| a == "--suite") {
-        // --suite ignores the single-file options; only --lp-backend,
-        // --race and --chaos apply.
+    if args.iter().any(|a| a == "--suite" || a == "--sweep") {
+        // --suite/--sweep ignore the single-file options; only
+        // --lp-backend, --race and --chaos apply.
         let backend = match BackendChoice::from_args(&args) {
             Ok(b) => b.unwrap_or_default(),
             Err(msg) => {
@@ -470,6 +556,14 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
+        if args.iter().any(|a| a == "--sweep") {
+            if chaos.is_some() || args.iter().any(|a| a == "--race") {
+                eprintln!("error: --sweep runs the sweep driver alone; drop --race/--chaos\n");
+                eprintln!("{USAGE}");
+                return ExitCode::from(1);
+            }
+            return run_sweep_suite(backend);
+        }
         if let Some(seed) = chaos {
             if args.iter().any(|a| a == "--race") {
                 eprintln!("error: --chaos replays the sequential driver; drop --race\n");

@@ -151,6 +151,53 @@ pub fn synthesize_reprsm_bound_in(
     ser_iterations: usize,
     solver: &mut LpSolver,
 ) -> Result<RepRsmResult, RepRsmError> {
+    synthesize_reprsm_bound_seeded_in(pts, kind, ser_iterations, None, solver)
+}
+
+/// Seeded search window, as a multiple of the neighbor's ε\*: wide enough
+/// that ε\* rarely grows past it between neighboring sweep points, narrow
+/// enough that the ternary search converges in fewer probes than the
+/// full `[0, εmax]` window needs.
+const SEED_WINDOW: f64 = 8.0;
+
+/// Fraction of the seeded window's ceiling beyond which the landed ε\* is
+/// treated as boundary-pinned — the true optimum may lie above the
+/// window, so the seeded result is discarded and the full search
+/// (εmax LP included) runs instead.
+const SEED_BOUNDARY: f64 = 0.9;
+
+/// [`synthesize_reprsm_bound_in`] with an optional ε seed from a
+/// neighboring parametric-sweep point (`crate::sweep`).
+///
+/// With `eps_seed = Some(ε₀)` from the *previous* point's certified
+/// template, the εmax LP is skipped and the Ser ternary search runs on
+/// the seeded window `[0, min(`[`SEED_WINDOW`]`·ε₀, 1))`. Honesty guards
+/// make seeding a pure acceleration, never an answer change beyond the
+/// ternary search's own `1e-10` convergence slack:
+///
+/// * **boundary fallback** — if ε\* lands within [`SEED_BOUNDARY`] of the
+///   seeded ceiling (and the ceiling is not the global [`EPS_CAP`]), the
+///   optimum may lie above the window: the seeded attempt is discarded
+///   and the full `[0, εmax]` search runs;
+/// * **infeasibility fallback** — probes above the true εmax are
+///   infeasible and prune themselves inside the search, but a final
+///   solve landing infeasible (ε\* a hair past εmax) likewise discards
+///   the attempt instead of misreporting `NoRepRsm`.
+///
+/// The bound is certified by the final LP solve at ε\* exactly as in the
+/// unseeded search; `f(ε) = ε·ω(ε)` is unimodal (Proposition 5), so both
+/// windows converge to the same optimum when the guard does not fire.
+///
+/// # Errors
+///
+/// See [`RepRsmError`].
+pub fn synthesize_reprsm_bound_seeded_in(
+    pts: &Pts,
+    kind: BoundKind,
+    ser_iterations: usize,
+    eps_seed: Option<f64>,
+    solver: &mut LpSolver,
+) -> Result<RepRsmResult, RepRsmError> {
     let init = pts.initial_state();
     if pts.is_absorbing(init.loc) {
         return Err(RepRsmError::TrivialInitial);
@@ -158,6 +205,75 @@ pub fn synthesize_reprsm_bound_in(
     let space = TemplateSpace::new(pts, true);
     let gen = ConstraintGen::new(pts, &space, kind, solver)?;
     let mut lp_solves = 0usize;
+
+    // f(ε) = ε·ω_opt(ε), minimized by ternary search (Appendix C.2).
+    let omega_at =
+        |eps: f64, count: &mut usize, solver: &mut LpSolver| -> Result<f64, RepRsmError> {
+            let (lp, _, _) = gen.build_lp(Some(eps));
+            *count += 1;
+            match solver.solve(&lp) {
+                Ok(sol) => Ok(sol.objective.min(0.0)),
+                Err(LpError::Infeasible) => Ok(f64::INFINITY), // probe outside feasible ε range
+                Err(e) => Err(RepRsmError::Lp(e)),
+            }
+        };
+    let ternary = |mut lo: f64,
+                   mut hi: f64,
+                   count: &mut usize,
+                   solver: &mut LpSolver|
+     -> Result<f64, RepRsmError> {
+        for _ in 0..ser_iterations {
+            if hi - lo < 1e-10 {
+                break;
+            }
+            let m1 = lo + (hi - lo) / 3.0;
+            let m2 = hi - (hi - lo) / 3.0;
+            let f1 = m1 * omega_at(m1, count, solver)?;
+            let f2 = m2 * omega_at(m2, count, solver)?;
+            if f1 < f2 {
+                hi = m2;
+            } else {
+                lo = m1;
+            }
+        }
+        Ok((lo + hi) / 2.0)
+    };
+    // Final certifying solve at ε*; `Ok(None)` = infeasible there.
+    let finish = |eps_star: f64,
+                  count: &mut usize,
+                  solver: &mut LpSolver|
+     -> Result<Option<RepRsmResult>, RepRsmError> {
+        let (lp, unknowns, _) = gen.build_lp(Some(eps_star));
+        *count += 1;
+        let sol = match solver.solve(&lp) {
+            Ok(s) => s,
+            Err(LpError::Infeasible) => return Ok(None),
+            Err(e) => return Err(RepRsmError::Lp(e)),
+        };
+        let x: Vec<f64> = unknowns.iter().map(|&v| sol.value(v)).collect();
+        let omega = sol.objective.min(0.0);
+        let log_bound = kind.factor() * eps_star * omega;
+        Ok(Some(RepRsmResult {
+            bound: LogProb::from_ln(log_bound).clamp_to_unit(),
+            epsilon: eps_star,
+            omega,
+            template: SolvedTemplate::from_solution(pts, &space, &x),
+            lp_solves: 0, // caller stamps the running total
+        }))
+    };
+
+    // Seeded fast path: search the neighbor-derived window, fall back to
+    // the full search when the guards fire.
+    if let Some(seed) = eps_seed.filter(|e| e.is_finite() && *e > 0.0) {
+        let hi = (SEED_WINDOW * seed).min(EPS_CAP);
+        let eps_star = ternary(0.0, hi, &mut lp_solves, solver)?;
+        if eps_star <= SEED_BOUNDARY * hi || hi >= EPS_CAP {
+            if let Some(mut r) = finish(eps_star, &mut lp_solves, solver)? {
+                r.lp_solves = lp_solves;
+                return Ok(r);
+            }
+        }
+    }
 
     // εmax: maximize ε subject to everything (ε itself capped for
     // boundedness).
@@ -170,55 +286,14 @@ pub fn synthesize_reprsm_bound_in(
             Err(e) => return Err(RepRsmError::Lp(e)),
         }
     };
-
-    // f(ε) = ε·ω_opt(ε); ternary search on [0, εmax] (Appendix C.2).
-    let omega_at =
-        |eps: f64, count: &mut usize, solver: &mut LpSolver| -> Result<f64, RepRsmError> {
-            let (lp, _, _) = gen.build_lp(Some(eps));
-            *count += 1;
-            match solver.solve(&lp) {
-                Ok(sol) => Ok(sol.objective.min(0.0)),
-                Err(LpError::Infeasible) => Ok(f64::INFINITY), // probe outside feasible ε range
-                Err(e) => Err(RepRsmError::Lp(e)),
-            }
-        };
-
-    let mut lo = 0.0f64;
-    let mut hi = eps_max;
-    for _ in 0..ser_iterations {
-        if hi - lo < 1e-10 {
-            break;
+    let eps_star = ternary(0.0, eps_max, &mut lp_solves, solver)?;
+    match finish(eps_star, &mut lp_solves, solver)? {
+        Some(mut r) => {
+            r.lp_solves = lp_solves;
+            Ok(r)
         }
-        let m1 = lo + (hi - lo) / 3.0;
-        let m2 = hi - (hi - lo) / 3.0;
-        let f1 = m1 * omega_at(m1, &mut lp_solves, solver)?;
-        let f2 = m2 * omega_at(m2, &mut lp_solves, solver)?;
-        if f1 < f2 {
-            hi = m2;
-        } else {
-            lo = m1;
-        }
+        None => Err(RepRsmError::NoRepRsm),
     }
-    let eps_star = (lo + hi) / 2.0;
-
-    // Final solve at ε*.
-    let (lp, unknowns, _) = gen.build_lp(Some(eps_star));
-    lp_solves += 1;
-    let sol = match solver.solve(&lp) {
-        Ok(s) => s,
-        Err(LpError::Infeasible) => return Err(RepRsmError::NoRepRsm),
-        Err(e) => return Err(RepRsmError::Lp(e)),
-    };
-    let x: Vec<f64> = unknowns.iter().map(|&v| sol.value(v)).collect();
-    let omega = sol.objective.min(0.0);
-    let log_bound = kind.factor() * eps_star * omega;
-    Ok(RepRsmResult {
-        bound: LogProb::from_ln(log_bound).clamp_to_unit(),
-        epsilon: eps_star,
-        omega,
-        template: SolvedTemplate::from_solution(pts, &space, &x),
-        lp_solves,
-    })
 }
 
 /// Shared constraint-generation state: everything except the value of ε.

@@ -45,6 +45,23 @@
 //! double-count cancelled work. `qava --race`, `qava --suite --race` and
 //! the suite runner's [`suite::runner::race_rows_with`] ride on this.
 //!
+//! ## Parametric sweeps
+//!
+//! [`sweep::run_sweep`] walks a benchmark family's points (Coupon
+//! `Pr[T > n]`, the Ref `p` ladder, the 3DWalk εmax ladder) in order
+//! through one shared `LpSolver` session with **dual-simplex
+//! reoptimization** enabled: neighboring points differ only in
+//! RHS/objective values, so each LP restarts from the previous optimal
+//! basis with a few dual pivots instead of a cold two-phase solve, and
+//! the previous point's certified template seeds the next point's ε
+//! search ([`engine::AnalysisRequest::eps_seed`]). Every reuse layer
+//! falls back to the cold path on failure, and
+//! [`sweep::SweepRequest::check_cold`] re-solves each point cold and
+//! reports the cold bound if the sweep bound drifts beyond a relative
+//! `1e-7` — a sweep is faster than the per-point baseline, never
+//! looser. Surfaced as `qava --sweep` /
+//! [`suite::runner::sweep_families_with`].
+//!
 //! ## Failure semantics
 //!
 //! A certified bound only ever comes from a run that *succeeded*; every
@@ -148,6 +165,7 @@ pub mod polylow;
 pub mod polyrsm;
 pub mod rsm;
 pub mod suite;
+pub mod sweep;
 pub mod template;
 pub mod verify;
 
@@ -162,6 +180,7 @@ pub use logprob::LogProb;
 pub use polylow::PolyLowResult;
 pub use polyrsm::PolyRsmResult;
 pub use rsm::{prove_almost_sure_termination, RsmCertificate};
+pub use sweep::{run_sweep, SweepPoint, SweepReport, SweepRequest};
 #[allow(deprecated)]
 pub use {
     explinsyn::synthesize_upper_bound, explowsyn::synthesize_lower_bound,

@@ -3,6 +3,13 @@
 //! invariants the paper derived manually and the published numbers for
 //! comparison.
 //!
+//! Several benchmarks are parameter *families* — the same program at
+//! three neighboring parameter values ([`sweep_families`] lists the
+//! ones the `qava --sweep` driver walks). The table drivers treat each
+//! row independently; the sweep driver ([`crate::sweep`],
+//! [`runner::sweep_families_with`]) exploits the family structure with
+//! dual-simplex reoptimization and template seeding between neighbors.
+//!
 //! Sources are transcriptions of Figures 1–12. Two reconstructions were
 //! necessary (documented in DESIGN.md):
 //!
@@ -150,6 +157,20 @@ mod tests {
     fn row_counts_match_paper() {
         assert_eq!(table1().len(), 27, "9 upper benchmarks x 3 parameter rows");
         assert_eq!(table2().len(), 9, "3 lower benchmarks x 3 parameter rows");
+    }
+
+    #[test]
+    fn sweep_families_are_ordered_parameter_ladders() {
+        let families = sweep_families();
+        assert_eq!(families.len(), 3, "Coupon, 3DWalk, Ref");
+        for rows in &families {
+            assert_eq!(rows.len(), 3, "each family sweeps three points");
+            assert!(rows.iter().all(|b| b.name == rows[0].name), "one program per family");
+            assert!(
+                rows.iter().all(|b| b.direction == rows[0].direction),
+                "one direction per family"
+            );
+        }
     }
 
     #[test]

@@ -331,6 +331,32 @@ pub fn race_rows_in(
     assemble(rows, outcomes)
 }
 
+/// Sweep mode (`qava --sweep`): walks every parametric family of the
+/// suite ([`crate::suite::sweep_families`]) through the sweep driver
+/// ([`crate::sweep::run_sweep`]) — families in parallel on the thread
+/// pool, each family's points strictly in order inside one shared
+/// reoptimizing `LpSolver` session. `check_cold` additionally re-solves
+/// every point cold and falls back to the cold bound on drift (the
+/// certification mode the CLI runs).
+pub fn sweep_families_with(
+    backend: BackendChoice,
+    check_cold: bool,
+) -> Vec<crate::sweep::SweepReport> {
+    let families = crate::suite::sweep_families();
+    families
+        .par_iter()
+        .map(|rows| {
+            let req = crate::sweep::SweepRequest {
+                rows,
+                engine: None,
+                backend,
+                check_cold,
+            };
+            crate::sweep::run_sweep(&req)
+        })
+        .collect()
+}
+
 /// Reassembles per-task outcomes into per-row reports, in input order.
 fn assemble(rows: &[Benchmark], outcomes: Vec<(usize, EngineRun)>) -> Vec<RowReport> {
     let mut reports: Vec<RowReport> = rows

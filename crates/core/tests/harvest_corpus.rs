@@ -289,6 +289,90 @@ fn harvest_conformance_corpus() {
     println!("harvest: wrote {written} corpus files to {}", dir.display());
 }
 
+/// Picks an ordered reoptimization chain out of a capture log: the
+/// longest run of structurally identical systems (same shape), in the
+/// order the sweep produced them, with immediate exact duplicates
+/// collapsed. These are the solves `LpBackend::reoptimize_core` replays
+/// from the previous member's final basis in a real `qava --sweep`.
+fn chain_from_log(log: &[Instance], len: usize) -> Vec<Instance> {
+    let mut shapes: Vec<(usize, usize, usize)> = log.iter().map(Instance::shape).collect();
+    shapes.sort_unstable();
+    shapes.dedup();
+    let best = shapes
+        .into_iter()
+        .max_by_key(|&s| log.iter().filter(|i| i.shape() == s).count())
+        .expect("empty capture log");
+    let mut out: Vec<Instance> = Vec::new();
+    for inst in log.iter().filter(|i| i.shape() == best) {
+        let dup = out
+            .last()
+            .is_some_and(|p| p.costs == inst.costs && p.b == inst.b && p.rows == inst.rows);
+        if !dup {
+            out.push(inst.clone());
+        }
+        if out.len() == len {
+            break;
+        }
+    }
+    out
+}
+
+/// Harvests the **sweep reoptimization chains**: for each `qava --sweep`
+/// family the ladder of structurally identical, value-perturbed core
+/// systems that dual-simplex reoptimization walks from one warm basis.
+/// `crates/lp/tests/corpus.rs::sweep_chain_reoptimization_matches_cold`
+/// replays each chain through every reoptimize-capable backend and holds
+/// the incremental objective to the cold one; the
+/// `lp/kernel/sweep_*` benches race the same chains reopt-vs-cold.
+#[test]
+#[ignore = "writes crates/lp/tests/corpus — run deliberately to (re)capture"]
+fn harvest_sweep_chains() {
+    let dir = corpus_dir();
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut written = 0usize;
+
+    let families: [(&str, Vec<suite::Benchmark>, &str); 2] = [
+        ("sweep_coupon", suite::coupon_rows(), "Coupon Pr[T > 100/300/500] Hoeffding sweep"),
+        ("sweep_epsmax", suite::walk3d_rows(), "3DWalk εmax-ladder Hoeffding sweep"),
+    ];
+    for (slug, rows, what) in families {
+        let log = Rc::new(RefCell::new(Vec::new()));
+        let mut solver = LpSolver::with_choice(BackendChoice::Lu);
+        solver.register_backend(Box::new(Capturing {
+            inner: Box::new(LuSimplex),
+            log: Rc::clone(&log),
+        }));
+        // One shared session across the whole family, exactly like
+        // `qava_core::sweep::run_sweep` drives it.
+        for row in &rows {
+            let pts = row.compile();
+            synthesize_reprsm_bound_in(
+                &pts,
+                BoundKind::Hoeffding,
+                hoeffding::DEFAULT_SER_ITERATIONS,
+                &mut solver,
+            )
+            .unwrap();
+        }
+        let log = log.borrow();
+        let chain = chain_from_log(&log, 4);
+        assert!(chain.len() >= 3, "{slug}: chain too short ({} instances)", chain.len());
+        let origin = format!(
+            "{what}: member of the dual-reoptimization chain replayed in order \
+             by sweep_chain_reoptimization_matches_cold (suite Table 1)"
+        );
+        for (k, inst) in chain.iter().enumerate() {
+            if let Some(text) = render(&format!("{slug}_{k:02}"), &origin, inst, None) {
+                std::fs::write(dir.join(format!("{slug}_{k:02}.qlp")), text).unwrap();
+                written += 1;
+            }
+        }
+    }
+
+    assert!(written >= 6, "sweep harvest produced only {written} corpus files");
+    println!("sweep harvest: wrote {written} corpus files to {}", dir.display());
+}
+
 /// Captures the instances that *trigger the failover ladder*: a real
 /// synthesis run with a forced `PivotLimit` injected on the nth backend
 /// call. Because the injected fault replaces the result **after** the

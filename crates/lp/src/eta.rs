@@ -121,6 +121,33 @@ impl EtaFile {
             c[eta.row] = (c[eta.row] - s) / eta.pivot;
         }
     }
+
+    /// Transposed application specialized to a unit start vector `eᵢ` —
+    /// the btran behind [`BasisRepr::binv_row`](crate::revised::BasisRepr),
+    /// i.e. the pricing row `ρ = eᵣᵀB⁻¹` of the dual-simplex ratio test.
+    /// While the running vector is still the singleton `{i}`, an eta only
+    /// acts if its pivot row *is* `i` (a scalar divide) or its off-pivot
+    /// support *contains* `i` — an O(log nnz) membership probe on the
+    /// sorted index list instead of a full gather dot. The generic
+    /// newest-first loop takes over at the first eta that spreads the
+    /// support. `c` must hold `eᵢ` on entry.
+    pub(crate) fn apply_transpose_unit(&self, i: usize, c: &mut [f64]) {
+        let mut k = self.etas.len();
+        while k > 0 {
+            let eta = &self.etas[k - 1];
+            if eta.idx.binary_search(&i).is_ok() {
+                break; // support is about to spread beyond {i}
+            }
+            if eta.row == i {
+                c[i] /= eta.pivot;
+            }
+            k -= 1;
+        }
+        for eta in self.etas[..k].iter().rev() {
+            let s = vecops::gather_dot(&eta.idx, &eta.vals, c);
+            c[eta.row] = (c[eta.row] - s) / eta.pivot;
+        }
+    }
 }
 
 /// The LU-factorized basis representation: [`LuFactors`] for the last
@@ -183,9 +210,12 @@ impl BasisRepr for LuBasis {
     }
 
     fn binv_row(&self, i: usize) -> Vec<f64> {
+        // Unit-vector btran through the singleton-aware eta fast path
+        // (the dual ratio test prices one such row per dual pivot).
         let mut e = vec![0.0; self.m];
         e[i] = 1.0;
-        self.btran_dense(&e)
+        self.etas.apply_transpose_unit(i, &mut e);
+        self.lu.btran(&e)
     }
 
     fn update(
@@ -329,6 +359,37 @@ mod tests {
         }
         assert_eq!(incremental.etas.len(), 2);
         assert!(incremental.etas.nnz() >= 2);
+    }
+
+    #[test]
+    fn unit_btran_fast_path_matches_generic_with_live_etas() {
+        // Same update chain as `eta_updates_track_explicit_reinversion`,
+        // but checks the binv_row fast path (singleton-skip transposed
+        // etas) against the generic dense btran for every pricing row
+        // while the eta stack is non-empty.
+        let a = basis_csc(vec![
+            vec![1.0, 2.0, 0.0],
+            vec![0.0, 1.0, 1.0],
+            vec![1.0, 0.0, 2.0],
+        ]);
+        let mut repr = LuBasis::identity(3);
+        for &(col, slot) in &[(1usize, 0usize), (2, 2)] {
+            let (idx, vals) = a.col(col);
+            let u = repr.ftran_col(idx, vals);
+            let support: Vec<usize> =
+                (0..3).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
+            repr.update(slot, &u, &support, idx, vals);
+        }
+        assert_eq!(repr.etas.len(), 2, "fast path must see live etas");
+        for i in 0..3 {
+            let fast = repr.binv_row(i);
+            let mut e = vec![0.0; 3];
+            e[i] = 1.0;
+            let generic = repr.btran_dense(&e);
+            for (g, w) in fast.iter().zip(&generic) {
+                assert!((g - w).abs() < 1e-12, "row {i}: {g} vs {w}");
+            }
+        }
     }
 
     #[test]

@@ -17,6 +17,7 @@
 //! accuracy-trip[:N]   Nth FT accuracy check reports drift
 //! pivot-limit[:N]     Nth backend call's result becomes PivotLimit
 //! warm-poison[:N]     Nth warm-start lookup returns a corrupted basis
+//! dual-pivot[:N]      Nth dual-simplex pivot aborts the reoptimization
 //! deadline[:N]        Nth solve boundary behaves as an expired deadline
 //! chaos:SEED          a pseudo-random recoverable fault derived from SEED
 //! ```
@@ -47,17 +48,21 @@ pub enum FaultKind {
     PivotLimit,
     /// A warm-start basis from the cache is corrupted before use.
     WarmPoison,
+    /// A dual-simplex reoptimization pivot aborts mid-flight, forcing
+    /// the session to degrade to a cold primal solve.
+    DualPivot,
     /// A solve boundary behaves as if the request deadline expired.
     Deadline,
 }
 
 /// The recoverable kinds, in spec order (used by [`FaultPlan::chaos`]).
-const RECOVERABLE: [FaultKind; 5] = [
+const RECOVERABLE: [FaultKind; 6] = [
     FaultKind::RefactorFail,
     FaultKind::ShakyPivot,
     FaultKind::AccuracyTrip,
     FaultKind::PivotLimit,
     FaultKind::WarmPoison,
+    FaultKind::DualPivot,
 ];
 
 /// Where in the solve pipeline a fault can trip. Each [`FaultKind`]
@@ -74,6 +79,8 @@ pub(crate) enum Site {
     BackendCall,
     /// A warm-start cache hit, before the basis is used.
     WarmLookup,
+    /// `Revised::run_dual` — a dual-simplex reoptimization pivot.
+    DualPivot,
     /// Entry to `solve_std_rows`, where deadlines are enforced.
     SolveBoundary,
 }
@@ -86,6 +93,7 @@ impl FaultKind {
             FaultKind::AccuracyTrip => Site::FtAccuracy,
             FaultKind::PivotLimit => Site::BackendCall,
             FaultKind::WarmPoison => Site::WarmLookup,
+            FaultKind::DualPivot => Site::DualPivot,
             FaultKind::Deadline => Site::SolveBoundary,
         }
     }
@@ -98,6 +106,7 @@ impl FaultKind {
             FaultKind::AccuracyTrip => "accuracy-trip",
             FaultKind::PivotLimit => "pivot-limit",
             FaultKind::WarmPoison => "warm-poison",
+            FaultKind::DualPivot => "dual-pivot",
             FaultKind::Deadline => "deadline",
         }
     }
@@ -109,6 +118,7 @@ impl FaultKind {
             "accuracy-trip" => FaultKind::AccuracyTrip,
             "pivot-limit" => FaultKind::PivotLimit,
             "warm-poison" => FaultKind::WarmPoison,
+            "dual-pivot" => FaultKind::DualPivot,
             "deadline" => FaultKind::Deadline,
             _ => return None,
         })
@@ -165,7 +175,8 @@ impl FaultPlan {
         let kind = FaultKind::from_label(head).ok_or_else(|| {
             format!(
                 "unknown fault kind `{head}` (expected refactor-fail, shaky-pivot, \
-                 accuracy-trip, pivot-limit, warm-poison, deadline, or chaos:SEED)"
+                 accuracy-trip, pivot-limit, warm-poison, dual-pivot, deadline, \
+                 or chaos:SEED)"
             )
         })?;
         let nth = match tail {
@@ -273,6 +284,7 @@ mod tests {
             FaultKind::AccuracyTrip,
             FaultKind::PivotLimit,
             FaultKind::WarmPoison,
+            FaultKind::DualPivot,
             FaultKind::Deadline,
         ] {
             let plan = FaultPlan::parse(kind.label()).unwrap();

@@ -377,9 +377,28 @@ impl BasisRepr for FtBasis {
     }
 
     fn binv_row(&self, i: usize) -> Vec<f64> {
-        let mut e = vec![0.0; self.m];
-        e[i] = 1.0;
-        self.btran_dense(&e)
+        // Unit-vector btran — the pricing row `ρ = eᵢᵀB⁻¹` of the dual
+        // ratio test (`Revised::run_dual`). The RHS is `eᵢ`, so every Uᵀ
+        // position before slot `i`'s diagonal sees a zero RHS entry and
+        // gathers only zeros: the forward sweep can start at that
+        // diagonal's position instead of position 0.
+        let mut w = vec![0.0; self.m];
+        let start = self.pos_of[self.key_of_slot[i]];
+        for p in start..self.m {
+            let r = self.order[p];
+            let uc = &self.u_cols[r];
+            let rhs = if p == start { 1.0 } else { 0.0 };
+            let s = rhs - vecops::gather_dot(&uc.idx, &uc.vals, &w);
+            w[r] = s / self.u_diag[r];
+        }
+        for eta in self.etas.iter().rev() {
+            let t = w[eta.row];
+            if t != 0.0 {
+                vecops::scatter_axpy(-t, &eta.col.idx, &eta.col.vals, &mut w);
+            }
+        }
+        self.lu.lt_solve(&mut w);
+        w
     }
 
     /// The Forrest–Tomlin exchange: slot `row`'s variable leaves, the
@@ -748,6 +767,38 @@ mod tests {
             assert_matches_inverse(&repr, &inv, 1e-8, &format!("after col {col} -> slot {slot}"));
         }
         assert_eq!(repr.updates, 4);
+    }
+
+    /// The binv_row fast path (Uᵀ sweep entered at slot `i`'s diagonal
+    /// position) must agree with the generic dense btran once updates
+    /// have rotated the factor ordering and stacked row etas.
+    #[test]
+    fn unit_btran_fast_path_matches_generic_after_updates() {
+        let a = basis_csc(vec![
+            vec![1.0, 2.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0, -1.0],
+            vec![1.0, 0.0, 2.0, 0.5],
+            vec![0.0, -1.0, 1.0, 2.0],
+        ]);
+        let m = 4;
+        let mut repr = FtBasis::identity(m);
+        for &(col, slot) in &[(1usize, 0usize), (2, 2), (0, 1)] {
+            let (idx, vals) = a.col(col);
+            let u = repr.ftran_col(idx, vals);
+            let support: Vec<usize> =
+                (0..m).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
+            repr.update(slot, &u, &support, idx, vals);
+        }
+        assert!(repr.updates > 0 && !repr.etas.is_empty(), "fast path must see a rotated order");
+        for i in 0..m {
+            let fast = repr.binv_row(i);
+            let mut e = vec![0.0; m];
+            e[i] = 1.0;
+            let generic = repr.btran_dense(&e);
+            for (g, w) in fast.iter().zip(&generic) {
+                assert!((g - w).abs() < 1e-12, "row {i}: {g} vs {w}");
+            }
+        }
     }
 
     /// Randomized stress: long random pivot chains on random sparse

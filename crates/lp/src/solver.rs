@@ -23,6 +23,14 @@
 //! creates, so warm starts flow across the whole ε ternary search instead
 //! of through ambient per-thread globals, and `qava --suite` can report
 //! per-backend solve statistics.
+//!
+//! Sessions additionally support **dual-simplex reoptimization**
+//! ([`LpSolver::reoptimize`] / [`LpSolver::set_reoptimize`]): when a
+//! solve's reduced sparsity pattern has a cached final basis, the
+//! revised-simplex backends refactorize it once and run dual pivots back
+//! to primal feasibility instead of a cold two-phase solve — the
+//! parametric-sweep fast path, with unchanged verdict certification and
+//! an unconditional cold fallback on any doubt.
 
 use crate::csc::CscMatrix;
 use crate::faults::{self, FaultPlan, Site};
@@ -117,6 +125,31 @@ pub trait LpBackend {
         b: &[f64],
         warm: Option<&[usize]>,
     ) -> Result<CoreSolution, LpError>;
+
+    /// Whether this backend can reoptimize from a previous solve's final
+    /// basis with the dual simplex (see [`LpSolver::reoptimize`]).
+    fn supports_reoptimize(&self) -> bool {
+        false
+    }
+
+    /// Attempts a dual-simplex reoptimization of one equilibrated core
+    /// system from a previous solve's final `basis` — the parametric-sweep
+    /// fast path: after an RHS perturbation the old optimal basis stays
+    /// dual feasible, so a handful of dual pivots replace a cold
+    /// two-phase solve. `None` declines or abandons the attempt (stale or
+    /// singular basis, lost dual feasibility, numerical doubt) and the
+    /// session falls back to [`solve_core`](Self::solve_core); a `Some`
+    /// result went through exactly the same verdict certification as a
+    /// cold solve.
+    fn reoptimize_core(
+        &self,
+        _costs: &[f64],
+        _a: &CscMatrix,
+        _b: &[f64],
+        _basis: &[usize],
+    ) -> Option<CoreSolution> {
+        None
+    }
 }
 
 /// The sparse revised simplex backend (CSC pricing, `B⁻¹` updates,
@@ -141,6 +174,20 @@ impl LpBackend for SparseRevised {
         warm: Option<&[usize]>,
     ) -> Result<CoreSolution, LpError> {
         revised::solve_equilibrated(costs, a, b, warm).map(CoreSolution::from)
+    }
+
+    fn supports_reoptimize(&self) -> bool {
+        true
+    }
+
+    fn reoptimize_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        basis: &[usize],
+    ) -> Option<CoreSolution> {
+        revised::dual_reoptimize(costs, a, b, basis).map(CoreSolution::from)
     }
 }
 
@@ -172,6 +219,20 @@ impl LpBackend for LuSimplex {
         warm: Option<&[usize]>,
     ) -> Result<CoreSolution, LpError> {
         revised::solve_equilibrated_lu(costs, a, b, warm).map(CoreSolution::from)
+    }
+
+    fn supports_reoptimize(&self) -> bool {
+        true
+    }
+
+    fn reoptimize_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        basis: &[usize],
+    ) -> Option<CoreSolution> {
+        revised::dual_reoptimize_lu(costs, a, b, basis).map(CoreSolution::from)
     }
 }
 
@@ -205,6 +266,20 @@ impl LpBackend for LuFtSimplex {
         warm: Option<&[usize]>,
     ) -> Result<CoreSolution, LpError> {
         revised::solve_equilibrated_lu_ft(costs, a, b, warm).map(CoreSolution::from)
+    }
+
+    fn supports_reoptimize(&self) -> bool {
+        true
+    }
+
+    fn reoptimize_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        basis: &[usize],
+    ) -> Option<CoreSolution> {
+        revised::dual_reoptimize_lu_ft(costs, a, b, basis).map(CoreSolution::from)
     }
 }
 
@@ -396,6 +471,15 @@ pub struct LpStats {
     /// Failover rungs that rescued the solve: the stepped-down backend
     /// produced the certified verdict.
     pub failover_recoveries: usize,
+    /// Dual-simplex reoptimization attempts: solves in
+    /// [reoptimize mode](LpSolver::set_reoptimize) that found a cached
+    /// basis on a reoptimization-capable backend and tried dual pivots
+    /// before the primal path.
+    pub reopt_attempts: usize,
+    /// Reoptimization attempts that produced the certified optimum;
+    /// `reopt_attempts − reopt_successes` solves fell back to a cold
+    /// primal solve.
+    pub reopt_successes: usize,
     /// Total wall time in the solve pipeline, seconds.
     pub wall_seconds: f64,
     /// Per-backend breakdown, in first-use order.
@@ -418,6 +502,8 @@ impl LpStats {
         self.bland_retries += other.bland_retries;
         self.failovers += other.failovers;
         self.failover_recoveries += other.failover_recoveries;
+        self.reopt_attempts += other.reopt_attempts;
+        self.reopt_successes += other.reopt_successes;
         self.wall_seconds += other.wall_seconds;
         for t in &other.backends {
             self.tally_mut(t.name).fold(t);
@@ -441,7 +527,7 @@ impl std::fmt::Display for LpStats {
             "lp: {} solves, {} pivots, {:.3}s; presolve removed {} rows / {} cols; \
              warm start {} hits / {} misses, {} evictions; \
              {} watchdog restarts ({} singular / {} infeasible), {} bland retries; \
-             {} failovers / {} rescues",
+             {} failovers / {} rescues; {} dual reopts ({} fell back cold)",
             self.solves,
             self.pivots,
             self.wall_seconds,
@@ -456,6 +542,8 @@ impl std::fmt::Display for LpStats {
             self.bland_retries,
             self.failovers,
             self.failover_recoveries,
+            self.reopt_attempts,
+            self.reopt_attempts - self.reopt_successes,
         )?;
         for t in &self.backends {
             writeln!(
@@ -559,6 +647,10 @@ pub struct LpSolver {
     faults: Option<FaultPlan>,
     /// Whether the graceful-degradation failover ladder is enabled.
     failover: bool,
+    /// Whether solves try dual-simplex reoptimization from the cached
+    /// basis before the primal path; see
+    /// [`set_reoptimize`](Self::set_reoptimize).
+    reopt: bool,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -611,6 +703,7 @@ impl LpSolver {
             deadline: None,
             faults: faults::from_env(),
             failover: true,
+            reopt: false,
         };
         s.set_choice(choice);
         s
@@ -751,6 +844,43 @@ impl LpSolver {
     /// behavior the differential tests rely on.
     pub fn set_failover(&mut self, enabled: bool) {
         self.failover = enabled;
+    }
+
+    /// Enables or disables dual-simplex reoptimization mode (disabled by
+    /// default). In this mode every solve whose (presolved, equilibrated)
+    /// sparsity pattern has a cached final basis first refactorizes that
+    /// basis and — when it still prices out dual-feasible, which an
+    /// RHS-only perturbation guarantees — runs dual pivots back to primal
+    /// feasibility instead of a cold two-phase solve. Verdict rules are
+    /// unchanged (reoptimized optima go through the same
+    /// fresh-refactorization certification), and any doubt falls back to
+    /// the ordinary primal path, so the mode can only change solve
+    /// *cost*, never a result. The parametric sweep driver
+    /// (`qava --sweep`) runs its per-family sessions in this mode.
+    pub fn set_reoptimize(&mut self, enabled: bool) {
+        self.reopt = enabled;
+    }
+
+    /// Whether dual-simplex reoptimization mode is enabled.
+    pub fn reoptimize_enabled(&self) -> bool {
+        self.reopt
+    }
+
+    /// Solves a built model with dual-simplex reoptimization enabled for
+    /// just this call — [`solve`](Self::solve) of a perturbed neighbor of
+    /// the previous model, at (ideally) a handful of dual pivots instead
+    /// of a cold solve. Equivalent to wrapping one `solve` in
+    /// [`set_reoptimize`](Self::set_reoptimize).
+    ///
+    /// # Errors
+    ///
+    /// Exactly those of [`solve`](Self::solve).
+    pub fn reoptimize(&mut self, lp: &LpBuilder) -> Result<LpSolution, LpError> {
+        let prev = self.reopt;
+        self.reopt = true;
+        let out = lp.solve_in(self);
+        self.reopt = prev;
+        out
     }
 
     /// Probes the session fault plan at an injection site.
@@ -1009,8 +1139,32 @@ impl LpSolver {
         // back into the session.
         let backend_started = Instant::now();
         let prev = faults::install(self.faults.take());
-        let core = self.backends[idx].solve_core(&scaled_costs, &sa, &sb, warm.as_deref());
+        // Reoptimization mode: with a cached basis on a capable backend,
+        // try dual pivots from the previous optimum first. `None` (stale
+        // basis, lost dual feasibility, an injected dual-pivot fault, any
+        // numerical doubt) falls straight through to the ordinary primal
+        // path — reoptimization is a fast path, never a verdict source of
+        // its own.
+        let try_reopt = self.reopt && self.backends[idx].supports_reoptimize();
+        let reopt_core = if try_reopt {
+            warm.as_deref().and_then(|basis| {
+                self.backends[idx].reoptimize_core(&scaled_costs, &sa, &sb, basis)
+            })
+        } else {
+            None
+        };
+        let reopt_used = reopt_core.is_some();
+        let core = match reopt_core {
+            Some(core) => Ok(core),
+            None => self.backends[idx].solve_core(&scaled_costs, &sa, &sb, warm.as_deref()),
+        };
         self.faults = faults::install(prev);
+        if try_reopt && warm.is_some() {
+            self.stats.reopt_attempts += 1;
+            if reopt_used {
+                self.stats.reopt_successes += 1;
+            }
+        }
         let core = if self.fault_trip(Site::BackendCall) {
             // The real result (and any instance-capture wrapper's log of
             // it) already exists; only the session's view turns into the
@@ -1435,6 +1589,102 @@ mod tests {
         assert_eq!(solver.solve(&simple_lp(3.0)).unwrap_err(), LpError::Cancelled);
         assert!(solver.fault_fired());
         solver.solve(&simple_lp(3.0)).unwrap();
+    }
+
+    /// The revised backends a reoptimization test must cover (the dense
+    /// tableau has no basis to reoptimize from and silently declines).
+    const REOPT_BACKENDS: [BackendChoice; 3] =
+        [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt];
+
+    #[test]
+    fn reoptimize_matches_cold_solve_on_rhs_perturbation() {
+        for choice in REOPT_BACKENDS {
+            let mut solver = LpSolver::with_choice(choice);
+            solver.solve(&simple_lp(3.0)).unwrap();
+            // Perturbed RHS, same pattern: the reoptimized optimum must
+            // equal the cold one exactly (both are certified optima).
+            let sol = solver.reoptimize(&simple_lp(4.5)).unwrap();
+            let mut cold = LpSolver::with_choice(choice);
+            let want = cold.solve(&simple_lp(4.5)).unwrap();
+            assert!(
+                (sol.objective - want.objective).abs() < 1e-9,
+                "{choice}: reopt {} vs cold {}",
+                sol.objective,
+                want.objective
+            );
+            assert_eq!(solver.stats().reopt_attempts, 1, "{choice}");
+            assert_eq!(solver.stats().reopt_successes, 1, "{choice}");
+        }
+    }
+
+    #[test]
+    fn reoptimize_pivots_back_to_feasibility() {
+        // Tightening the x-cap makes the previous optimal basis primal
+        // infeasible (its slack goes negative), so this exercises a real
+        // dual pivot, not just the zero-pivot feasibility re-check.
+        let build = |cap: f64| {
+            let mut lp = LpBuilder::new();
+            let x = lp.add_var_nonneg("x");
+            let y = lp.add_var_nonneg("y");
+            lp.constrain(LinExpr::new().term(x, 1.0).term(y, 1.0), Cmp::Le, 1.0);
+            lp.constrain(LinExpr::var(x, 1.0), Cmp::Le, cap);
+            lp.maximize(LinExpr::new().term(x, 2.0).term(y, 1.0));
+            lp
+        };
+        for choice in REOPT_BACKENDS {
+            let mut solver = LpSolver::with_choice(choice);
+            let first = solver.solve(&build(2.0)).unwrap();
+            assert!((first.objective - 2.0).abs() < 1e-7, "{choice}: {}", first.objective);
+            let sol = solver.reoptimize(&build(0.5)).unwrap();
+            assert!((sol.objective - 1.5).abs() < 1e-7, "{choice}: {}", sol.objective);
+            assert_eq!(solver.stats().reopt_attempts, 1, "{choice}");
+            assert_eq!(solver.stats().reopt_successes, 1, "{choice}");
+        }
+    }
+
+    #[test]
+    fn reoptimize_without_cached_basis_runs_cold() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        let sol = solver.reoptimize(&simple_lp(3.0)).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-7);
+        assert_eq!(solver.stats().reopt_attempts, 0, "no basis, no attempt");
+        assert!(!solver.reoptimize_enabled(), "one-shot mode is restored");
+    }
+
+    #[test]
+    fn successful_reoptimization_refreshes_the_cache_entry() {
+        let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
+        solver.solve(&simple_lp(3.0)).unwrap();
+        let key = *solver.cache.map.keys().next().expect("cold solve cached its basis");
+        solver.reoptimize(&simple_lp(4.0)).unwrap();
+        assert_eq!(solver.stats().reopt_successes, 1);
+        let (_, used) = &solver.cache.map[&key];
+        assert_eq!(
+            *used, solver.cache.tick,
+            "the reoptimized final basis re-touched the pattern entry"
+        );
+        // And the refreshed entry seeds the next point: a third solve of
+        // the family reoptimizes again from it.
+        solver.reoptimize(&simple_lp(5.0)).unwrap();
+        assert_eq!(solver.stats().reopt_successes, 2);
+    }
+
+    #[test]
+    fn tripped_dual_pivot_degrades_to_cold_solve() {
+        for choice in REOPT_BACKENDS {
+            let mut solver = LpSolver::with_choice(choice);
+            solver.solve(&simple_lp(3.0)).unwrap();
+            solver.install_fault_plan(FaultPlan::once(crate::FaultKind::DualPivot));
+            let sol = solver.reoptimize(&simple_lp(4.0)).unwrap();
+            assert!((sol.objective - 8.0).abs() < 1e-7, "{choice}: {}", sol.objective);
+            assert!(solver.fault_fired(), "{choice}: the dual pivot site was reached");
+            assert_eq!(solver.stats().reopt_attempts, 1, "{choice}");
+            assert_eq!(
+                solver.stats().reopt_successes,
+                0,
+                "{choice}: the tripped attempt fell back cold"
+            );
+        }
     }
 
     #[test]
