@@ -11,6 +11,12 @@
 //!   [`Matrix::solve`], [`Matrix::rank`], [`Matrix::nullspace`],
 //!   least-squares, and inverse.
 //! * [`vecops`] — free functions on `&[f64]` slices (dot products, axpy, ...).
+//! * [`kernel`] — the runtime-dispatched SIMD backend layer under
+//!   `vecops`: a [`kernel::VecKernel`] trait with a portable scalar
+//!   baseline plus AVX2+FMA (x86_64) and NEON (aarch64) implementations,
+//!   selected once per process by CPU feature detection and overridable
+//!   with `QAVA_KERNEL={auto,scalar,avx2,neon}`. The `vecops` signatures
+//!   are the stable surface; the kernel layer is how they go fast.
 //! * [`EPS`] — the absolute tolerance shared by all numeric pivoting code.
 //!
 //! # Examples
@@ -24,6 +30,7 @@
 //! assert!((x[1] - 1.4).abs() < 1e-12);
 //! ```
 
+pub mod kernel;
 pub mod matrix;
 pub mod vecops;
 

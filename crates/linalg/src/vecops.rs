@@ -3,13 +3,25 @@
 //! Vectors flow between crates as plain `Vec<f64>`; these helpers keep the
 //! call sites short without committing the whole workspace to a wrapper type.
 //!
-//! The `dot`/`axpy`/`gather_dot`/`scatter_axpy` kernels are the inner loops
-//! of the revised simplex (`B⁻¹` row updates, simplex-multiplier
-//! accumulation, column pricing, and the sparse triangular solves through
-//! the LU factors and eta file) and are unrolled four-wide: independent
-//! accumulators break the serial dependence of a naive fold so the FP
-//! pipelines stay full, and the chunked slices give the compiler
-//! bounds-check-free bodies to vectorize.
+//! The `dot`/`axpy`/`gather_dot`/`scatter_axpy`/`masked_gather_dot` kernels
+//! are the inner loops of the revised simplex (`B⁻¹` row updates,
+//! simplex-multiplier accumulation, column pricing, and the sparse
+//! triangular solves through the LU factors, eta file and Forrest–Tomlin
+//! row etas). Since PR 8 they dispatch through the [`kernel`](crate::kernel)
+//! subsystem: one runtime selection per process picks the best
+//! [`VecKernel`](crate::kernel::VecKernel) backend the CPU proves
+//! (AVX2+FMA on x86_64, NEON on aarch64, the portable four-wide scalar
+//! unrolls everywhere), overridable with `QAVA_KERNEL={auto,scalar,avx2,
+//! neon}`. The free-function signatures here are unchanged, so every call
+//! site across the workspace rides whichever backend was selected.
+//!
+//! Slices shorter than [`kernel::DISPATCH_MIN`](crate::kernel::DISPATCH_MIN)
+//! bypass the dispatch table into the inlined scalar bodies — the µs-scale
+//! polyhedra probes and short eta columns live below one vector iteration,
+//! where an indirect call costs more than it saves. Results for such
+//! lengths are therefore bit-identical under every `QAVA_KERNEL` value.
+
+use crate::kernel::{self, scalar};
 
 /// Dot product of two equal-length slices.
 ///
@@ -20,19 +32,14 @@
 /// ```
 /// assert_eq!(qava_linalg::vecops::dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
 /// ```
+#[inline]
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     assert_eq!(a.len(), b.len(), "dot: length mismatch");
-    let mut ca = a.chunks_exact(4);
-    let mut cb = b.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for (xa, xb) in ca.by_ref().zip(cb.by_ref()) {
-        s0 += xa[0] * xb[0];
-        s1 += xa[1] * xb[1];
-        s2 += xa[2] * xb[2];
-        s3 += xa[3] * xb[3];
+    if a.len() < kernel::DISPATCH_MIN {
+        scalar::dot(a, b)
+    } else {
+        kernel::active().dot(a, b)
     }
-    let tail: f64 = ca.remainder().iter().zip(cb.remainder()).map(|(x, y)| x * y).sum();
-    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// `y += alpha * x`, the classic axpy update.
@@ -40,18 +47,13 @@ pub fn dot(a: &[f64], b: &[f64]) -> f64 {
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
+#[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    let mut cx = x.chunks_exact(4);
-    let mut cy = y.chunks_exact_mut(4);
-    for (xs, ys) in cx.by_ref().zip(cy.by_ref()) {
-        ys[0] += alpha * xs[0];
-        ys[1] += alpha * xs[1];
-        ys[2] += alpha * xs[2];
-        ys[3] += alpha * xs[3];
-    }
-    for (yi, xi) in cy.into_remainder().iter_mut().zip(cx.remainder()) {
-        *yi += alpha * xi;
+    if x.len() < kernel::DISPATCH_MIN {
+        scalar::axpy(alpha, x, y);
+    } else {
+        kernel::active().axpy(alpha, x, y);
     }
 }
 
@@ -63,24 +65,14 @@ pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
 ///
 /// Panics if `idx` and `vals` have different lengths, or if an index is out
 /// of bounds for `x`.
+#[inline]
 pub fn gather_dot(idx: &[usize], vals: &[f64], x: &[f64]) -> f64 {
     assert_eq!(idx.len(), vals.len(), "gather_dot: length mismatch");
-    let mut ci = idx.chunks_exact(4);
-    let mut cv = vals.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    for (is, vs) in ci.by_ref().zip(cv.by_ref()) {
-        s0 += vs[0] * x[is[0]];
-        s1 += vs[1] * x[is[1]];
-        s2 += vs[2] * x[is[2]];
-        s3 += vs[3] * x[is[3]];
+    if idx.len() < kernel::DISPATCH_MIN {
+        scalar::gather_dot(idx, vals, x)
+    } else {
+        kernel::active().gather_dot(idx, vals, x)
     }
-    let tail: f64 = ci
-        .remainder()
-        .iter()
-        .zip(cv.remainder())
-        .map(|(&r, &v)| v * x[r])
-        .sum();
-    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// Sparse scatter update `y[idx[k]] += alpha · vals[k]` — the other half of
@@ -96,18 +88,13 @@ pub fn gather_dot(idx: &[usize], vals: &[f64], x: &[f64]) -> f64 {
 ///
 /// Panics if `idx` and `vals` have different lengths, or if an index is out
 /// of bounds for `y`.
+#[inline]
 pub fn scatter_axpy(alpha: f64, idx: &[usize], vals: &[f64], y: &mut [f64]) {
     assert_eq!(idx.len(), vals.len(), "scatter_axpy: length mismatch");
-    let mut ci = idx.chunks_exact(4);
-    let mut cv = vals.chunks_exact(4);
-    for (is, vs) in ci.by_ref().zip(cv.by_ref()) {
-        y[is[0]] += alpha * vs[0];
-        y[is[1]] += alpha * vs[1];
-        y[is[2]] += alpha * vs[2];
-        y[is[3]] += alpha * vs[3];
-    }
-    for (&r, &v) in ci.remainder().iter().zip(cv.remainder()) {
-        y[r] += alpha * v;
+    if idx.len() < kernel::DISPATCH_MIN {
+        scalar::scatter_axpy(alpha, idx, vals, y);
+    } else {
+        kernel::active().scatter_axpy(alpha, idx, vals, y);
     }
 }
 
@@ -121,12 +108,16 @@ pub fn scatter_axpy(alpha: f64, idx: &[usize], vals: &[f64], y: &mut [f64]) {
 ///
 /// Fusing the position test into the gather keeps the kernel O(nnz of
 /// the column) with no materialized sub-column, and lets the caller keep
-/// a workspace that is only clean inside the window.
+/// a workspace that is only clean inside the window: an excluded entry's
+/// `x` value is never read into the product under any kernel backend.
 ///
 /// # Panics
 ///
 /// Panics if `idx` and `vals` have different lengths, or if an index is
-/// out of bounds for `x` or `pos`.
+/// out of bounds for `pos`, or if a window-*included* index is out of
+/// bounds for `x` — identically under every kernel backend (the SIMD
+/// backends run the window test per lane before touching `x`).
+#[inline]
 pub fn masked_gather_dot(
     idx: &[usize],
     vals: &[f64],
@@ -135,32 +126,29 @@ pub fn masked_gather_dot(
     cutoff: usize,
 ) -> f64 {
     assert_eq!(idx.len(), vals.len(), "masked_gather_dot: length mismatch");
-    let mut ci = idx.chunks_exact(4);
-    let mut cv = vals.chunks_exact(4);
-    let (mut s0, mut s1, mut s2, mut s3) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
-    // Select-to-zero rather than conditional skip: the four accumulator
-    // lanes stay independent (a branch would serialize them), and an
-    // excluded entry's `x` value is never read into the product, so the
-    // caller's workspace only has to be clean inside the window.
-    let pick = |r: usize| if pos[r] > cutoff { x[r] } else { 0.0 };
-    for (is, vs) in ci.by_ref().zip(cv.by_ref()) {
-        s0 += vs[0] * pick(is[0]);
-        s1 += vs[1] * pick(is[1]);
-        s2 += vs[2] * pick(is[2]);
-        s3 += vs[3] * pick(is[3]);
+    if idx.len() < kernel::DISPATCH_MIN {
+        scalar::masked_gather_dot(idx, vals, x, pos, cutoff)
+    } else {
+        kernel::active().masked_gather_dot(idx, vals, x, pos, cutoff)
     }
-    let tail: f64 = ci
-        .remainder()
-        .iter()
-        .zip(cv.remainder())
-        .map(|(&r, &v)| v * pick(r))
-        .sum();
-    (s0 + s1) + (s2 + s3) + tail
 }
 
 /// Returns `alpha * x` as a new vector.
 pub fn scale(alpha: f64, x: &[f64]) -> Vec<f64> {
-    x.iter().map(|v| alpha * v).collect()
+    let mut out = x.to_vec();
+    scale_in_place(alpha, &mut out);
+    out
+}
+
+/// In-place `x *= alpha` — the row-scaling kernel of equilibration and
+/// of the dense tableau's pivot normalization.
+#[inline]
+pub fn scale_in_place(alpha: f64, x: &mut [f64]) {
+    if x.len() < kernel::DISPATCH_MIN {
+        scalar::scale(alpha, x);
+    } else {
+        kernel::active().scale(alpha, x);
+    }
 }
 
 /// Element-wise sum `a + b`.
@@ -184,8 +172,13 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 }
 
 /// Maximum absolute entry (`∞`-norm); `0.0` for the empty slice.
+#[inline]
 pub fn norm_inf(x: &[f64]) -> f64 {
-    x.iter().fold(0.0, |m, v| m.max(v.abs()))
+    if x.len() < kernel::DISPATCH_MIN {
+        scalar::norm_inf(x)
+    } else {
+        kernel::active().norm_inf(x)
+    }
 }
 
 /// Euclidean norm.
@@ -198,9 +191,7 @@ pub fn norm2(x: &[f64]) -> f64 {
 pub fn normalize_inf(x: &mut [f64]) {
     let m = norm_inf(x);
     if m > crate::EPS {
-        for v in x.iter_mut() {
-            *v /= m;
-        }
+        scale_in_place(1.0 / m, x);
     }
 }
 
@@ -221,7 +212,8 @@ mod tests {
 
     #[test]
     fn dot_unrolled_matches_naive_at_every_remainder_length() {
-        // Lengths 0..13 cross the 4-wide chunk boundary at every offset.
+        // Lengths 0..13 cross the 4-wide chunk boundary at every offset
+        // and straddle the DISPATCH_MIN cutover into the SIMD backend.
         for len in 0..13usize {
             let a: Vec<f64> = (0..len).map(|i| (i as f64) * 0.75 - 3.0).collect();
             let b: Vec<f64> = (0..len).map(|i| 1.5 - (i as f64) * 0.25).collect();
@@ -247,7 +239,9 @@ mod tests {
                 *ni += -1.75 * xi;
             }
             axpy(-1.75, &x, &mut y);
-            assert_eq!(y, naive, "len {len}");
+            for (got, want) in y.iter().zip(&naive) {
+                assert!((got - want).abs() < 1e-12, "len {len}");
+            }
         }
     }
 
@@ -295,12 +289,13 @@ mod tests {
     fn masked_gather_dot_never_reads_excluded_entries() {
         // Entries outside the window hold NaN: the kernel must not let
         // them poison the sum (select-to-zero, not multiply-by-mask).
-        let x = vec![f64::NAN, 2.0, f64::NAN, 4.0, 1.0];
-        let pos = vec![0usize, 3, 1, 4, 2];
-        let idx = [0usize, 1, 2, 3, 4];
-        let vals = [1.0; 5];
-        let got = masked_gather_dot(&idx, &vals, &x, &pos, 2);
-        assert_eq!(got, 6.0, "only positions 3 and 4 are inside the window");
+        // Length 9 pushes the call through the dispatched SIMD path.
+        let x = vec![f64::NAN, 2.0, f64::NAN, 4.0, 1.0, f64::NAN, 3.0, f64::NAN, 5.0];
+        let pos = vec![0usize, 4, 1, 5, 6, 2, 7, 3, 8];
+        let idx = [0usize, 1, 2, 3, 4, 5, 6, 7, 8];
+        let vals = [1.0; 9];
+        let got = masked_gather_dot(&idx, &vals, &x, &pos, 3);
+        assert_eq!(got, 2.0 + 4.0 + 1.0 + 3.0 + 5.0, "every NaN entry sits outside the window");
     }
 
     #[test]
@@ -311,17 +306,20 @@ mod tests {
 
     #[test]
     fn scatter_axpy_matches_naive_at_every_remainder_length() {
-        // Distinct indices crossing the 4-wide unroll boundary.
-        let idx = [5usize, 0, 3, 7, 1, 6];
-        let vals = [2.0, -1.0, 0.5, 4.0, 3.0, -0.25];
+        // Distinct indices crossing the 4-wide unroll boundary and the
+        // DISPATCH_MIN cutover.
+        let idx = [5usize, 0, 3, 7, 1, 6, 2, 4, 8];
+        let vals = [2.0, -1.0, 0.5, 4.0, 3.0, -0.25, 1.25, -2.0, 0.75];
         for take in 0..=idx.len() {
-            let mut y = vec![1.0; 8];
+            let mut y = vec![1.0; 9];
             let mut naive = y.clone();
             for (&r, &v) in idx[..take].iter().zip(&vals[..take]) {
                 naive[r] += -1.5 * v;
             }
             scatter_axpy(-1.5, &idx[..take], &vals[..take], &mut y);
-            assert_eq!(y, naive, "take {take}");
+            for (got, want) in y.iter().zip(&naive) {
+                assert!((got - want).abs() < 1e-12, "take {take}");
+            }
         }
     }
 
@@ -343,6 +341,24 @@ mod tests {
         assert_eq!(norm_inf(&[-3.0, 2.0]), 3.0);
         assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
         assert_eq!(norm_inf(&[]), 0.0);
+    }
+
+    #[test]
+    fn norm_inf_long_slice_rides_the_kernel() {
+        let mut x = vec![0.5; 37];
+        x[19] = -7.25;
+        assert_eq!(norm_inf(&x), 7.25);
+    }
+
+    #[test]
+    fn scale_in_place_matches_scale() {
+        for len in 0..13usize {
+            let x: Vec<f64> = (0..len).map(|i| (i as f64) * 0.5 - 2.0).collect();
+            let owned = scale(-3.0, &x);
+            let mut inplace = x.clone();
+            scale_in_place(-3.0, &mut inplace);
+            assert_eq!(owned, inplace, "len {len}");
+        }
     }
 
     #[test]

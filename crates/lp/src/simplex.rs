@@ -16,7 +16,7 @@
 //! of new sessions.
 
 use crate::LpError;
-use qava_linalg::{Matrix, EPS};
+use qava_linalg::{vecops, Matrix, EPS};
 
 /// Hard cap on simplex pivots per phase; far above anything the synthesis
 /// LPs need, but prevents infinite loops on adversarial numeric input.
@@ -58,12 +58,10 @@ pub fn solve_standard_dense(costs: &[f64], a: &Matrix, b: &[f64]) -> Result<Vec<
     let mut sa = a.clone();
     let mut sb = b.to_vec();
     for (i, sbi) in sb.iter_mut().enumerate() {
-        let r = sa.row(i).iter().fold(0.0f64, |acc, &v| acc.max(v.abs()));
+        let r = vecops::norm_inf(sa.row(i));
         if r > 0.0 && !(0.25..=4.0).contains(&r) {
             let inv = 1.0 / r;
-            for v in sa.row_mut(i) {
-                *v *= inv;
-            }
+            vecops::scale_in_place(inv, sa.row_mut(i));
             *sbi *= inv;
         }
     }
@@ -165,6 +163,10 @@ struct Tableau {
     banned_from: usize,
     /// Total pivots performed, for solver-session statistics.
     pivots: usize,
+    /// Scratch copy of the (scaled) pivot row so the row eliminations can
+    /// run through `vecops::axpy` while the matrix row being updated is
+    /// mutably borrowed.
+    scratch: Vec<f64>,
 }
 
 impl Tableau {
@@ -182,6 +184,7 @@ impl Tableau {
             basis: vec![usize::MAX; m],
             banned_from: total_cols,
             pivots: 0,
+            scratch: Vec::with_capacity(total_cols),
         }
     }
 
@@ -194,9 +197,7 @@ impl Tableau {
             let bj = self.basis[i];
             let cb = costs[bj];
             if cb != 0.0 {
-                for j in 0..self.reduced.len() {
-                    self.reduced[j] -= cb * self.body[(i, j)];
-                }
+                vecops::axpy(-cb, self.body.row(i), &mut self.reduced);
                 self.obj -= cb * self.rhs[i];
             }
         }
@@ -213,19 +214,20 @@ impl Tableau {
         let pv = self.body[(row, col)];
         debug_assert!(pv.abs() > EPS, "pivot on (near-)zero element");
         let inv = 1.0 / pv;
-        for j in 0..self.body.cols() {
-            self.body[(row, j)] *= inv;
-        }
+        vecops::scale_in_place(inv, self.body.row_mut(row));
         self.rhs[row] *= inv;
+        // Snapshot the scaled pivot row once: the eliminations below
+        // mutably borrow the target rows, and the kernel-layer axpy wants
+        // the source as one contiguous slice anyway.
+        self.scratch.clear();
+        self.scratch.extend_from_slice(self.body.row(row));
+        let pivot_rhs = self.rhs[row];
         for i in 0..self.body.rows() {
             if i != row {
                 let f = self.body[(i, col)];
                 if f.abs() > EPS {
-                    for j in 0..self.body.cols() {
-                        let v = self.body[(row, j)];
-                        self.body[(i, j)] -= f * v;
-                    }
-                    self.rhs[i] -= f * self.rhs[row];
+                    vecops::axpy(-f, &self.scratch, self.body.row_mut(i));
+                    self.rhs[i] -= f * pivot_rhs;
                     if self.rhs[i].abs() < 1e-12 {
                         self.rhs[i] = 0.0;
                     }
@@ -234,10 +236,8 @@ impl Tableau {
         }
         let f = self.reduced[col];
         if f.abs() > EPS {
-            for j in 0..self.reduced.len() {
-                self.reduced[j] -= f * self.body[(row, j)];
-            }
-            self.obj -= f * self.rhs[row];
+            vecops::axpy(-f, &self.scratch, &mut self.reduced);
+            self.obj -= f * pivot_rhs;
         }
         self.basis[row] = col;
     }

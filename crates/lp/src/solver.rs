@@ -527,7 +527,8 @@ impl std::fmt::Display for LpStats {
             "lp: {} solves, {} pivots, {:.3}s; presolve removed {} rows / {} cols; \
              warm start {} hits / {} misses, {} evictions; \
              {} watchdog restarts ({} singular / {} infeasible), {} bland retries; \
-             {} failovers / {} rescues; {} dual reopts ({} fell back cold)",
+             {} failovers / {} rescues; {} dual reopts ({} fell back cold); \
+             vec kernel {kernel}",
             self.solves,
             self.pivots,
             self.wall_seconds,
@@ -544,6 +545,9 @@ impl std::fmt::Display for LpStats {
             self.failover_recoveries,
             self.reopt_attempts,
             self.reopt_attempts - self.reopt_successes,
+            // The process-wide SIMD kernel behind every vecops call: logs
+            // and bench artifacts must say which backend produced them.
+            kernel = qava_linalg::kernel::active_name(),
         )?;
         for t in &self.backends {
             writeln!(
