@@ -99,7 +99,7 @@ fn bench_vecops(c: &mut Criterion) {
             .collect()
     }
     const REPS: usize = 256;
-    println!("vec kernel (auto-selected): {}", kernel::active_name());
+    println!("vec kernel (auto-selected): {}", kernel::provenance());
     let mut group = c.benchmark_group("lp/kernel");
     group.sample_size(10);
     for len in [8usize, 64, 512] {
@@ -207,13 +207,20 @@ fn walk3d_like_matrix() -> CscMatrix {
 /// nearly everything, so this is where the eta engine is hardest to
 /// beat and where FT's row-eta support masks (which skip ~59% of eta
 /// applications on the real suite's sparse right-hand sides) are meant
-/// to keep the gap from widening further.
+/// to keep the gap from widening further. The `lu-bg` rows race the
+/// Bartels–Golub engine on the same chains: its interchange-based spike
+/// elimination buys stability with extra row-eta fill, and these rows
+/// bound what that costs on FT's home turf.
 fn bench_basis_update(c: &mut Criterion) {
     let mut group = c.benchmark_group("lp/kernel");
     group.sample_size(10);
     let a = walk3d_like_matrix();
     for updates in [16usize, 64, 128, 192] {
-        for (engine, name) in [(TraceEngine::LuEta, "lu"), (TraceEngine::LuFt, "lu-ft")] {
+        for (engine, name) in [
+            (TraceEngine::LuEta, "lu"),
+            (TraceEngine::LuFt, "lu-ft"),
+            (TraceEngine::LuBg, "lu-bg"),
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(format!("basis_update{updates}"), name),
                 &a,

@@ -36,7 +36,7 @@ fn main() {
             .build_global()
             .expect("configuring the global pool cannot fail");
     }
-    // `--lp-backend {auto,sparse,dense,lu,lu-ft}` forwards to every task's solver
+    // `--lp-backend {auto,sparse,dense,lu,lu-ft,lu-bg}` forwards to every task's solver
     // session (same flag, same parser, as `qava --lp-backend`).
     let backend = match BackendChoice::from_args(&args) {
         Ok(b) => b.unwrap_or_default(),
@@ -54,7 +54,7 @@ fn main() {
     // Provenance header: the tables below depend on the LP backend *and*
     // on the vecops kernel backend every pivot ran through — bench
     // artifacts must say which produced them.
-    println!("lp backend: {backend}; vec kernel: {}", qava_linalg::kernel::active_name());
+    println!("lp backend: {backend}; vec kernel: {}", qava_linalg::kernel::provenance());
     println!();
 
     if all || has("--table1") {

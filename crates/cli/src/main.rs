@@ -78,10 +78,11 @@ solver:
                    density — tiny models on the dense tableau, large
                    sparse systems on the Forrest–Tomlin LU simplex, the
                    rest on the sparse revised simplex), sparse, dense,
-                   lu (LU + product-form eta file), or lu-ft (LU +
-                   Forrest–Tomlin spike swaps) — applies to single-file
-                   analyses and to --suite, which also prints
-                   per-backend solve statistics
+                   lu (LU + product-form eta file), lu-ft (LU +
+                   Forrest–Tomlin spike swaps), or lu-bg (LU +
+                   Bartels–Golub row interchanges) — applies to
+                   single-file analyses and to --suite, which also
+                   prints per-backend solve statistics
 
 suite:
   --suite          run the paper's benchmark suite (Tables 1-2) through
@@ -169,8 +170,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     Some(s.parse().map_err(|_| format!("bad deadline `{s}`"))?);
             }
             "--lp-backend" => {
-                let s =
-                    it.next().ok_or("--lp-backend needs auto, sparse, dense, lu, or lu-ft")?;
+                let s = it
+                    .next()
+                    .ok_or("--lp-backend needs auto, sparse, dense, lu, lu-ft, or lu-bg")?;
                 opts.lp_backend = s.parse()?;
             }
             "--param" => {
@@ -809,6 +811,8 @@ mod tests {
         assert_eq!(o.lp_backend, BackendChoice::Lu);
         let o = parse_args(&args(&["p.qava", "--lp-backend", "lu-ft"])).unwrap();
         assert_eq!(o.lp_backend, BackendChoice::LuFt);
+        let o = parse_args(&args(&["p.qava", "--lp-backend", "lu-bg"])).unwrap();
+        assert_eq!(o.lp_backend, BackendChoice::LuBg);
         let o = parse_args(&args(&["p.qava"])).unwrap();
         assert_eq!(o.lp_backend, BackendChoice::default());
         assert!(parse_args(&args(&["p.qava", "--lp-backend", "cuda"])).is_err());

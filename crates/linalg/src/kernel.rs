@@ -26,9 +26,13 @@
 //! `QAVA_KERNEL={auto,scalar,avx2,neon}` (read at selection time)
 //! overrides auto-detection for testing and benchmarking. A backend the
 //! running CPU cannot execute — and any unrecognized value — falls back
-//! to `scalar`, never to a faulting path; [`active_name`] always reports
-//! the backend actually selected, and the LP stats footer prints it, so
-//! logs and bench artifacts can't misattribute numbers. Correctness
+//! to `scalar`, never to a faulting path. That degradation is **never
+//! silent**: selection prints a one-shot warning to stderr when the
+//! request and the resolved backend differ, [`active_name`] always
+//! reports the backend actually selected, and [`provenance`] (what the
+//! LP stats footer and the bench provenance header print) annotates the
+//! actual name with the ignored request, so logs and bench artifacts
+//! can't misattribute numbers. Correctness
 //! never depends on which backend runs: the conformance corpus, the
 //! metamorphic suite, and the kernel-agreement property tests all hold
 //! under every forced value (SIMD reassociation and FMA stay at ulp
@@ -105,6 +109,12 @@ static NEON: neon::NeonKernel = neon::NeonKernel;
 
 static ACTIVE: OnceLock<&'static dyn VecKernel> = OnceLock::new();
 
+/// The `QAVA_KERNEL` value that selection had to ignore: `Some(request)`
+/// when it degraded to another backend, `None` when the request (or
+/// auto-detection) was honored. Populated by [`select`] before [`ACTIVE`]
+/// is ever readable.
+static REQUESTED: OnceLock<Option<String>> = OnceLock::new();
+
 /// The process-wide kernel, selecting it on first use (reads
 /// `QAVA_KERNEL`, then falls back to CPU auto-detection).
 #[inline]
@@ -112,9 +122,9 @@ pub fn active() -> &'static dyn VecKernel {
     *ACTIVE.get_or_init(select)
 }
 
-/// Name of the process-wide kernel — recorded once at dispatch time and
-/// surfaced in the LP stats footers so every log and bench artifact
-/// states which backend produced it.
+/// Name of the process-wide kernel actually selected. Artifacts that
+/// record the kernel should prefer [`provenance`], which additionally
+/// exposes a `QAVA_KERNEL` request that selection had to ignore.
 pub fn active_name() -> &'static str {
     active().name()
 }
@@ -142,13 +152,56 @@ pub fn available() -> Vec<&'static dyn VecKernel> {
     ["scalar", "avx2", "neon"].iter().filter_map(|n| by_name(n)).collect()
 }
 
-/// One-shot selection: `QAVA_KERNEL` override first, otherwise the best
-/// backend the CPU detection proves.
-fn select() -> &'static dyn VecKernel {
-    match std::env::var("QAVA_KERNEL") {
-        Ok(name) if name != "auto" => by_name(&name).unwrap_or(&SCALAR),
-        _ => detect_best(),
+/// The active kernel's name annotated with the `QAVA_KERNEL` request
+/// when the two differ (e.g. `"scalar (requested avx2)"`), the plain
+/// name when they agree. Stats footers and bench provenance headers use
+/// this instead of [`active_name`] so a silently degraded run can never
+/// masquerade as the requested backend in recorded artifacts.
+pub fn provenance() -> String {
+    // Forces selection, which populates REQUESTED before returning.
+    let actual = active_name();
+    provenance_label(actual, REQUESTED.get().and_then(|r| r.as_deref()))
+}
+
+/// Pure formatting rule behind [`provenance`].
+fn provenance_label(actual: &str, ignored_request: Option<&str>) -> String {
+    match ignored_request {
+        Some(req) => format!("{actual} (requested {req})"),
+        None => actual.to_string(),
     }
+}
+
+/// Pure resolution rule behind [`select`]: the backend a `QAVA_KERNEL`
+/// value resolves to on this CPU, plus whether that silently differs
+/// from what was asked for (`true` exactly when the request named a
+/// backend that is unknown or unsupported here and scalar stood in).
+fn resolve(requested: Option<&str>) -> (&'static dyn VecKernel, bool) {
+    match requested {
+        None | Some("auto") => (detect_best(), false),
+        Some(name) => match by_name(name) {
+            Some(kernel) => (kernel, false),
+            None => (&SCALAR, true),
+        },
+    }
+}
+
+/// One-shot selection: `QAVA_KERNEL` override first, otherwise the best
+/// backend the CPU detection proves. A request that cannot be honored
+/// degrades to scalar with a single stderr warning (selection runs once
+/// per process) and is recorded for [`provenance`].
+fn select() -> &'static dyn VecKernel {
+    let requested = std::env::var("QAVA_KERNEL").ok();
+    let (kernel, degraded) = resolve(requested.as_deref());
+    if degraded {
+        let req = requested.as_deref().unwrap_or_default();
+        eprintln!(
+            "qava: QAVA_KERNEL={req} is unknown or unsupported on this CPU; \
+             falling back to the {} kernel",
+            kernel.name()
+        );
+    }
+    let _ = REQUESTED.set(if degraded { requested } else { None });
+    kernel
 }
 
 fn detect_best() -> &'static dyn VecKernel {
@@ -195,5 +248,46 @@ mod tests {
     fn avx2_listed_exactly_when_detected() {
         let detected = is_x86_feature_detected!("avx2") && is_x86_feature_detected!("fma");
         assert_eq!(by_name("avx2").is_some(), detected);
+    }
+
+    #[test]
+    fn resolve_flags_degraded_requests() {
+        // Honored requests: no mismatch to report.
+        let (k, degraded) = resolve(None);
+        assert_eq!(k.name(), detect_best().name());
+        assert!(!degraded);
+        let (k, degraded) = resolve(Some("auto"));
+        assert_eq!(k.name(), detect_best().name());
+        assert!(!degraded, "auto is a policy, not a request that can degrade");
+        let (k, degraded) = resolve(Some("scalar"));
+        assert_eq!(k.name(), "scalar");
+        assert!(!degraded);
+        // Unknown and empty names degrade to scalar — and say so. This
+        // pins the fix for the silent-fallback bug: `select` used to
+        // swallow the mismatch entirely.
+        for bad in ["sse9", "", "AVX2", "scalar "] {
+            let (k, degraded) = resolve(Some(bad));
+            assert_eq!(k.name(), "scalar", "QAVA_KERNEL={bad:?}");
+            assert!(degraded, "QAVA_KERNEL={bad:?} must be flagged as degraded");
+        }
+        // A supported non-scalar backend resolves to itself, honored.
+        for kernel in available() {
+            let (k, degraded) = resolve(Some(kernel.name()));
+            assert_eq!(k.name(), kernel.name());
+            assert!(!degraded);
+        }
+    }
+
+    #[test]
+    fn provenance_label_annotates_only_mismatches() {
+        assert_eq!(provenance_label("avx2", None), "avx2");
+        assert_eq!(provenance_label("scalar", Some("avx9")), "scalar (requested avx9)");
+    }
+
+    #[test]
+    fn provenance_is_consistent_with_active_name() {
+        // Whatever the process-wide selection was, provenance must start
+        // with the actual backend name.
+        assert!(provenance().starts_with(active_name()));
     }
 }

@@ -1,0 +1,987 @@
+//! Bartels–Golub basis updates: the `lu-bg` backend's representation.
+//!
+//! Like Forrest–Tomlin (see [`crate::ft`]), a basis exchange replaces
+//! one column of the row-keyed U factor with the spike `w = E·L⁻¹·a`
+//! and chases the disturbed row back to triangular form, recording the
+//! row operations for later solves. The difference is *where the pivot
+//! comes from*. FT has no choice: the leaving diagonal's row rotates to
+//! the end and every elimination step divides by whatever diagonal the
+//! window offers — a tiny diagonal produces a huge multiplier that
+//! amplifies rounding error into the stored eta and every solve after
+//! it (the drift its accuracy check exists to catch). Bartels–Golub
+//! instead compares, at each window column, the diagonal against the
+//! chased row's entry and pivots on the **larger** of the two:
+//!
+//! * `|diag| ≥ |entry|` — eliminate as FT would, multiplier
+//!   `entry/diag`, now guaranteed `≤ 1` in magnitude;
+//! * `|entry| > |diag|` — **interchange** the chased row with the
+//!   diagonal's row first: the big entry becomes the new diagonal, the
+//!   old diagonal drops into the chased row and is eliminated with
+//!   multiplier `diag/entry`, again `≤ 1`.
+//!
+//! Every multiplier is bounded by one, so the elimination is backward
+//! stable regardless of how knife-edged the basis is. The price is
+//! fill: an interchange moves the chased row's partial results into U
+//! as a stored row, where FT would have kept them transient. The
+//! interchange is recorded as an explicit [`Op::Swap`] in the operator
+//! stream (a row permutation is its own transpose, so btran replays it
+//! unchanged), and the eliminations between swaps batch into the same
+//! masked [`RowEta`] runs the FT engine stores.
+//!
+//! Everything else — the frozen L solves, the spike cache, the
+//! row-keyed storage convention that keeps stored operations valid
+//! across reorderings, and the refactorization triggers — is shared
+//! with the FT engine, so the two backends differ *only* in the update
+//! elimination and are directly comparable in the stability telemetry
+//! ([`BasisRepr::stability`]): interchange count, peak chased-row
+//! growth, and accuracy-triggered refactorizations.
+
+use crate::ft::{
+    mask_assign, mask_get, mask_set, mask_words, masks_intersect, RowEta, SpikeCache,
+    ACCURACY_DRIFT, FILL_FACTOR, MAX_UPDATES, SHAKY_PIVOT,
+};
+use crate::lu::{LuFactors, SparseCol};
+use crate::revised::{BasisRepr, UpdateStability};
+use crate::CscMatrix;
+use qava_linalg::vecops;
+use std::cell::RefCell;
+
+/// One recorded operation of the update stream. Applied oldest-first in
+/// forward solves; newest-first, transposed, in backward solves — a row
+/// eta transposes into a scatter, a row swap into itself.
+#[derive(Debug, Clone)]
+enum Op {
+    /// A run of chased-row eliminations between interchanges; same
+    /// algebra and mask-skipping as the FT row eta.
+    Row(RowEta),
+    /// A physical row interchange performed mid-elimination.
+    Swap(usize, usize),
+}
+
+/// Closes the current elimination run into a stored [`Op::Row`].
+fn flush_run(
+    m: usize,
+    rt: usize,
+    run: &mut Vec<(usize, f64)>,
+    ops: &mut Vec<Op>,
+    eta_nnz: &mut usize,
+) {
+    if run.is_empty() {
+        return;
+    }
+    *eta_nnz += run.len();
+    let mut mask = vec![0u64; mask_words(m)];
+    for &(c, _) in run.iter() {
+        mask_set(&mut mask, c);
+    }
+    let entries = std::mem::take(run);
+    ops.push(Op::Row(RowEta { row: rt, col: SparseCol::from_entries(entries), mask }));
+}
+
+/// The Bartels–Golub basis representation behind the `lu-bg` backend
+/// ([`crate::LuBgSimplex`]): frozen L factors plus a mutable, row-keyed
+/// U updated by partially pivoted spike elimination.
+#[derive(Debug, Clone)]
+pub(crate) struct BgBasis {
+    m: usize,
+    /// Factors of the last refactorization; only the L half (plus its
+    /// row permutation) is used after [`install`](Self::install).
+    lu: LuFactors,
+    /// Position → row key of the diagonal at that position.
+    order: Vec<usize>,
+    /// Row key → current position (inverse of `order`).
+    pos_of: Vec<usize>,
+    /// Row key → basis slot of the column whose diagonal lives on that
+    /// row (stable across updates, exactly as in the FT engine — an
+    /// interchange swaps row *contents*, never the chased row's key).
+    slot_of: Vec<usize>,
+    /// Basis slot → row key (inverse of `slot_of`).
+    key_of_slot: Vec<usize>,
+    /// Row key → above-diagonal entries of that diagonal's U column,
+    /// row-keyed; triangular in positions.
+    u_cols: Vec<SparseCol>,
+    /// Row key → diagonal value.
+    u_diag: Vec<f64>,
+    /// Stored U nonzeros, diagonals included.
+    u_nnz: usize,
+    /// `nnz(L) + nnz(U)` right after the last refactorization.
+    base_nnz: usize,
+    /// Update operations since the last refactorization, oldest first.
+    ops: Vec<Op>,
+    /// Stored eta entries plus one per swap (an interchange costs two
+    /// index slots; charging it keeps the fill trigger honest).
+    eta_nnz: usize,
+    updates: usize,
+    /// A pivot below [`SHAKY_PIVOT`] was accepted; refactorize at the
+    /// next opportunity.
+    shaky: bool,
+    /// Row-keyed spike workspace; all-zero between updates.
+    spike: Vec<f64>,
+    /// Row-keyed chased-row workspace (the spike row under elimination,
+    /// maintained eagerly so each step can compare it against the
+    /// diagonal); all-zero between updates.
+    brow: Vec<f64>,
+    /// Row key → number of stored off-diagonal U entries on that row.
+    row_nnz: Vec<usize>,
+    /// See [`SpikeCache`] — shared verbatim with the FT engine.
+    spike_cache: RefCell<SpikeCache>,
+    /// Reusable nonzero-row mask for [`apply_ops_forward`]
+    /// (`RefCell`: the solve paths take `&self`).
+    live_mask: RefCell<Vec<u64>>,
+    /// Cumulative stability accounting (never reset by `install`; see
+    /// [`BasisRepr::stability`]): row interchanges performed.
+    interchanges: usize,
+    /// Max over updates of (peak chased-row magnitude during
+    /// elimination) / (its magnitude on entry) — the spike-pivot growth
+    /// factor partial pivoting is bounding.
+    max_growth: f64,
+    /// Updates whose determinant-identity cross-check disagreed with
+    /// the eliminated diagonal.
+    acc_refactors: usize,
+}
+
+impl BgBasis {
+    /// Adopts a fresh factorization: copies U into the mutable
+    /// row-keyed form, resets permutations, stored ops and counters.
+    /// The cumulative stability counters survive — they describe the
+    /// engine's whole life, which is exactly one solver run.
+    fn install(&mut self, lu: LuFactors) {
+        let m = self.m;
+        self.order.clear();
+        self.order.extend_from_slice(&lu.pos_row);
+        self.base_nnz = lu.nnz();
+        self.u_nnz = m;
+        for k in 0..m {
+            let r = lu.pos_row[k];
+            self.pos_of[r] = k;
+            self.slot_of[r] = lu.col_order[k];
+            self.key_of_slot[lu.col_order[k]] = r;
+            self.u_diag[r] = lu.diag[k];
+            let uc = &lu.u_cols[k];
+            let entries: Vec<(usize, f64)> =
+                uc.idx.iter().zip(&uc.vals).map(|(&t, &v)| (lu.pos_row[t], v)).collect();
+            self.u_nnz += entries.len();
+            self.u_cols[r] = SparseCol::from_entries(entries);
+        }
+        self.row_nnz.iter_mut().for_each(|v| *v = 0);
+        for col in &self.u_cols {
+            for &rk in &col.idx {
+                self.row_nnz[rk] += 1;
+            }
+        }
+        self.lu = lu;
+        self.ops.clear();
+        self.eta_nnz = 0;
+        self.updates = 0;
+        self.shaky = false;
+        self.spike_cache.borrow_mut().valid = false;
+    }
+
+    /// Applies the stored update ops, oldest first, to a vector already
+    /// carried through the frozen L part. Eta runs keep the FT engine's
+    /// mask-intersection skipping; a swap whose two rows are both
+    /// outside the live mask moves two provable zeros and is skipped,
+    /// otherwise the rows and their mask bits swap together so the mask
+    /// stays a superset of the true nonzero set.
+    fn apply_ops_forward(&self, x: &mut [f64]) {
+        if self.ops.is_empty() {
+            return;
+        }
+        let mut live = self.live_mask.borrow_mut();
+        live.clear();
+        live.resize(mask_words(self.m), 0);
+        for (r, &v) in x.iter().enumerate() {
+            if v != 0.0 {
+                mask_set(&mut live, r);
+            }
+        }
+        for op in &self.ops {
+            match op {
+                Op::Row(eta) => {
+                    if !masks_intersect(&eta.mask, &live) {
+                        continue;
+                    }
+                    let s = vecops::gather_dot(&eta.col.idx, &eta.col.vals, x);
+                    if s != 0.0 {
+                        x[eta.row] -= s;
+                        mask_set(&mut live, eta.row);
+                    }
+                }
+                Op::Swap(a, b) => {
+                    let ba = mask_get(&live, *a);
+                    let bb = mask_get(&live, *b);
+                    if ba || bb {
+                        x.swap(*a, *b);
+                        mask_assign(&mut live, *a, bb);
+                        mask_assign(&mut live, *b, ba);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the transposed ops, newest first (the backward-solve
+    /// half): etas scatter, swaps are their own transpose.
+    fn apply_ops_transposed(&self, w: &mut [f64]) {
+        for op in self.ops.iter().rev() {
+            match op {
+                Op::Row(eta) => {
+                    let t = w[eta.row];
+                    if t != 0.0 {
+                        vecops::scatter_axpy(-t, &eta.col.idx, &eta.col.vals, w);
+                    }
+                }
+                Op::Swap(a, b) => w.swap(*a, *b),
+            }
+        }
+    }
+
+    /// Solves `B·z = b` (dense `b`, row indexing in, basis-slot
+    /// indexing out), optionally stashing the post-L/post-ops spike for
+    /// the update that typically follows — same shape as the FT
+    /// engine's `solve_forward`.
+    fn solve_forward(&self, mut x: Vec<f64>, cache_as: Option<(&[usize], &[f64])>) -> Vec<f64> {
+        self.lu.l_solve(&mut x);
+        self.apply_ops_forward(&mut x);
+        if let Some((idx, vals)) = cache_as {
+            let mut cache = self.spike_cache.borrow_mut();
+            cache.col_idx.clear();
+            cache.col_idx.extend_from_slice(idx);
+            cache.col_vals.clear();
+            cache.col_vals.extend_from_slice(vals);
+            cache.spike.clear();
+            cache.spike.extend_from_slice(&x);
+            cache.valid = true;
+        }
+        let mut out = vec![0.0; self.m];
+        for p in (0..self.m).rev() {
+            let r = self.order[p];
+            let w = x[r] / self.u_diag[r];
+            if w != 0.0 {
+                let uc = &self.u_cols[r];
+                vecops::scatter_axpy(-w, &uc.idx, &uc.vals, &mut x);
+                out[self.slot_of[r]] = w;
+            }
+        }
+        out
+    }
+}
+
+impl BasisRepr for BgBasis {
+    fn identity(m: usize) -> Self {
+        let mut repr = BgBasis {
+            m,
+            lu: LuFactors::identity(m),
+            order: Vec::with_capacity(m),
+            pos_of: vec![0; m],
+            slot_of: vec![0; m],
+            key_of_slot: vec![0; m],
+            u_cols: vec![SparseCol::default(); m],
+            u_diag: vec![1.0; m],
+            u_nnz: m,
+            base_nnz: m,
+            ops: Vec::new(),
+            eta_nnz: 0,
+            updates: 0,
+            shaky: false,
+            spike: vec![0.0; m],
+            brow: vec![0.0; m],
+            row_nnz: vec![0; m],
+            spike_cache: RefCell::new(SpikeCache::default()),
+            live_mask: RefCell::new(Vec::new()),
+            interchanges: 0,
+            max_growth: 0.0,
+            acc_refactors: 0,
+        };
+        repr.install(LuFactors::identity(m));
+        repr
+    }
+
+    fn refactor(&mut self, a: &CscMatrix, n: usize, basis: &[usize]) -> bool {
+        let cols: Vec<(Vec<usize>, Vec<f64>)> =
+            basis.iter().map(|&j| crate::revised::basis_col(a, n, j)).collect();
+        match LuFactors::factorize(self.m, &cols) {
+            Some(lu) => {
+                self.install(lu);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn ftran_col(&self, idx: &[usize], vals: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.m];
+        for (&r, &v) in idx.iter().zip(vals) {
+            x[r] = v;
+        }
+        self.solve_forward(x, Some((idx, vals)))
+    }
+
+    fn ftran_dense(&self, rhs: &[f64]) -> Vec<f64> {
+        self.solve_forward(rhs.to_vec(), None)
+    }
+
+    fn btran_dense(&self, cb: &[f64]) -> Vec<f64> {
+        let mut w = vec![0.0; self.m];
+        for p in 0..self.m {
+            let r = self.order[p];
+            let uc = &self.u_cols[r];
+            let s = cb[self.slot_of[r]] - vecops::gather_dot(&uc.idx, &uc.vals, &w);
+            w[r] = s / self.u_diag[r];
+        }
+        self.apply_ops_transposed(&mut w);
+        self.lu.lt_solve(&mut w);
+        w
+    }
+
+    fn binv_row(&self, i: usize) -> Vec<f64> {
+        // Unit-vector btran with the same entry-position shortcut as
+        // the FT engine: every Uᵀ position before slot `i`'s diagonal
+        // gathers only zeros.
+        let mut w = vec![0.0; self.m];
+        let start = self.pos_of[self.key_of_slot[i]];
+        for p in start..self.m {
+            let r = self.order[p];
+            let uc = &self.u_cols[r];
+            let rhs = if p == start { 1.0 } else { 0.0 };
+            let s = rhs - vecops::gather_dot(&uc.idx, &uc.vals, &w);
+            w[r] = s / self.u_diag[r];
+        }
+        self.apply_ops_transposed(&mut w);
+        self.lu.lt_solve(&mut w);
+        w
+    }
+
+    /// The Bartels–Golub exchange: slot `row`'s variable leaves, the
+    /// column `col_idx`/`col_vals` with ftran'd direction `u` enters.
+    fn update(
+        &mut self,
+        row: usize,
+        u: &[f64],
+        _support: &[usize],
+        col_idx: &[usize],
+        col_vals: &[f64],
+    ) {
+        let m = self.m;
+        let rt = self.key_of_slot[row];
+        let t = self.pos_of[rt];
+        // Determinant identity, generalized for interchanges: FT's
+        // prediction d = u[row]·U_tt gains a factor −diag/entry per
+        // swap (the swap flips the determinant's sign and moves the big
+        // entry onto the diagonal). Maintained as a running product so
+        // the final cross-check below measures accumulated elimination
+        // error exactly as in the FT engine.
+        let mut predicted = u[row] * self.u_diag[rt];
+        if u[row].abs() < SHAKY_PIVOT || crate::faults::trip(crate::faults::Site::UpdatePivot) {
+            self.shaky = true;
+        }
+
+        // ---- 1. Obtain the spike w = Ops·L⁻¹·a, almost always from
+        // the cache stashed by the ftran that chose this column.
+        debug_assert!(self.spike.iter().all(|&v| v == 0.0));
+        {
+            let mut cache = self.spike_cache.borrow_mut();
+            if cache.matches(col_idx, col_vals) {
+                std::mem::swap(&mut self.spike, &mut cache.spike);
+            } else {
+                drop(cache);
+                let mut spike = std::mem::take(&mut self.spike);
+                for (&r, &v) in col_idx.iter().zip(col_vals) {
+                    spike[r] = v;
+                }
+                self.lu.l_solve(&mut spike);
+                self.apply_ops_forward(&mut spike);
+                self.spike = spike;
+            }
+        }
+        self.spike_cache.borrow_mut().valid = false;
+
+        // ---- 2. Delete the leaving column (the spike replaces it).
+        let old_col = std::mem::take(&mut self.u_cols[rt]);
+        self.u_nnz -= old_col.nnz() + 1;
+        for &rk in &old_col.idx {
+            self.row_nnz[rk] -= 1;
+        }
+
+        // ---- 3. Pull the chased row out of storage into the `brow`
+        // workspace (all its entries sit in window columns, by
+        // triangularity; the row-occupancy count ends the scan early).
+        // Unlike FT's lazy elimination, the row is maintained eagerly —
+        // each step below needs its current value to pick a pivot.
+        let mut live = 0usize;
+        let mut to_find = self.row_nnz[rt];
+        for p in t + 1..m {
+            if to_find == 0 {
+                break;
+            }
+            let c = self.order[p];
+            let col = &mut self.u_cols[c];
+            if let Ok(k) = col.idx.binary_search(&rt) {
+                self.brow[c] = col.vals[k];
+                live += 1;
+                col.idx.remove(k);
+                col.vals.remove(k);
+                self.u_nnz -= 1;
+                to_find -= 1;
+            }
+        }
+        self.row_nnz[rt] = 0;
+
+        // The chased row's spike-column entry rides along as a scalar;
+        // growth is measured against the row's magnitude on entry.
+        let mut wbot = self.spike[rt];
+        self.spike[rt] = 0.0;
+        let mut init_peak = wbot.abs();
+        for p in t + 1..m {
+            init_peak = init_peak.max(self.brow[self.order[p]].abs());
+        }
+        let mut peak = init_peak;
+
+        // ---- 4. Partially pivoted elimination over the window. At
+        // each column the chased row either eliminates against the
+        // diagonal (multiplier ≤ 1) or, when its entry is the larger,
+        // interchanges with the diagonal's row first — the entry
+        // becomes the diagonal, the old diagonal drops into the chased
+        // row and eliminates with a multiplier again ≤ 1. Ends early
+        // once the chased row is exhausted (then no later op can touch
+        // it or the spike scalar).
+        let mut run: Vec<(usize, f64)> = Vec::new();
+        for p in t + 1..m {
+            if live == 0 {
+                break;
+            }
+            let c = self.order[p];
+            let val = self.brow[c];
+            if val == 0.0 {
+                continue;
+            }
+            self.brow[c] = 0.0;
+            live -= 1;
+            peak = peak.max(val.abs());
+            let diag = self.u_diag[c];
+            if val.abs() > diag.abs() {
+                // ---- Interchange: swap physical rows rt and c. Stored
+                // row-c entries (all in later columns) become chased-row
+                // values and vice versa; the swap then eliminates with
+                // r = diag/val. A replace/remove/insert in one fused
+                // scan keeps every column sorted and the bookkeeping
+                // exact.
+                let r = diag / val;
+                predicted *= -r;
+                let mut find_old = self.row_nnz[c];
+                for q in p + 1..m {
+                    let c2 = self.order[q];
+                    let mut g = 0.0;
+                    let bold = self.brow[c2];
+                    let col = &mut self.u_cols[c2];
+                    if find_old > 0 {
+                        if let Ok(k) = col.idx.binary_search(&c) {
+                            g = col.vals[k];
+                            find_old -= 1;
+                            if bold != 0.0 {
+                                col.vals[k] = bold;
+                            } else {
+                                col.idx.remove(k);
+                                col.vals.remove(k);
+                                self.u_nnz -= 1;
+                                self.row_nnz[c] -= 1;
+                            }
+                        } else if bold != 0.0 {
+                            let k = col.idx.binary_search(&c).unwrap_err();
+                            col.idx.insert(k, c);
+                            col.vals.insert(k, bold);
+                            self.u_nnz += 1;
+                            self.row_nnz[c] += 1;
+                        }
+                    } else if bold != 0.0 {
+                        let k = col.idx.binary_search(&c).unwrap_err();
+                        col.idx.insert(k, c);
+                        col.vals.insert(k, bold);
+                        self.u_nnz += 1;
+                        self.row_nnz[c] += 1;
+                    }
+                    if g == 0.0 && bold == 0.0 {
+                        continue;
+                    }
+                    if bold != 0.0 {
+                        live -= 1;
+                    }
+                    let newb = g - r * bold;
+                    if newb != 0.0 {
+                        live += 1;
+                        peak = peak.max(newb.abs());
+                    }
+                    self.brow[c2] = newb;
+                }
+                // The spike's rows swap with everything else; the old
+                // diagonal lands in the chased row and eliminates to
+                // exact zero, leaving `val` as column c's new diagonal.
+                let w_c = self.spike[c];
+                self.spike[c] = wbot;
+                wbot = w_c - r * wbot;
+                self.u_diag[c] = val;
+                self.interchanges += 1;
+                flush_run(m, rt, &mut run, &mut self.ops, &mut self.eta_nnz);
+                self.ops.push(Op::Swap(rt, c));
+                self.eta_nnz += 1;
+                if r != 0.0 {
+                    run.push((c, r));
+                }
+            } else {
+                // ---- FT-style step, multiplier now guaranteed ≤ 1.
+                let r = val / diag;
+                let mut find = self.row_nnz[c];
+                for q in p + 1..m {
+                    if find == 0 {
+                        break;
+                    }
+                    let c2 = self.order[q];
+                    let col = &self.u_cols[c2];
+                    if let Ok(k) = col.idx.binary_search(&c) {
+                        find -= 1;
+                        let old = self.brow[c2];
+                        let newb = old - r * col.vals[k];
+                        if old != 0.0 && newb == 0.0 {
+                            live -= 1;
+                        }
+                        if old == 0.0 && newb != 0.0 {
+                            live += 1;
+                        }
+                        if newb != 0.0 {
+                            peak = peak.max(newb.abs());
+                        }
+                        self.brow[c2] = newb;
+                    }
+                }
+                wbot -= r * self.spike[c];
+                run.push((c, r));
+            }
+            peak = peak.max(wbot.abs());
+        }
+        flush_run(m, rt, &mut run, &mut self.ops, &mut self.eta_nnz);
+
+        // ---- 5. New diagonal and the accuracy cross-check, exactly as
+        // in the FT engine but against the swap-adjusted prediction.
+        let mut d = wbot;
+        peak = peak.max(d.abs());
+        if init_peak > 0.0 {
+            self.max_growth = self.max_growth.max(peak / init_peak);
+        }
+        let tiny = d.abs() < SHAKY_PIVOT;
+        let drifted = (d - predicted).abs() > ACCURACY_DRIFT * (d.abs() + predicted.abs())
+            || crate::faults::trip(crate::faults::Site::BgAccuracy);
+        if drifted {
+            self.acc_refactors += 1;
+        }
+        if tiny || drifted {
+            self.shaky = true;
+            if std::env::var_os("QAVA_LP_DEBUG_WATCHDOG").is_some() {
+                eprintln!(
+                    "bg shaky after update {}: d = {d:e} vs predicted {predicted:e} \
+                     (tiny = {tiny}, drifted = {drifted})",
+                    self.updates
+                );
+            }
+        }
+        if d == 0.0 {
+            d = SHAKY_PIVOT * SHAKY_PIVOT;
+        }
+
+        // ---- 6. Install the spike (its rows already carry every
+        // interchange) as the new column of `rt`'s diagonal, resetting
+        // the workspace as it is read out.
+        let mut new_entries: Vec<(usize, f64)> = Vec::new();
+        for c in 0..m {
+            let v = self.spike[c];
+            if v != 0.0 {
+                self.spike[c] = 0.0;
+                if c != rt {
+                    self.row_nnz[c] += 1;
+                    new_entries.push((c, v));
+                }
+            }
+        }
+        self.u_nnz += new_entries.len() + 1;
+        self.u_cols[rt] = SparseCol::from_entries(new_entries);
+        self.u_diag[rt] = d;
+
+        // ---- 7. Rotate the permutation: `rt` cycles from position t
+        // to the end (its key never changed — interchanges swapped row
+        // contents, not keys), everything in between shifts up one.
+        self.order[t..].rotate_left(1);
+        debug_assert_eq!(self.order[m - 1], rt);
+        for p in t..m {
+            self.pos_of[self.order[p]] = p;
+        }
+        self.updates += 1;
+    }
+
+    fn should_refactor(&self, _iteration: usize) -> bool {
+        self.shaky
+            || self.updates >= MAX_UPDATES
+            || self.u_nnz + self.eta_nnz > FILL_FACTOR * self.base_nnz + self.m
+    }
+
+    /// Same contract as the other LU engines: optimality claimed
+    /// through incrementally updated factors is re-derived from a fresh
+    /// refactorization before being reported.
+    fn trusts_incremental_optimal(&self) -> bool {
+        false
+    }
+
+    fn stability(&self) -> UpdateStability {
+        UpdateStability {
+            accuracy_refactors: self.acc_refactors,
+            interchanges: self.interchanges,
+            max_growth: self.max_growth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ft::FtBasis;
+    use qava_linalg::Matrix;
+
+    fn basis_csc(dense: Vec<Vec<f64>>) -> CscMatrix {
+        CscMatrix::from_dense(&Matrix::from_rows(dense))
+    }
+
+    /// Reference B⁻¹ for a basis assembled the same way `refactor` does.
+    fn dense_inverse(a: &CscMatrix, n: usize, basis: &[usize]) -> Matrix {
+        let m = a.rows();
+        let mut bm = Matrix::zeros(m, m);
+        for (k, &j) in basis.iter().enumerate() {
+            if j < n {
+                let (idx, vals) = a.col(j);
+                for (&r, &v) in idx.iter().zip(vals) {
+                    bm[(r, k)] = v;
+                }
+            } else {
+                bm[(j - n, k)] = 1.0;
+            }
+        }
+        bm.inverse().expect("test basis nonsingular")
+    }
+
+    /// Every solve of `repr` must match the dense inverse of the basis.
+    fn assert_matches_inverse(repr: &BgBasis, inv: &Matrix, tol: f64, ctx: &str) {
+        let m = inv.rows();
+        for t in 0..=m {
+            let b: Vec<f64> = if t < m {
+                (0..m).map(|i| if i == t { 1.0 } else { 0.0 }).collect()
+            } else {
+                (0..m).map(|i| (i as f64) * 0.7 - 1.3).collect()
+            };
+            let x = repr.ftran_dense(&b);
+            let want = inv.mul_vec(&b);
+            for (i, (&g, &w)) in x.iter().zip(&want).enumerate() {
+                assert!((g - w).abs() < tol, "{ctx}: ftran[{i}] {g} vs {w}");
+            }
+            let y = repr.btran_dense(&b);
+            let want_y = inv.mul_vec_transposed(&b);
+            for (i, (&g, &w)) in y.iter().zip(&want_y).enumerate() {
+                assert!((g - w).abs() < tol, "{ctx}: btran[{i}] {g} vs {w}");
+            }
+        }
+    }
+
+    /// Structural invariants of the row-keyed representation.
+    fn check_invariants(repr: &BgBasis) {
+        let m = repr.m;
+        let mut seen = vec![false; m];
+        for p in 0..m {
+            let r = repr.order[p];
+            assert!(!seen[r], "row key {r} appears twice in the order");
+            seen[r] = true;
+            assert_eq!(repr.pos_of[r], p, "pos_of out of sync at {r}");
+            assert_eq!(repr.key_of_slot[repr.slot_of[r]], r, "slot maps out of sync");
+        }
+        let mut nnz = 0;
+        for r in 0..m {
+            nnz += repr.u_cols[r].nnz() + 1;
+            for &rk in &repr.u_cols[r].idx {
+                assert!(
+                    repr.pos_of[rk] < repr.pos_of[r],
+                    "triangularity violated: entry {rk} (pos {}) in column {r} (pos {})",
+                    repr.pos_of[rk],
+                    repr.pos_of[r]
+                );
+            }
+        }
+        assert_eq!(nnz, repr.u_nnz, "u_nnz bookkeeping drifted");
+        let mut row_counts = vec![0usize; m];
+        for r in 0..m {
+            for &rk in &repr.u_cols[r].idx {
+                row_counts[rk] += 1;
+            }
+        }
+        assert_eq!(row_counts, repr.row_nnz, "row_nnz bookkeeping drifted");
+        assert!(repr.spike.iter().all(|&v| v == 0.0), "spike workspace not reset");
+        assert!(repr.brow.iter().all(|&v| v == 0.0), "brow workspace not reset");
+    }
+
+    fn swap_count(repr: &BgBasis) -> usize {
+        repr.ops.iter().filter(|op| matches!(op, Op::Swap(_, _))).count()
+    }
+
+    #[test]
+    fn identity_is_trivial() {
+        let repr = BgBasis::identity(4);
+        check_invariants(&repr);
+        let x = repr.ftran_dense(&[1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(x, vec![1.0, -2.0, 3.0, 0.5]);
+        assert_eq!(repr.btran_dense(&x), vec![1.0, -2.0, 3.0, 0.5]);
+    }
+
+    #[test]
+    fn refactor_matches_dense_inverse() {
+        let a = basis_csc(vec![
+            vec![2.0, 0.0, 1.0, 1.0],
+            vec![0.0, 3.0, 0.0, -1.0],
+            vec![1.0, 1.0, 1.0, 0.0],
+        ]);
+        let basis = vec![0usize, 3, 2];
+        let mut repr = BgBasis::identity(3);
+        assert!(repr.refactor(&a, 4, &basis));
+        check_invariants(&repr);
+        let inv = dense_inverse(&a, 4, &basis);
+        assert_matches_inverse(&repr, &inv, 1e-9, "refactor");
+        for i in 0..3 {
+            let row = repr.binv_row(i);
+            for (j, got) in row.iter().enumerate() {
+                assert!((got - inv[(i, j)]).abs() < 1e-9, "row {i} col {j}");
+            }
+        }
+    }
+
+    /// The BG update must track an explicit reinversion through a chain
+    /// of exchanges — including re-pivoting a slot that was already
+    /// replaced and pivoting at the last position (empty window).
+    #[test]
+    fn bg_updates_track_explicit_reinversion() {
+        let a = basis_csc(vec![
+            vec![1.0, 2.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0, -1.0],
+            vec![1.0, 0.0, 2.0, 0.5],
+            vec![0.0, -1.0, 1.0, 2.0],
+        ]);
+        let n = 4;
+        let m = 4;
+        let mut repr = BgBasis::identity(m);
+        let mut basis: Vec<usize> = (n..n + m).collect();
+        for &(col, slot) in &[(1usize, 0usize), (2, 2), (0, 1), (3, 0)] {
+            let (idx, vals) = a.col(col);
+            let u = repr.ftran_col(idx, vals);
+            let support: Vec<usize> =
+                (0..m).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
+            assert!(u[slot].abs() > 1e-9, "test exchange must be pivotable");
+            repr.update(slot, &u, &support, idx, vals);
+            basis[slot] = col;
+            check_invariants(&repr);
+            let inv = dense_inverse(&a, n, &basis);
+            assert_matches_inverse(&repr, &inv, 1e-8, &format!("after col {col} -> slot {slot}"));
+        }
+        assert_eq!(repr.updates, 4);
+    }
+
+    /// A spike row dominating a tiny diagonal must interchange instead
+    /// of amplifying: the whole superdiagonal band of this U dominates
+    /// its 0.1 diagonals, so one exchange at the first position chases
+    /// an interchange through every window column.
+    #[test]
+    fn dominated_diagonals_interchange_and_stay_accurate() {
+        let m = 4;
+        let a = basis_csc(vec![
+            vec![1.0, 2.0, 0.0, 0.0, 1.0],
+            vec![0.0, 0.1, 2.0, 0.0, 1.0],
+            vec![0.0, 0.0, 0.1, 2.0, 1.0],
+            vec![0.0, 0.0, 0.0, 0.1, 1.0],
+        ]);
+        let mut repr = BgBasis::identity(m);
+        let mut basis = vec![0usize, 1, 2, 3];
+        assert!(repr.refactor(&a, 5, &basis));
+        let (idx, vals) = a.col(4);
+        let u = repr.ftran_col(idx, vals);
+        let support: Vec<usize> = (0..m).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
+        assert!(u[0].abs() > 1.0, "entering direction must dominate slot 0");
+        repr.update(0, &u, &support, idx, vals);
+        basis[0] = 4;
+        check_invariants(&repr);
+        assert_eq!(repr.interchanges, 3, "each window column must interchange");
+        assert_eq!(swap_count(&repr), 3, "interchanges must be recorded as swap ops");
+        assert!(
+            repr.max_growth >= 1.0 && repr.max_growth < 50.0,
+            "partial pivoting must bound chased-row growth, got {}",
+            repr.max_growth
+        );
+        assert_eq!(repr.acc_refactors, 0, "a stable exchange must pass the cross-check");
+        let inv = dense_inverse(&a, 5, &basis);
+        assert_matches_inverse(&repr, &inv, 1e-6, "after interchanging exchange");
+        // The stability counters describe the engine's lifetime:
+        // refactorization resets the update state but not them.
+        assert!(repr.refactor(&a, 5, &basis));
+        assert_eq!(repr.updates, 0);
+        assert_eq!(repr.stability().interchanges, 3);
+    }
+
+    /// The binv_row fast path must agree with the generic dense btran
+    /// once updates have rotated the order and stacked swaps and etas.
+    #[test]
+    fn unit_btran_fast_path_matches_generic_after_updates() {
+        let a = basis_csc(vec![
+            vec![1.0, 2.0, 0.0, 1.0],
+            vec![0.0, 0.1, 1.0, -1.0],
+            vec![1.0, 0.0, 2.0, 0.5],
+            vec![0.0, -1.0, 1.0, 2.0],
+        ]);
+        let m = 4;
+        let mut repr = BgBasis::identity(m);
+        for &(col, slot) in &[(1usize, 0usize), (2, 2), (0, 1)] {
+            let (idx, vals) = a.col(col);
+            let u = repr.ftran_col(idx, vals);
+            let support: Vec<usize> =
+                (0..m).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
+            repr.update(slot, &u, &support, idx, vals);
+        }
+        assert!(repr.updates > 0 && !repr.ops.is_empty(), "fast path must see stored ops");
+        for i in 0..m {
+            let fast = repr.binv_row(i);
+            let mut e = vec![0.0; m];
+            e[i] = 1.0;
+            let generic = repr.btran_dense(&e);
+            for (g, w) in fast.iter().zip(&generic) {
+                assert!((g - w).abs() < 1e-12, "row {i}: {g} vs {w}");
+            }
+        }
+    }
+
+    /// Randomized stress: long random pivot chains on random sparse
+    /// systems, each step checked against the dense inverse and the FT
+    /// engine (the two update schemes must describe the same basis).
+    #[test]
+    fn random_pivot_chains_match_dense_inverse_and_ft_engine() {
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (1u64 << 31) as f64 - 1.0
+        };
+        for m in [3usize, 6, 11, 17] {
+            let n = m + 5;
+            // Random sparse system; every third diagonal anchor is made
+            // small so the interchange branch is genuinely exercised.
+            let mut rows = vec![vec![0.0; n]; m];
+            for (i, row) in rows.iter_mut().enumerate() {
+                for (j, v) in row.iter_mut().enumerate() {
+                    if j % m == i {
+                        *v = if j % 3 == 0 { 0.2 } else { 2.0 + next().abs() };
+                    } else if next() > 0.4 {
+                        *v = next();
+                    }
+                }
+            }
+            let a = basis_csc(rows);
+            let mut bg = BgBasis::identity(m);
+            let mut ft = FtBasis::identity(m);
+            let mut basis: Vec<usize> = (n..n + m).collect();
+            let mut updates_done = 0;
+            for step in 0..3 * m {
+                let col = ((next().abs() * n as f64) as usize).min(n - 1);
+                let (idx, vals) = a.col(col);
+                if basis.contains(&col) || idx.is_empty() {
+                    continue;
+                }
+                let u = bg.ftran_col(idx, vals);
+                let Some((slot, _)) = u
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, v)| v.abs() > 0.1 && basis[*i] != col)
+                    .max_by(|x, y| x.1.abs().total_cmp(&y.1.abs()))
+                else {
+                    continue;
+                };
+                let support: Vec<usize> =
+                    (0..m).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
+                bg.update(slot, &u, &support, idx, vals);
+                let u_ft = ft.ftran_col(idx, vals);
+                let support_ft: Vec<usize> =
+                    (0..m).filter(|&i| u_ft[i].abs() > qava_linalg::EPS).collect();
+                ft.update(slot, &u_ft, &support_ft, idx, vals);
+                basis[slot] = col;
+                updates_done += 1;
+                check_invariants(&bg);
+                let inv = dense_inverse(&a, n, &basis);
+                assert_matches_inverse(&bg, &inv, 1e-7, &format!("m={m} step={step}"));
+                let b: Vec<f64> = (0..m).map(|i| (i as f64) * 0.3 - 0.7).collect();
+                let xb = bg.ftran_dense(&b);
+                let xf = ft.ftran_dense(&b);
+                for (g, w) in xb.iter().zip(&xf) {
+                    assert!((g - w).abs() < 1e-7, "bg vs ft diverged: {g} vs {w}");
+                }
+            }
+            assert!(updates_done >= m, "m={m}: chain too short to be meaningful");
+        }
+    }
+
+    #[test]
+    fn refactor_triggers_fire() {
+        // Column 1's bottom entry is tiny, so pivoting it into slot 1
+        // dictates a tiny new diagonal (the window is empty — no
+        // interchange can rescue a genuinely tiny final pivot).
+        let a = basis_csc(vec![vec![1.0, 4.0], vec![0.0, 1e-9]]);
+        let mut repr = BgBasis::identity(2);
+        assert!(repr.refactor(&a, 2, &[0, 3]));
+        assert!(!repr.should_refactor(0));
+        let (idx, vals) = a.col(1);
+        repr.update(1, &[4.0, 1e-9], &[0, 1], idx, vals);
+        assert!(repr.shaky, "tiny spike pivot must flag shaky");
+        assert!(repr.should_refactor(0));
+        assert!(repr.refactor(&a, 2, &[0, 1]));
+        assert!(!repr.should_refactor(0));
+        // Update-count backstop.
+        let single = basis_csc(vec![vec![1.0]]);
+        let mut repr = BgBasis::identity(1);
+        assert!(repr.refactor(&single, 1, &[0]));
+        for n in 0..MAX_UPDATES {
+            assert!(!repr.should_refactor(0), "premature trigger after {n} updates");
+            repr.update(0, &[1.0], &[0], &[0], &[1.0]);
+        }
+        assert!(repr.should_refactor(0));
+        // A singular refactorization keeps the incremental state.
+        let singular = basis_csc(vec![vec![0.0]]);
+        assert!(!repr.refactor(&singular, 1, &[0]));
+        assert!(repr.should_refactor(0), "state kept after failed refactor");
+    }
+
+    /// The fill-in trigger: dense spikes into a sparse (diagonal)
+    /// factorization grow U until the threshold fires.
+    #[test]
+    fn fill_in_growth_triggers_refactorization() {
+        let m = 12;
+        let mut rows = vec![vec![0.0; 2 * m]; m];
+        for (i, row) in rows.iter_mut().enumerate() {
+            row[i] = 3.0;
+            for j in 0..m {
+                row[m + j] = if i == j { 4.0 } else { 1.0 / (1.0 + (i + 2 * j) as f64) };
+            }
+        }
+        let a = basis_csc(rows);
+        let mut repr = BgBasis::identity(m);
+        assert!(repr.refactor(&a, 2 * m, &(0..m).collect::<Vec<_>>()));
+        let mut fired = false;
+        for slot in 0..m {
+            let (idx, vals) = a.col(m + slot);
+            let u = repr.ftran_col(idx, vals);
+            assert!(u[slot].abs() > 0.1, "dominant diagonal keeps the exchange pivotable");
+            let support: Vec<usize> = (0..m).filter(|&i| u[i].abs() > qava_linalg::EPS).collect();
+            repr.update(slot, &u, &support, idx, vals);
+            check_invariants(&repr);
+            if repr.should_refactor(0) {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "dense spikes never tripped the fill-in trigger");
+    }
+}

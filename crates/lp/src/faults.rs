@@ -13,8 +13,9 @@
 //!
 //! ```text
 //! refactor-fail[:N]   Nth basis refactorization reports singular
-//! shaky-pivot[:N]     Nth eta/FT update sees a below-threshold pivot
+//! shaky-pivot[:N]     Nth eta/FT/BG update sees a below-threshold pivot
 //! accuracy-trip[:N]   Nth FT accuracy check reports drift
+//! bg-accuracy[:N]     Nth BG accuracy check reports drift
 //! pivot-limit[:N]     Nth backend call's result becomes PivotLimit
 //! warm-poison[:N]     Nth warm-start lookup returns a corrupted basis
 //! dual-pivot[:N]      Nth dual-simplex pivot aborts the reoptimization
@@ -44,6 +45,8 @@ pub enum FaultKind {
     ShakyPivot,
     /// The Forrest–Tomlin accuracy check reports determinant drift.
     AccuracyTrip,
+    /// The Bartels–Golub accuracy check reports determinant drift.
+    BgAccuracy,
     /// A backend call's successful result is replaced by `PivotLimit`.
     PivotLimit,
     /// A warm-start basis from the cache is corrupted before use.
@@ -56,10 +59,11 @@ pub enum FaultKind {
 }
 
 /// The recoverable kinds, in spec order (used by [`FaultPlan::chaos`]).
-const RECOVERABLE: [FaultKind; 6] = [
+const RECOVERABLE: [FaultKind; 7] = [
     FaultKind::RefactorFail,
     FaultKind::ShakyPivot,
     FaultKind::AccuracyTrip,
+    FaultKind::BgAccuracy,
     FaultKind::PivotLimit,
     FaultKind::WarmPoison,
     FaultKind::DualPivot,
@@ -75,6 +79,8 @@ pub(crate) enum Site {
     UpdatePivot,
     /// `FtBasis::update` — the post-update accuracy check.
     FtAccuracy,
+    /// `BgBasis::update` — the post-update accuracy check.
+    BgAccuracy,
     /// The session's call into `LpBackend::solve_core`.
     BackendCall,
     /// A warm-start cache hit, before the basis is used.
@@ -91,6 +97,7 @@ impl FaultKind {
             FaultKind::RefactorFail => Site::Refactor,
             FaultKind::ShakyPivot => Site::UpdatePivot,
             FaultKind::AccuracyTrip => Site::FtAccuracy,
+            FaultKind::BgAccuracy => Site::BgAccuracy,
             FaultKind::PivotLimit => Site::BackendCall,
             FaultKind::WarmPoison => Site::WarmLookup,
             FaultKind::DualPivot => Site::DualPivot,
@@ -104,6 +111,7 @@ impl FaultKind {
             FaultKind::RefactorFail => "refactor-fail",
             FaultKind::ShakyPivot => "shaky-pivot",
             FaultKind::AccuracyTrip => "accuracy-trip",
+            FaultKind::BgAccuracy => "bg-accuracy",
             FaultKind::PivotLimit => "pivot-limit",
             FaultKind::WarmPoison => "warm-poison",
             FaultKind::DualPivot => "dual-pivot",
@@ -116,6 +124,7 @@ impl FaultKind {
             "refactor-fail" => FaultKind::RefactorFail,
             "shaky-pivot" => FaultKind::ShakyPivot,
             "accuracy-trip" => FaultKind::AccuracyTrip,
+            "bg-accuracy" => FaultKind::BgAccuracy,
             "pivot-limit" => FaultKind::PivotLimit,
             "warm-poison" => FaultKind::WarmPoison,
             "dual-pivot" => FaultKind::DualPivot,
@@ -175,8 +184,8 @@ impl FaultPlan {
         let kind = FaultKind::from_label(head).ok_or_else(|| {
             format!(
                 "unknown fault kind `{head}` (expected refactor-fail, shaky-pivot, \
-                 accuracy-trip, pivot-limit, warm-poison, dual-pivot, deadline, \
-                 or chaos:SEED)"
+                 accuracy-trip, bg-accuracy, pivot-limit, warm-poison, dual-pivot, \
+                 deadline, or chaos:SEED)"
             )
         })?;
         let nth = match tail {
@@ -282,6 +291,7 @@ mod tests {
             FaultKind::RefactorFail,
             FaultKind::ShakyPivot,
             FaultKind::AccuracyTrip,
+            FaultKind::BgAccuracy,
             FaultKind::PivotLimit,
             FaultKind::WarmPoison,
             FaultKind::DualPivot,

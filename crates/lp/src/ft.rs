@@ -60,7 +60,7 @@
 //! oracle.
 
 use crate::lu::{LuFactors, SparseCol};
-use crate::revised::BasisRepr;
+use crate::revised::{BasisRepr, UpdateStability};
 use crate::CscMatrix;
 use qava_linalg::vecops;
 use std::cell::RefCell;
@@ -68,13 +68,14 @@ use std::cell::RefCell;
 /// Spike-pivot magnitude below which the update is accuracy-risky and
 /// the next opportunity refactorizes; mirrors the eta file's
 /// `SHAKY_PIVOT` so the two update schemes see comparable accuracy
-/// windows.
-const SHAKY_PIVOT: f64 = 1e-7;
+/// windows. Shared with the Bartels–Golub engine ([`crate::bg`]) so the
+/// two column-replacement schemes see identical accuracy windows.
+pub(crate) const SHAKY_PIVOT: f64 = 1e-7;
 
 /// Fill-in growth trigger: refactorize when the live U plus the row-eta
 /// stack outgrow this multiple of the factors' size at the last
 /// refactorization.
-const FILL_FACTOR: usize = 2;
+pub(crate) const FILL_FACTOR: usize = 2;
 
 /// Relative disagreement between the eliminated diagonal and the one the
 /// determinant identity predicts (`d = u[row]·U_tt`) beyond which the
@@ -82,10 +83,10 @@ const FILL_FACTOR: usize = 2;
 /// elimination or drift in the recovered spike — and the next
 /// opportunity refactorizes. 1e-6 leaves ~9 clean digits, far inside the
 /// 1e-7 tolerances the pivot loop itself runs on.
-const ACCURACY_DRIFT: f64 = 1e-6;
+pub(crate) const ACCURACY_DRIFT: f64 = 1e-6;
 
 /// Backstop on updates between refactorizations.
-const MAX_UPDATES: usize = 64;
+pub(crate) const MAX_UPDATES: usize = 64;
 
 /// The spike of the most recent [`BasisRepr::ftran_col`], kept so
 /// [`BasisRepr::update`] can reuse it: the simplex always ftrans the
@@ -95,15 +96,15 @@ const MAX_UPDATES: usize = 64;
 /// against the raw column data and recomputes on a mismatch, so reuse
 /// is a pure optimization, never a correctness assumption.
 #[derive(Debug, Clone, Default)]
-struct SpikeCache {
-    col_idx: Vec<usize>,
-    col_vals: Vec<f64>,
-    spike: Vec<f64>,
-    valid: bool,
+pub(crate) struct SpikeCache {
+    pub(crate) col_idx: Vec<usize>,
+    pub(crate) col_vals: Vec<f64>,
+    pub(crate) spike: Vec<f64>,
+    pub(crate) valid: bool,
 }
 
 impl SpikeCache {
-    fn matches(&self, idx: &[usize], vals: &[f64]) -> bool {
+    pub(crate) fn matches(&self, idx: &[usize], vals: &[f64]) -> bool {
         self.valid && self.col_idx == idx && self.col_vals == vals
     }
 }
@@ -113,9 +114,9 @@ impl SpikeCache {
 /// forward solve as `x[row] -= col · x`, transposed as
 /// `x -= x[row] · col`.
 #[derive(Debug, Clone)]
-struct RowEta {
-    row: usize,
-    col: SparseCol,
+pub(crate) struct RowEta {
+    pub(crate) row: usize,
+    pub(crate) col: SparseCol,
     /// Support bitmask of `col.idx` over row keys. A forward solve
     /// intersects it with the running nonzero-row mask of the solve
     /// vector: no overlap means the gather is provably zero and the eta
@@ -123,21 +124,35 @@ struct RowEta {
     /// file's one-component pivot check — a *row* operation reads many
     /// components, so restoring sparse-RHS skipping takes a set
     /// intersection instead of a single load.
-    mask: Vec<u64>,
+    pub(crate) mask: Vec<u64>,
 }
 
 /// Number of `u64` words a row-key bitmask over `m` rows needs.
-fn mask_words(m: usize) -> usize {
+pub(crate) fn mask_words(m: usize) -> usize {
     m.div_ceil(64)
 }
 
 /// Sets `row`'s bit.
-fn mask_set(mask: &mut [u64], row: usize) {
+pub(crate) fn mask_set(mask: &mut [u64], row: usize) {
     mask[row >> 6] |= 1u64 << (row & 63);
 }
 
+/// Reads `row`'s bit.
+pub(crate) fn mask_get(mask: &[u64], row: usize) -> bool {
+    mask[row >> 6] & (1u64 << (row & 63)) != 0
+}
+
+/// Forces `row`'s bit to `bit`.
+pub(crate) fn mask_assign(mask: &mut [u64], row: usize, bit: bool) {
+    if bit {
+        mask[row >> 6] |= 1u64 << (row & 63);
+    } else {
+        mask[row >> 6] &= !(1u64 << (row & 63));
+    }
+}
+
 /// Whether two equally sized masks share any set bit.
-fn masks_intersect(a: &[u64], b: &[u64]) -> bool {
+pub(crate) fn masks_intersect(a: &[u64], b: &[u64]) -> bool {
     a.iter().zip(b).any(|(&x, &y)| x & y != 0)
 }
 
@@ -198,6 +213,12 @@ pub(crate) struct FtBasis {
     /// (`RefCell`: the solve paths take `&self`); rebuilt at the start
     /// of every use, so no cross-call state.
     live_mask: RefCell<Vec<u64>>,
+    /// Updates whose determinant-identity cross-check disagreed with the
+    /// eliminated diagonal — accuracy-triggered refactorizations.
+    /// Cumulative over the engine's lifetime ([`install`](Self::install)
+    /// never resets it): `RunTelemetry` polls it once per run via
+    /// [`BasisRepr::stability`], and each run builds a fresh engine.
+    acc_refactors: usize,
 }
 
 impl FtBasis {
@@ -327,6 +348,7 @@ impl BasisRepr for FtBasis {
             row_nnz: vec![0; m],
             spike_cache: RefCell::new(SpikeCache::default()),
             live_mask: RefCell::new(Vec::new()),
+            acc_refactors: 0,
         };
         repr.install(LuFactors::identity(m));
         repr
@@ -537,6 +559,9 @@ impl BasisRepr for FtBasis {
         let tiny = d.abs() < SHAKY_PIVOT;
         let drifted = (d - predicted).abs() > ACCURACY_DRIFT * (d.abs() + predicted.abs())
             || crate::faults::trip(crate::faults::Site::FtAccuracy);
+        if drifted {
+            self.acc_refactors += 1;
+        }
         if tiny || drifted {
             self.shaky = true;
             // Same diagnostics channel as the feasibility watchdog in
@@ -620,6 +645,17 @@ impl BasisRepr for FtBasis {
     /// incremental update scheme, not specific to the product form).
     fn trusts_incremental_optimal(&self) -> bool {
         false
+    }
+
+    fn stability(&self) -> UpdateStability {
+        UpdateStability {
+            accuracy_refactors: self.acc_refactors,
+            // FT never interchanges; its growth is unmeasured (the
+            // chased row is eliminated lazily, so no per-step peak is
+            // available without extra work the hot loop shouldn't do).
+            interchanges: 0,
+            max_growth: 0.0,
+        }
     }
 }
 

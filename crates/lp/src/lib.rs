@@ -11,7 +11,7 @@
 //! * [`LpBuilder`] — incremental model construction with named variables and
 //!   sparse [`LinExpr`] linear expressions;
 //! * the [`LpBackend`] **trait** — the runtime-dispatchable core-solver
-//!   interface — with **four** built-in implementations:
+//!   interface — with **five** built-in implementations:
 //!   * [`DenseTableau`] — the two-phase tableau; minimal fixed cost for
 //!     µs-scale models, and the differential-testing oracle (also
 //!     exported standalone as [`solve_standard_dense`]);
@@ -29,9 +29,17 @@
 //!     in place (column replacement + row-permutation rotation + one
 //!     sparse spike-row eta), so solves stay O(nnz(L) + nnz(U)) between
 //!     refactorizations with no eta stack to traverse; refactorization
-//!     is driven by U fill-in growth and spike-pivot magnitude.
+//!     is driven by U fill-in growth and spike-pivot magnitude;
+//!   * [`LuBgSimplex`] (`lu-bg`) — the same factorization with
+//!     **Bartels–Golub updates**: the spike row is eliminated with
+//!     partial pivoting — at each step the chased row *interchanges*
+//!     with the diagonal's row whenever its entry is the larger, so
+//!     every elimination multiplier is bounded by one and a tiny spike
+//!     pivot swaps instead of amplifying, at the cost of extra row
+//!     fill; stability accounting (interchanges, spike-pivot growth,
+//!     accuracy-triggered refactorizations) flows into [`LpStats`].
 //!
-//!   The two LU update schemes share everything but the update algebra,
+//!   The LU update schemes share everything but the update algebra,
 //!   so they can be differentially raced against each other (and the
 //!   dense oracle) — the conformance corpus in `tests/corpus/` and the
 //!   metamorphic suite in `tests/prop.rs` do exactly that;
@@ -86,7 +94,7 @@
 //! * **The failover ladder** comes second: if a built-in backend still
 //!   returns [`LpError::PivotLimit`], the session invalidates the
 //!   warm-start cache entry that seeded the failed run and steps down
-//!   `lu-ft → lu → sparse → dense`, re-running the full pipeline
+//!   `lu-ft → lu-bg → lu → sparse → dense`, re-running the full pipeline
 //!   (presolve + equilibration) on each rung. Each step increments
 //!   `LpStats::failovers`; a rung that succeeds increments
 //!   `LpStats::failover_recoveries` and its verdict is the session's.
@@ -159,10 +167,11 @@
 //!
 //! let mut solver = LpSolver::with_choice(BackendChoice::Sparse);
 //! solver.register_backend(Box::new(MyBackend)); // registered AND selected
-//! assert_eq!(solver.backend_names(), vec!["sparse", "dense", "lu", "lu-ft", "mine"]);
+//! assert_eq!(solver.backend_names(), vec!["sparse", "dense", "lu", "lu-ft", "lu-bg", "mine"]);
 //! assert!(solver.select_backend("lu-ft")); // …and back to a built-in
 //! ```
 
+mod bg;
 mod csc;
 mod eta;
 mod expr;
@@ -180,7 +189,7 @@ pub use faults::{FaultKind, FaultPlan};
 pub use simplex::{solve_standard_dense, MAX_PIVOTS};
 pub use solver::{
     BackendChoice, BackendTally, CoreSolution, DenseTableau, LpBackend, LpSolver, LpStats,
-    LuFtSimplex, LuSimplex, SparseRevised,
+    LuBgSimplex, LuFtSimplex, LuSimplex, SparseRevised,
 };
 
 /// Test-facing introspection into the revised-simplex core. Not part of
@@ -203,6 +212,8 @@ pub mod debug {
         LuEta,
         /// LU factors + Forrest–Tomlin spike swaps (`lu-ft`).
         LuFt,
+        /// LU factors + Bartels–Golub interchanging updates (`lu-bg`).
+        LuBg,
     }
 
     /// Runs the cold two-phase revised simplex on an (already standard
@@ -230,6 +241,7 @@ pub mod debug {
             TraceEngine::DenseInverse => revised::TraceEngine::DenseInverse,
             TraceEngine::LuEta => revised::TraceEngine::LuEta,
             TraceEngine::LuFt => revised::TraceEngine::LuFt,
+            TraceEngine::LuBg => revised::TraceEngine::LuBg,
         };
         revised::trace_cold_pivots(engine, costs, a, b, force_bland)
     }
@@ -257,6 +269,9 @@ pub mod debug {
             }
             TraceEngine::LuFt => {
                 crate::revised::update_solve_cycle::<crate::ft::FtBasis>(a, updates, solves)
+            }
+            TraceEngine::LuBg => {
+                crate::revised::update_solve_cycle::<crate::bg::BgBasis>(a, updates, solves)
             }
         }
     }

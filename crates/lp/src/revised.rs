@@ -38,6 +38,7 @@
 //!
 //! The hot loops run on the unrolled [`qava_linalg::vecops`] kernels.
 
+use crate::bg::BgBasis;
 use crate::csc::CscMatrix;
 use crate::eta::LuBasis;
 use crate::faults::{self, Site};
@@ -119,6 +120,32 @@ pub(crate) trait BasisRepr {
     /// silently corrupting the reported solution (see
     /// `tests/drift_regression.rs`).
     fn trusts_incremental_optimal(&self) -> bool;
+
+    /// Cumulative incremental-update stability accounting since the
+    /// engine was created. [`RunTelemetry::absorb`] polls it exactly
+    /// once per run state, and every run builds its engine fresh from
+    /// [`identity`](Self::identity), so engines report lifetime totals
+    /// and refactorizations must *not* reset them. Engines without
+    /// incremental stability accounting keep the all-zero default.
+    fn stability(&self) -> UpdateStability {
+        UpdateStability::default()
+    }
+}
+
+/// Stability counters of an incremental basis-update engine — the
+/// telemetry the Bartels–Golub/Forrest–Tomlin comparison runs on (see
+/// [`BasisRepr::stability`]).
+#[derive(Debug, Default, Clone, Copy)]
+pub(crate) struct UpdateStability {
+    /// Updates whose determinant-identity cross-check disagreed with
+    /// the eliminated diagonal — each schedules a refactorization.
+    pub(crate) accuracy_refactors: usize,
+    /// Bartels–Golub row interchanges performed (0 for every other
+    /// engine).
+    pub(crate) interchanges: usize,
+    /// Max spike-pivot growth factor observed across updates: peak
+    /// chased-row magnitude over its magnitude on entry.
+    pub(crate) max_growth: f64,
 }
 
 /// Sparse entries of basis slot `bj`: the CSC column for real columns,
@@ -782,6 +809,14 @@ pub(crate) struct CoreOutcome {
     /// Cold re-solves forced into all-Bland mode (after a Dantzig
     /// pivot-limit grind or a watchdog trip).
     pub bland_retries: usize,
+    /// Accuracy-triggered refactorization flags across all attempts
+    /// (the FT/BG determinant-identity cross-check disagreeing with the
+    /// eliminated diagonal; see [`UpdateStability`]).
+    pub accuracy_refactors: usize,
+    /// Bartels–Golub row interchanges across all attempts.
+    pub bg_interchanges: usize,
+    /// Max spike-pivot growth factor observed across all attempts.
+    pub bg_max_growth: f64,
 }
 
 /// Counters a [`Revised`] run leaves behind, accumulated across the
@@ -792,14 +827,24 @@ struct RunTelemetry {
     pivots: usize,
     wd_singular: usize,
     wd_infeasible: usize,
+    accuracy_refactors: usize,
+    bg_interchanges: usize,
+    bg_max_growth: f64,
 }
 
 impl RunTelemetry {
-    /// Folds a finished (or abandoned) run's counters in.
+    /// Folds a finished (or abandoned) run's counters in. The engine's
+    /// stability counters are lifetime totals of that engine, and every
+    /// attempt builds a fresh engine, so summing here never
+    /// double-counts.
     fn absorb<R: BasisRepr>(&mut self, state: &Revised<'_, R>) {
         self.pivots += state.pivots;
         self.wd_singular += state.wd_singular;
         self.wd_infeasible += state.wd_infeasible;
+        let stab = state.repr.stability();
+        self.accuracy_refactors += stab.accuracy_refactors;
+        self.bg_interchanges += stab.interchanges;
+        self.bg_max_growth = self.bg_max_growth.max(stab.max_growth);
     }
 }
 
@@ -836,6 +881,17 @@ pub(crate) fn solve_equilibrated_lu_ft(
     solve_equilibrated_with::<FtBasis>(costs, a, b, warm)
 }
 
+/// Two-phase (or warm-started) revised simplex using the LU +
+/// Bartels–Golub basis engine (the `lu-bg` backend).
+pub(crate) fn solve_equilibrated_lu_bg(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    warm: Option<&[usize]>,
+) -> Result<CoreOutcome, LpError> {
+    solve_equilibrated_with::<BgBasis>(costs, a, b, warm)
+}
+
 /// Dual-simplex reoptimization from a previous optimal basis, using the
 /// dense-inverse engine (the `sparse` backend).
 pub(crate) fn dual_reoptimize(
@@ -865,6 +921,16 @@ pub(crate) fn dual_reoptimize_lu_ft(
     basis: &[usize],
 ) -> Option<CoreOutcome> {
     dual_reoptimize_with::<FtBasis>(costs, a, b, basis)
+}
+
+/// Dual-simplex reoptimization using the LU + Bartels–Golub engine.
+pub(crate) fn dual_reoptimize_lu_bg(
+    costs: &[f64],
+    a: &CscMatrix,
+    b: &[f64],
+    basis: &[usize],
+) -> Option<CoreOutcome> {
+    dual_reoptimize_with::<BgBasis>(costs, a, b, basis)
 }
 
 /// Reoptimizes an equilibrated system from a previous point's optimal
@@ -901,16 +967,22 @@ fn dual_reoptimize_with<R: BasisRepr>(
         return None;
     }
     match state.run_dual(costs, b) {
-        DualOutcome::Optimal => Some(CoreOutcome {
-            x: state.solution(),
-            basis: state.basis,
-            pivots: state.pivots,
-            warm_start_used: true,
-            watchdog_restarts: 0,
-            watchdog_singular: state.wd_singular,
-            watchdog_infeasible: state.wd_infeasible,
-            bland_retries: 0,
-        }),
+        DualOutcome::Optimal => {
+            let stab = state.repr.stability();
+            Some(CoreOutcome {
+                x: state.solution(),
+                basis: state.basis,
+                pivots: state.pivots,
+                warm_start_used: true,
+                watchdog_restarts: 0,
+                watchdog_singular: state.wd_singular,
+                watchdog_infeasible: state.wd_infeasible,
+                bland_retries: 0,
+                accuracy_refactors: stab.accuracy_refactors,
+                bg_interchanges: stab.interchanges,
+                bg_max_growth: stab.max_growth,
+            })
+        }
         DualOutcome::GiveUp => None,
     }
 }
@@ -925,6 +997,8 @@ pub(crate) enum TraceEngine {
     LuEta,
     /// LU + Forrest–Tomlin spike swaps (`lu-ft` backend).
     LuFt,
+    /// LU + Bartels–Golub interchanging elimination (`lu-bg` backend).
+    LuBg,
 }
 
 /// Result of a traced run: the outcome (`Ok(Some(x))` optimal,
@@ -949,6 +1023,7 @@ pub(crate) fn trace_cold_pivots(
         TraceEngine::DenseInverse => trace_cold_with::<DenseInverse>(costs, a, b, force_bland),
         TraceEngine::LuEta => trace_cold_with::<LuBasis>(costs, a, b, force_bland),
         TraceEngine::LuFt => trace_cold_with::<FtBasis>(costs, a, b, force_bland),
+        TraceEngine::LuBg => trace_cold_with::<BgBasis>(costs, a, b, force_bland),
     }
 }
 
@@ -1053,6 +1128,9 @@ fn solve_equilibrated_with<R: BasisRepr>(
         watchdog_singular: tele.wd_singular,
         watchdog_infeasible: tele.wd_infeasible,
         bland_retries,
+        accuracy_refactors: tele.accuracy_refactors,
+        bg_interchanges: tele.bg_interchanges,
+        bg_max_growth: tele.bg_max_growth,
     };
     if m == 0 {
         return if costs.iter().any(|&c| c < -EPS) {
@@ -1209,9 +1287,9 @@ mod tests {
     use crate::presolve::StdRows;
     use crate::{BackendChoice, LpError, LpSolver};
 
-    /// The three revised-simplex backends every core test runs through.
-    const REVISED_BACKENDS: [BackendChoice; 3] =
-        [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt];
+    /// The four revised-simplex backends every core test runs through.
+    const REVISED_BACKENDS: [BackendChoice; 4] =
+        [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt, BackendChoice::LuBg];
 
     fn rows_of(dense: Vec<Vec<f64>>) -> Vec<Vec<(usize, f64)>> {
         dense

@@ -87,6 +87,15 @@ pub struct CoreSolution {
     pub watchdog_infeasible: usize,
     /// Cold re-solves forced into all-Bland mode (anti-cycling retries).
     pub bland_retries: usize,
+    /// Accuracy-triggered refactorization flags: FT/BG updates whose
+    /// determinant-identity cross-check disagreed with the eliminated
+    /// diagonal. Always 0 for backends without that cross-check.
+    pub accuracy_refactors: usize,
+    /// Bartels–Golub row interchanges performed (`lu-bg` only).
+    pub bg_interchanges: usize,
+    /// Max spike-pivot growth factor observed across updates (`lu-bg`
+    /// only; 0 when no update measured one).
+    pub bg_max_growth: f64,
 }
 
 /// A pluggable LP core solver.
@@ -244,8 +253,8 @@ impl LpBackend for LuSimplex {
 /// eta stack to traverse, and refactorization is driven by U fill-in
 /// growth and spike-pivot magnitude. The engine of choice for the
 /// longest pivot runs (the large degenerate Handelman/εmax systems);
-/// the eta-file `lu` backend remains available so the two update
-/// schemes can be differentially raced.
+/// the eta-file `lu` backend remains available so the update schemes
+/// can be differentially raced.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct LuFtSimplex;
 
@@ -283,6 +292,55 @@ impl LpBackend for LuFtSimplex {
     }
 }
 
+/// The LU revised simplex with **Bartels–Golub** basis updates: basis
+/// exchanges are absorbed into U like [`LuFtSimplex`], but the spike is
+/// eliminated with row interchanges ([`crate::bg`]) — at each
+/// elimination step the larger of the diagonal and the spike-row entry
+/// pivots, so every multiplier is bounded by 1 and a tiny spike pivot
+/// swaps out of the way instead of amplifying rounding error. The price
+/// is extra row-eta fill (eager elimination instead of FT's single lazy
+/// row eta), which the shared fill-growth refactorization trigger
+/// bounds. Stability accounting (interchange count, max spike-pivot
+/// growth, accuracy-triggered refactorizations) is threaded into
+/// [`LpStats`] so the scheme can be compared against `lu-ft` in the
+/// suite footer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LuBgSimplex;
+
+impl LpBackend for LuBgSimplex {
+    fn name(&self) -> &'static str {
+        "lu-bg"
+    }
+
+    fn supports_warm_start(&self) -> bool {
+        true
+    }
+
+    fn solve_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        warm: Option<&[usize]>,
+    ) -> Result<CoreSolution, LpError> {
+        revised::solve_equilibrated_lu_bg(costs, a, b, warm).map(CoreSolution::from)
+    }
+
+    fn supports_reoptimize(&self) -> bool {
+        true
+    }
+
+    fn reoptimize_core(
+        &self,
+        costs: &[f64],
+        a: &CscMatrix,
+        b: &[f64],
+        basis: &[usize],
+    ) -> Option<CoreSolution> {
+        revised::dual_reoptimize_lu_bg(costs, a, b, basis).map(CoreSolution::from)
+    }
+}
+
 impl From<revised::CoreOutcome> for CoreSolution {
     /// The one field mapping from the shared revised-simplex core to the
     /// backend interface, used by both warm-capable backends.
@@ -296,6 +354,9 @@ impl From<revised::CoreOutcome> for CoreSolution {
             watchdog_singular: out.watchdog_singular,
             watchdog_infeasible: out.watchdog_infeasible,
             bland_retries: out.bland_retries,
+            accuracy_refactors: out.accuracy_refactors,
+            bg_interchanges: out.bg_interchanges,
+            bg_max_growth: out.bg_max_growth,
         }
     }
 }
@@ -330,6 +391,9 @@ impl LpBackend for DenseTableau {
             watchdog_singular: 0,
             watchdog_infeasible: 0,
             bland_retries: 0,
+            accuracy_refactors: 0,
+            bg_interchanges: 0,
+            bg_max_growth: 0.0,
         })
     }
 }
@@ -356,6 +420,8 @@ pub enum BackendChoice {
     Lu,
     /// Always the LU + Forrest–Tomlin revised simplex.
     LuFt,
+    /// Always the LU + Bartels–Golub revised simplex.
+    LuBg,
 }
 
 impl std::str::FromStr for BackendChoice {
@@ -368,8 +434,9 @@ impl std::str::FromStr for BackendChoice {
             "dense" => Ok(BackendChoice::Dense),
             "lu" => Ok(BackendChoice::Lu),
             "lu-ft" => Ok(BackendChoice::LuFt),
+            "lu-bg" => Ok(BackendChoice::LuBg),
             other => Err(format!(
-                "unknown LP backend `{other}` (expected auto, sparse, dense, lu, or lu-ft)"
+                "unknown LP backend `{other}` (expected auto, sparse, dense, lu, lu-ft, or lu-bg)"
             )),
         }
     }
@@ -390,7 +457,7 @@ impl BackendChoice {
         while let Some(a) = it.next() {
             if a == "--lp-backend" {
                 let v = it.next().ok_or_else(|| {
-                    "--lp-backend needs auto, sparse, dense, lu, or lu-ft".to_string()
+                    "--lp-backend needs auto, sparse, dense, lu, lu-ft, or lu-bg".to_string()
                 })?;
                 found = Some(v.parse()?);
             }
@@ -407,6 +474,7 @@ impl std::fmt::Display for BackendChoice {
             BackendChoice::Dense => "dense",
             BackendChoice::Lu => "lu",
             BackendChoice::LuFt => "lu-ft",
+            BackendChoice::LuBg => "lu-bg",
         };
         write!(f, "{s}")
     }
@@ -466,7 +534,7 @@ pub struct LpStats {
     /// Failover-ladder rungs attempted after a backend exhausted its
     /// in-backend recovery and still returned
     /// [`LpError::PivotLimit`] — each rung re-runs the full pipeline on
-    /// the next backend down (`lu-ft → lu → sparse → dense`).
+    /// the next backend down (`lu-ft → lu-bg → lu → sparse → dense`).
     pub failovers: usize,
     /// Failover rungs that rescued the solve: the stepped-down backend
     /// produced the certified verdict.
@@ -480,6 +548,16 @@ pub struct LpStats {
     /// `reopt_attempts − reopt_successes` solves fell back to a cold
     /// primal solve.
     pub reopt_successes: usize,
+    /// Accuracy-triggered refactorizations: FT/BG updates whose
+    /// determinant-identity cross-check drifted, forcing an early
+    /// refactorization. The head-to-head stability metric between the
+    /// `lu-ft` and `lu-bg` update schemes.
+    pub accuracy_refactors: usize,
+    /// Bartels–Golub row interchanges performed (`lu-bg` solves only).
+    pub bg_interchanges: usize,
+    /// Max spike-pivot growth factor observed across all `lu-bg`
+    /// updates (0 when none measured one).
+    pub bg_max_growth: f64,
     /// Total wall time in the solve pipeline, seconds.
     pub wall_seconds: f64,
     /// Per-backend breakdown, in first-use order.
@@ -488,24 +566,53 @@ pub struct LpStats {
 
 impl LpStats {
     /// Folds another session's counters into this one (suite aggregation).
+    ///
+    /// Destructures `other` exhaustively so adding an [`LpStats`] field
+    /// without deciding how it merges is a compile error, not a silently
+    /// dropped counter.
     pub fn merge(&mut self, other: &LpStats) {
-        self.solves += other.solves;
-        self.pivots += other.pivots;
-        self.presolve_rows_removed += other.presolve_rows_removed;
-        self.presolve_cols_removed += other.presolve_cols_removed;
-        self.warm_start_hits += other.warm_start_hits;
-        self.warm_start_misses += other.warm_start_misses;
-        self.cache_evictions += other.cache_evictions;
-        self.watchdog_restarts += other.watchdog_restarts;
-        self.watchdog_singular += other.watchdog_singular;
-        self.watchdog_infeasible += other.watchdog_infeasible;
-        self.bland_retries += other.bland_retries;
-        self.failovers += other.failovers;
-        self.failover_recoveries += other.failover_recoveries;
-        self.reopt_attempts += other.reopt_attempts;
-        self.reopt_successes += other.reopt_successes;
-        self.wall_seconds += other.wall_seconds;
-        for t in &other.backends {
+        let LpStats {
+            solves,
+            pivots,
+            presolve_rows_removed,
+            presolve_cols_removed,
+            warm_start_hits,
+            warm_start_misses,
+            cache_evictions,
+            watchdog_restarts,
+            watchdog_singular,
+            watchdog_infeasible,
+            bland_retries,
+            failovers,
+            failover_recoveries,
+            reopt_attempts,
+            reopt_successes,
+            accuracy_refactors,
+            bg_interchanges,
+            bg_max_growth,
+            wall_seconds,
+            backends,
+        } = other;
+        self.solves += solves;
+        self.pivots += pivots;
+        self.presolve_rows_removed += presolve_rows_removed;
+        self.presolve_cols_removed += presolve_cols_removed;
+        self.warm_start_hits += warm_start_hits;
+        self.warm_start_misses += warm_start_misses;
+        self.cache_evictions += cache_evictions;
+        self.watchdog_restarts += watchdog_restarts;
+        self.watchdog_singular += watchdog_singular;
+        self.watchdog_infeasible += watchdog_infeasible;
+        self.bland_retries += bland_retries;
+        self.failovers += failovers;
+        self.failover_recoveries += failover_recoveries;
+        self.reopt_attempts += reopt_attempts;
+        self.reopt_successes += reopt_successes;
+        self.accuracy_refactors += accuracy_refactors;
+        self.bg_interchanges += bg_interchanges;
+        self.bg_max_growth = self.bg_max_growth.max(*bg_max_growth);
+        self.wall_seconds += wall_seconds;
+        for t in backends {
             self.tally_mut(t.name).fold(t);
         }
     }
@@ -528,6 +635,7 @@ impl std::fmt::Display for LpStats {
              warm start {} hits / {} misses, {} evictions; \
              {} watchdog restarts ({} singular / {} infeasible), {} bland retries; \
              {} failovers / {} rescues; {} dual reopts ({} fell back cold); \
+             {} accuracy refactors, {} bg interchanges (growth {:.2}); \
              vec kernel {kernel}",
             self.solves,
             self.pivots,
@@ -545,9 +653,13 @@ impl std::fmt::Display for LpStats {
             self.failover_recoveries,
             self.reopt_attempts,
             self.reopt_attempts - self.reopt_successes,
+            self.accuracy_refactors,
+            self.bg_interchanges,
+            self.bg_max_growth,
             // The process-wide SIMD kernel behind every vecops call: logs
-            // and bench artifacts must say which backend produced them.
-            kernel = qava_linalg::kernel::active_name(),
+            // and bench artifacts must say which backend produced them —
+            // including when the requested kernel silently degraded.
+            kernel = qava_linalg::kernel::provenance(),
         )?;
         for t in &self.backends {
             writeln!(
@@ -584,14 +696,22 @@ impl BasisCache {
     }
 
     /// Inserts, returning the number of entries evicted to stay bounded.
+    ///
+    /// Evicts in a loop, not once: if the map is ever above capacity
+    /// (e.g. after the bound shrank between touches), a single insert
+    /// restores the invariant instead of leaving the cache permanently
+    /// oversized. The existing entry for `key` is dropped up front —
+    /// the insert overwrites it anyway — so the loop only ever has to
+    /// make room for exactly one addition.
     fn put(&mut self, key: u64, basis: Vec<usize>) -> usize {
         if self.capacity == 0 {
             return 0;
         }
         self.tick += 1;
+        self.map.remove(&key);
         let mut evicted = 0;
-        if !self.map.contains_key(&key) && self.map.len() >= self.capacity && self.evict_lru() {
-            evicted = 1;
+        while self.map.len() >= self.capacity && self.evict_lru() {
+            evicted += 1;
         }
         self.map.insert(key, (basis, self.tick));
         evicted
@@ -638,6 +758,7 @@ pub struct LpSolver {
     dense_idx: usize,
     lu_idx: usize,
     lu_ft_idx: usize,
+    lu_bg_idx: usize,
     cache: BasisCache,
     stats: LpStats,
     /// Shared cooperative-cancellation flag, polled once at every solve
@@ -695,12 +816,14 @@ impl LpSolver {
                 Box::new(DenseTableau),
                 Box::new(LuSimplex),
                 Box::new(LuFtSimplex),
+                Box::new(LuBgSimplex),
             ],
             selection: Selection::Auto,
             sparse_idx: 0,
             dense_idx: 1,
             lu_idx: 2,
             lu_ft_idx: 3,
+            lu_bg_idx: 4,
             cache: BasisCache::new(DEFAULT_CACHE_CAPACITY),
             stats: LpStats::default(),
             cancel: None,
@@ -721,6 +844,7 @@ impl LpSolver {
             BackendChoice::Dense => Selection::Fixed(self.dense_idx),
             BackendChoice::Lu => Selection::Fixed(self.lu_idx),
             BackendChoice::LuFt => Selection::Fixed(self.lu_ft_idx),
+            BackendChoice::LuBg => Selection::Fixed(self.lu_bg_idx),
         };
     }
 
@@ -998,7 +1122,7 @@ impl LpSolver {
     /// Runs [`attempt`](Self::attempt) on the selected backend, then —
     /// when it exhausts in-backend recovery and still reports
     /// [`LpError::PivotLimit`] — steps down the failover ladder
-    /// `lu-ft → lu → sparse → dense` (wrapping past the bottom so every
+    /// `lu-ft → lu-bg → lu → sparse → dense` (wrapping past the bottom so every
     /// other rung is tried exactly once), re-running the full pipeline
     /// per rung. `Infeasible`/`Unbounded`/`Cancelled` are verdicts, not
     /// faults: they return immediately from whichever rung produced
@@ -1018,7 +1142,8 @@ impl LpSolver {
         if let Some(key) = first.warm_key {
             self.cache.remove(key);
         }
-        let ladder = [self.lu_ft_idx, self.lu_idx, self.sparse_idx, self.dense_idx];
+        let ladder =
+            [self.lu_ft_idx, self.lu_bg_idx, self.lu_idx, self.sparse_idx, self.dense_idx];
         // External backends (not on the ladder) fail over to the top
         // rung; built-ins resume below their own position. The walk
         // wraps: when the *bottom* rung is the one that failed (a
@@ -1199,6 +1324,9 @@ impl LpSolver {
         self.stats.watchdog_singular += core.watchdog_singular;
         self.stats.watchdog_infeasible += core.watchdog_infeasible;
         self.stats.bland_retries += core.bland_retries;
+        self.stats.accuracy_refactors += core.accuracy_refactors;
+        self.stats.bg_interchanges += core.bg_interchanges;
+        self.stats.bg_max_growth = self.stats.bg_max_growth.max(core.bg_max_growth);
         if warm_capable {
             if core.warm_start_used {
                 self.stats.warm_start_hits += 1;
@@ -1247,10 +1375,14 @@ impl Attempt {
 }
 
 impl BackendTally {
+    /// Exhaustive destructuring for the same reason as
+    /// [`LpStats::merge`]: a new tally field must pick a merge rule here
+    /// to compile.
     fn fold(&mut self, other: &BackendTally) {
-        self.solves += other.solves;
-        self.pivots += other.pivots;
-        self.wall_seconds += other.wall_seconds;
+        let BackendTally { name: _, solves, pivots, wall_seconds } = other;
+        self.solves += solves;
+        self.pivots += pivots;
+        self.wall_seconds += wall_seconds;
     }
 }
 
@@ -1276,6 +1408,7 @@ mod tests {
             BackendChoice::Dense,
             BackendChoice::Lu,
             BackendChoice::LuFt,
+            BackendChoice::LuBg,
         ] {
             let mut solver = LpSolver::with_choice(choice);
             let sol = solver.solve(&simple_lp(3.0)).unwrap();
@@ -1408,6 +1541,46 @@ mod tests {
         assert!(solver.cache.map.len() <= 1);
     }
 
+    proptest::proptest! {
+        /// The warm-start cache must never exceed its capacity bound
+        /// under arbitrary interleavings of inserts, lookups, failover
+        /// removals, and capacity changes — including a raw shrink that
+        /// leaves the map temporarily oversized, which the next insert's
+        /// eviction loop must fully repair (a single-eviction `put`
+        /// would leave the cache permanently over capacity).
+        #[test]
+        fn basis_cache_never_exceeds_capacity(
+            ops in proptest::collection::vec((0u8..4u8, 0u8..8u8), 1..96),
+        ) {
+            let mut cache = BasisCache::new(3);
+            for (op, k) in ops {
+                let key = u64::from(k);
+                match op {
+                    0 => {
+                        cache.put(key, vec![usize::from(k)]);
+                        proptest::prop_assert!(
+                            cache.map.len() <= cache.capacity,
+                            "put left {} entries with capacity {}",
+                            cache.map.len(),
+                            cache.capacity
+                        );
+                    }
+                    1 => {
+                        cache.get(key);
+                    }
+                    // Failover invalidation path.
+                    2 => {
+                        cache.remove(key);
+                    }
+                    // Raw capacity change without the evict-down sweep
+                    // `LpSolver::set_cache_capacity` performs — the
+                    // worst case `put` must recover from.
+                    _ => cache.capacity = 1 + usize::from(k % 3),
+                }
+            }
+        }
+    }
+
     #[test]
     fn backend_choice_from_args() {
         let args = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<String>>();
@@ -1423,6 +1596,10 @@ mod tests {
         assert_eq!(
             BackendChoice::from_args(&args(&["--lp-backend", "lu-ft"])).unwrap(),
             Some(BackendChoice::LuFt)
+        );
+        assert_eq!(
+            BackendChoice::from_args(&args(&["--lp-backend", "lu-bg"])).unwrap(),
+            Some(BackendChoice::LuBg)
         );
         assert_eq!(
             BackendChoice::from_args(&args(&["--lp-backend", "sparse", "--lp-backend", "auto"]))
@@ -1520,7 +1697,7 @@ mod tests {
         assert_eq!(stats.failovers, 1);
         assert_eq!(stats.failover_recoveries, 1);
         let names: Vec<_> = stats.backends.iter().map(|t| t.name).collect();
-        assert_eq!(names, vec!["lu-ft", "lu"], "lu-ft steps down to lu");
+        assert_eq!(names, vec!["lu-ft", "lu-bg"], "lu-ft steps down to lu-bg");
     }
 
     #[test]
@@ -1597,8 +1774,8 @@ mod tests {
 
     /// The revised backends a reoptimization test must cover (the dense
     /// tableau has no basis to reoptimize from and silently declines).
-    const REOPT_BACKENDS: [BackendChoice; 3] =
-        [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt];
+    const REOPT_BACKENDS: [BackendChoice; 4] =
+        [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt, BackendChoice::LuBg];
 
     #[test]
     fn reoptimize_matches_cold_solve_on_rhs_perturbation() {

@@ -6,7 +6,7 @@
 //! tool; the ROADMAP's "corpus capture workflow" section documents when
 //! and how to add one). This harness generalizes what
 //! `drift_regression.rs` pins for one instance to a growable corpus:
-//! every backend — dense, sparse, lu, lu-ft — must reproduce the
+//! every backend — dense, sparse, lu, lu-ft, lu-bg — must reproduce the
 //! verdict recorded from the dense oracle at capture time, agree with
 //! the pinned objective to 1e-7, satisfy `A·x = b` to 1e-6, and, when a
 //! file carries a (deliberately hostile) warm basis, produce the same
@@ -32,7 +32,7 @@
 
 use qava_lp::{
     BackendChoice, CoreSolution, CscMatrix, DenseTableau, FaultKind, FaultPlan, LpBackend,
-    LpError, LpSolver, LuFtSimplex, LuSimplex, SparseRevised,
+    LpError, LpSolver, LuBgSimplex, LuFtSimplex, LuSimplex, SparseRevised,
 };
 use std::path::{Path, PathBuf};
 
@@ -150,6 +150,7 @@ fn backends() -> Vec<Box<dyn LpBackend>> {
         Box::new(SparseRevised),
         Box::new(LuSimplex),
         Box::new(LuFtSimplex),
+        Box::new(LuBgSimplex),
     ]
 }
 
@@ -264,11 +265,12 @@ fn corpus_survives_every_single_fault_plan() {
     let plans: &[(FaultKind, &[BackendChoice])] = &[
         (
             FaultKind::RefactorFail,
-            &[BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt],
+            &[BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt, BackendChoice::LuBg],
         ),
-        (FaultKind::ShakyPivot, &[BackendChoice::Lu, BackendChoice::LuFt]),
+        (FaultKind::ShakyPivot, &[BackendChoice::Lu, BackendChoice::LuFt, BackendChoice::LuBg]),
         (FaultKind::AccuracyTrip, &[BackendChoice::LuFt]),
-        (FaultKind::PivotLimit, &[BackendChoice::LuFt, BackendChoice::Sparse]),
+        (FaultKind::BgAccuracy, &[BackendChoice::LuBg]),
+        (FaultKind::PivotLimit, &[BackendChoice::LuFt, BackendChoice::LuBg, BackendChoice::Sparse]),
     ];
     let mut fired = 0usize;
     for path in corpus_files() {
@@ -295,7 +297,7 @@ fn corpus_survives_poisoned_warm_starts() {
     let mut fired = 0usize;
     for path in corpus_files() {
         let inst = parse(&path);
-        for choice in [BackendChoice::Lu, BackendChoice::LuFt] {
+        for choice in [BackendChoice::Lu, BackendChoice::LuFt, BackendChoice::LuBg] {
             let mut solver = LpSolver::with_choice(choice);
             let tag_clean = format!("{} [{choice:?}, warm prime]", inst.name);
             check_session(&inst, &mut solver, &tag_clean);

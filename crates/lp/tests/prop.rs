@@ -143,13 +143,18 @@ proptest! {
 
 use qava_linalg::Matrix;
 use qava_lp::{
-    BackendChoice, CoreSolution, CscMatrix, LpBackend, LpError, LpSolver, LuFtSimplex, LuSimplex,
-    SparseRevised, solve_standard_dense,
+    BackendChoice, CoreSolution, CscMatrix, LpBackend, LpError, LpSolver, LuBgSimplex, LuFtSimplex,
+    LuSimplex, SparseRevised, solve_standard_dense,
 };
 
 /// The runtime-selected backends every differential case runs through.
-const DIFF_BACKENDS: [BackendChoice; 4] =
-    [BackendChoice::Sparse, BackendChoice::Dense, BackendChoice::Lu, BackendChoice::LuFt];
+const DIFF_BACKENDS: [BackendChoice; 5] = [
+    BackendChoice::Sparse,
+    BackendChoice::Dense,
+    BackendChoice::Lu,
+    BackendChoice::LuFt,
+    BackendChoice::LuBg,
+];
 
 /// One fresh session per (case, backend): differential cases must not
 /// warm-start each other across proptest iterations.
@@ -342,7 +347,9 @@ proptest! {
     #[test]
     fn differential_warm_start_chain(seed in any::<u64>()) {
         let inst = feasible_std_lp(seed);
-        for warm_choice in [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt] {
+        for warm_choice in
+            [BackendChoice::Sparse, BackendChoice::Lu, BackendChoice::LuFt, BackendChoice::LuBg]
+        {
             let mut warm = LpSolver::with_choice(warm_choice);
             for step in 0..4 {
                 let mut drifted = inst.clone();
@@ -383,6 +390,7 @@ proptest! {
                 Box::new(SparseRevised) as Box<dyn LpBackend>,
                 Box::new(LuSimplex) as Box<dyn LpBackend>,
                 Box::new(LuFtSimplex) as Box<dyn LpBackend>,
+                Box::new(LuBgSimplex) as Box<dyn LpBackend>,
             ] {
                 let core = backend
                     .solve_core(&inst.costs, &csc, &inst.b, Some(basis))
@@ -490,6 +498,10 @@ fn column_scaling_undo_regression() {
             "lu-ft",
             LpSolver::with_choice(BackendChoice::LuFt).solve_standard(&costs, &a, &b).unwrap(),
         ),
+        (
+            "lu-bg",
+            LpSolver::with_choice(BackendChoice::LuBg).solve_standard(&costs, &a, &b).unwrap(),
+        ),
         ("dense", solve_standard_dense(&costs, &a, &b).unwrap()),
     ] {
         assert!((x[0] - 2.0).abs() < 1e-5, "{label}: x0 = {}", x[0]);
@@ -514,6 +526,10 @@ fn column_scaling_undo_regression() {
             "lu-ft",
             LpSolver::with_choice(BackendChoice::LuFt).solve_standard(&costs, &a, &b).unwrap(),
         ),
+        (
+            "lu-bg",
+            LpSolver::with_choice(BackendChoice::LuBg).solve_standard(&costs, &a, &b).unwrap(),
+        ),
         ("dense", solve_standard_dense(&costs, &a, &b).unwrap()),
     ] {
         let r1 = 1e2 * x[0] + x[2];
@@ -527,7 +543,7 @@ fn column_scaling_undo_regression() {
 // Metamorphic properties: a solved LP and a mechanically transformed
 // twin must agree in ways the transformation dictates exactly. Unlike
 // the differential block above (which needs a second solver to disagree
-// with), these detect a backend that is consistently wrong — all four
+// with), these detect a backend that is consistently wrong — all five
 // engines run every property.
 // ---------------------------------------------------------------------
 
@@ -570,7 +586,7 @@ proptest! {
     /// by s substitutes x_j' = x_j / s — the optimal objective is
     /// untouched. Exercises every backend's interaction with the
     /// session's equilibrator and its undo path (the historical
-    /// column-scaling-undo bug class, now for all four engines).
+    /// column-scaling-undo bug class, now for all five engines).
     #[test]
     fn metamorphic_column_scaling(seed in any::<u64>(), scale_seed in any::<u64>()) {
         let inst = feasible_std_lp(seed);
@@ -658,5 +674,42 @@ proptest! {
         let (_, eta) = trace_pivots(TraceEngine::LuEta, &inst.costs, &csc, &inst.b, true);
         let (_, ft) = trace_pivots(TraceEngine::LuFt, &inst.costs, &csc, &inst.b, true);
         prop_assert_eq!(&eta, &ft, "degenerate pivot sequences diverged");
+    }
+
+    /// Bartels–Golub vs Forrest–Tomlin: the two LU update engines share
+    /// the pricing loop and differ only in how the spike is eliminated
+    /// (row interchanges vs a fixed rotation), a choice that changes the
+    /// rounding — not the exact arithmetic path the ratio tests see.
+    /// Under Bland's rule the pivot sequences must therefore be
+    /// identical; a divergence localizes a bug to the BG elimination
+    /// algebra itself.
+    #[test]
+    fn metamorphic_bg_and_ft_pivot_sequences_agree(seed in any::<u64>()) {
+        let inst = feasible_std_lp(seed);
+        let csc = CscMatrix::from_dense(&inst.matrix());
+        let (rf, ft) = trace_pivots(TraceEngine::LuFt, &inst.costs, &csc, &inst.b, true);
+        let (rb, bg) = trace_pivots(TraceEngine::LuBg, &inst.costs, &csc, &inst.b, true);
+        prop_assert_eq!(ft.len(), bg.len(),
+            "pivot counts diverged: ft {} vs bg {}", ft.len(), bg.len());
+        for (i, (pf, pb)) in ft.iter().zip(&bg).enumerate() {
+            prop_assert_eq!(pf, pb, "pivot {i} diverged: ft {:?} vs bg {:?}", pf, pb);
+        }
+        prop_assert_eq!(rf.is_ok(), rb.is_ok());
+        if let (Ok(Some(xf)), Ok(Some(xb))) = (rf, rb) {
+            let (of, ob) = (objective(&inst.costs, &xf), objective(&inst.costs, &xb));
+            prop_assert!((of - ob).abs() <= 1e-6 * (1.0 + of.abs().max(ob.abs())),
+                "same pivot path, different optimum: ft {of} vs bg {ob}");
+        }
+    }
+
+    /// And under maximal degeneracy, where an update-algebra error is
+    /// likeliest to flip a zero-tolerance ratio-test tie.
+    #[test]
+    fn metamorphic_bg_pivot_sequences_agree_on_degenerate_instances(seed in any::<u64>()) {
+        let inst = degenerate_std_lp(seed);
+        let csc = CscMatrix::from_dense(&inst.matrix());
+        let (_, ft) = trace_pivots(TraceEngine::LuFt, &inst.costs, &csc, &inst.b, true);
+        let (_, bg) = trace_pivots(TraceEngine::LuBg, &inst.costs, &csc, &inst.b, true);
+        prop_assert_eq!(&ft, &bg, "degenerate bg/ft pivot sequences diverged");
     }
 }
