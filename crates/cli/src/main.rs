@@ -4,8 +4,10 @@
 //! qava <program.qava> [--engines LIST] [--race] [--upper] [--lower]
 //!                     [--deadline-ms N] [--simulate N] [--symbolic]
 //!                     [--param name=value]...
-//! qava --suite [--race | --chaos SEED] [--lp-backend B]
+//! qava --suite [--race | --chaos SEED] [--lp-backend B] [--json]
+//!              [--connect SOCK]
 //! qava --sweep [--lp-backend B]
+//! qava <program.qava> --connect SOCK [engine flags]
 //! ```
 //!
 //! Analyses run through the bound-engine registry
@@ -30,6 +32,15 @@
 //! reoptimizing solver session per family, each point cross-checked
 //! against a fresh cold solve, emitting a certified bound-vs-parameter
 //! curve with per-point reopt-vs-cold statistics in the footer.
+//!
+//! `--connect SOCK` routes the analysis through a resident `qavad`
+//! daemon (see the `qavad` crate) instead of solving in-process: the
+//! daemon reuses compiled programs and a persistent warm-start basis
+//! cache across requests and restarts. `--suite --connect` drives the
+//! whole suite through the daemon and prints the identical report;
+//! `--suite --json` emits the machine-readable suite document
+//! ([`qavad::protocol::suite_json`]) that the daemon conformance tests
+//! diff against in-process results.
 //! Exit code 0 on success, 1 on usage errors, 2 on compile errors, 3
 //! when a requested analysis fails.
 
@@ -84,10 +95,22 @@ solver:
                    single-file analyses and to --suite, which also
                    prints per-backend solve statistics
 
+daemon:
+  --connect SOCK   send the analysis to a resident qavad daemon on the
+                   given Unix socket instead of solving in-process; the
+                   daemon shares compiled programs and a persistent
+                   warm-start basis cache across requests (with --suite:
+                   drive every row through the daemon; local-only flags
+                   --dump-pts/--simulate/--symbolic do not apply)
+
 suite:
   --suite          run the paper's benchmark suite (Tables 1-2) through
                    the parallel driver instead of analyzing one file
-                   (honors --race, --chaos and --lp-backend)
+                   (honors --race, --chaos, --lp-backend, --json and
+                   --connect)
+  --json           with --suite: print the machine-readable suite
+                   document (rows, failures, per-backend LP statistics,
+                   kernel provenance) instead of the human report
   --chaos SEED     with --suite: replay the suite twice — fault-free,
                    then with one seeded recoverable solver fault per
                    (row, engine) task — and fail unless every row still
@@ -120,6 +143,7 @@ struct Options {
     deadline_ms: Option<u64>,
     params: BTreeMap<String, f64>,
     lp_backend: BackendChoice,
+    connect: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -139,6 +163,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         deadline_ms: None,
         params: BTreeMap::new(),
         lp_backend: BackendChoice::default(),
+        connect: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -174,6 +199,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     .next()
                     .ok_or("--lp-backend needs auto, sparse, dense, lu, lu-ft, or lu-bg")?;
                 opts.lp_backend = s.parse()?;
+            }
+            "--connect" => {
+                let sock = it.next().ok_or("--connect needs a socket path")?;
+                opts.connect = Some(sock.clone());
             }
             "--param" => {
                 let kv = it.next().ok_or("--param needs name=value")?;
@@ -267,18 +296,52 @@ fn format_abandoned(lp: &LpStats) -> String {
     )
 }
 
-/// Runs the full Table 1/2 suite through the parallel driver.
-fn run_suite(backend: BackendChoice, racing: bool) -> ExitCode {
+/// Runs the full Table 1/2 suite — in-process through the parallel
+/// driver, or through a resident `qavad` daemon with `--connect`. Both
+/// paths produce the same [`qava_core::suite::runner::RowReport`]s and
+/// print through the same code below, so their outputs are directly
+/// diffable.
+fn run_suite(
+    backend: BackendChoice,
+    racing: bool,
+    json: bool,
+    connect: Option<&str>,
+) -> ExitCode {
     use qava_core::suite::runner::{
         default_engines, race_rows_with, run_rows_with, suite_lp_stats,
     };
     use qava_core::suite::{table1, table2};
     let rows: Vec<_> = table1().into_iter().chain(table2()).collect();
-    let reports = if racing {
-        race_rows_with(&rows, backend)
-    } else {
-        run_rows_with(&rows, |b| default_engines(b.direction).to_vec(), backend)
+    let reports = match connect {
+        Some(sock) => {
+            // Send our backend policy explicitly so `--lp-backend` means
+            // the same thing on both paths regardless of how the daemon
+            // was started.
+            match qavad::client::run_suite_via_daemon(
+                std::path::Path::new(sock),
+                &rows,
+                racing,
+                Some(&backend.to_string()),
+            ) {
+                Ok(reports) => reports,
+                Err(e) => {
+                    eprintln!("error: daemon suite failed: {e}");
+                    return ExitCode::from(3);
+                }
+            }
+        }
+        None if racing => race_rows_with(&rows, backend),
+        None => run_rows_with(&rows, |b| default_engines(b.direction).to_vec(), backend),
     };
+    if json {
+        println!(
+            "{}",
+            qavad::protocol::suite_json(&reports, racing, &backend.to_string()).render()
+        );
+        let failures =
+            reports.iter().flat_map(|r| &r.runs).filter(|run| run.bound.is_err()).count();
+        return if failures == 0 { ExitCode::SUCCESS } else { ExitCode::from(3) };
+    }
     let mut failures = 0usize;
     for report in &reports {
         for run in &report.runs {
@@ -477,6 +540,18 @@ fn run_chaos_suite(backend: BackendChoice, seed: u64) -> ExitCode {
     }
 }
 
+/// Extracts `--connect SOCK` from a raw `--suite` argument list.
+fn connect_from_args(args: &[String]) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == "--connect") {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| "--connect needs a socket path".to_string()),
+    }
+}
+
 /// Extracts `--chaos SEED` from a raw `--suite` argument list.
 fn chaos_from_args(args: &[String]) -> Result<Option<u64>, String> {
     match args.iter().position(|a| a == "--chaos") {
@@ -485,6 +560,85 @@ fn chaos_from_args(args: &[String]) -> Result<Option<u64>, String> {
             let seed = args.get(i + 1).ok_or("--chaos needs a seed")?;
             seed.parse().map(Some).map_err(|_| format!("bad chaos seed `{seed}`"))
         }
+    }
+}
+
+/// Routes one file's analysis through a resident `qavad` daemon. The
+/// daemon compiles the source (reusing its compile-once store), runs the
+/// requested lineup with this invocation's backend policy and deadline,
+/// and replies with per-run bounds and LP statistics; compile errors and
+/// rejected requests come back as request errors.
+fn run_connected_file(socket: &str, source: &str, opts: &Options) -> ExitCode {
+    let registry = EngineRegistry::with_builtins();
+    let lineup = match engine_lineup(opts, &registry) {
+        Ok(l) => l,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+    };
+    let mut client = match qavad::Client::connect(std::path::Path::new(socket)) {
+        Ok(client) => client,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    if let Err(e) = client.hello() {
+        eprintln!("error: {e}");
+        return ExitCode::from(1);
+    }
+    let spec = qavad::client::AnalyzeSpec {
+        id: 0,
+        source,
+        params: &opts.params,
+        engines: lineup,
+        race: opts.race,
+        deadline_ms: opts.deadline_ms,
+        invariant_iters: 0,
+        lp_backend: Some(opts.lp_backend.to_string()),
+    };
+    let response = match client.analyze(&spec) {
+        Ok(response) => response,
+        Err(e) => {
+            eprintln!("error: {e}");
+            // A compile failure reported by the daemon keeps the local
+            // compile-error exit code; everything else is usage/transport.
+            return ExitCode::from(if e.starts_with("compile error") { 2 } else { 1 });
+        }
+    };
+    let mut failures = 0usize;
+    let mut certified = LpStats::default();
+    let mut abandoned = LpStats::default();
+    for run in &response.runs {
+        certified.merge(&run.lp);
+        abandoned.merge(&run.abandoned);
+        let raced = if run.raced.is_empty() {
+            String::new()
+        } else {
+            format!("  [raced {}]", run.raced.join(", "))
+        };
+        match &run.bound {
+            Ok(b) => println!(
+                "{} (daemon): ln(bound) = {:.4}  ({:.2}s){raced}",
+                run.engine,
+                b.ln(),
+                run.seconds
+            ),
+            Err(e) => {
+                failures += 1;
+                println!("{} (daemon): failed — {e}{raced}", run.engine);
+            }
+        }
+    }
+    if certified.solves > 0 || abandoned.solves > 0 {
+        print_stats_footer(&certified, &abandoned);
+    }
+    if failures > 0 {
+        ExitCode::from(3)
+    } else {
+        ExitCode::SUCCESS
     }
 }
 
@@ -558,23 +712,38 @@ fn main() -> ExitCode {
                 return ExitCode::from(1);
             }
         };
+        let connect = match connect_from_args(&args) {
+            Ok(c) => c,
+            Err(msg) => {
+                eprintln!("error: {msg}\n");
+                eprintln!("{USAGE}");
+                return ExitCode::from(1);
+            }
+        };
         if args.iter().any(|a| a == "--sweep") {
-            if chaos.is_some() || args.iter().any(|a| a == "--race") {
-                eprintln!("error: --sweep runs the sweep driver alone; drop --race/--chaos\n");
+            if chaos.is_some() || args.iter().any(|a| a == "--race") || connect.is_some() {
+                eprintln!(
+                    "error: --sweep runs the sweep driver alone; drop --race/--chaos/--connect\n"
+                );
                 eprintln!("{USAGE}");
                 return ExitCode::from(1);
             }
             return run_sweep_suite(backend);
         }
         if let Some(seed) = chaos {
-            if args.iter().any(|a| a == "--race") {
-                eprintln!("error: --chaos replays the sequential driver; drop --race\n");
+            if args.iter().any(|a| a == "--race") || connect.is_some() {
+                eprintln!("error: --chaos replays the sequential driver; drop --race/--connect\n");
                 eprintln!("{USAGE}");
                 return ExitCode::from(1);
             }
             return run_chaos_suite(backend, seed);
         }
-        return run_suite(backend, args.iter().any(|a| a == "--race"));
+        return run_suite(
+            backend,
+            args.iter().any(|a| a == "--race"),
+            args.iter().any(|a| a == "--json"),
+            connect.as_deref(),
+        );
     }
     let opts = match parse_args(&args) {
         Ok(o) => o,
@@ -594,6 +763,16 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     };
+    if let Some(sock) = opts.connect.clone() {
+        if opts.dump_pts || opts.symbolic || opts.simulate.is_some() {
+            eprintln!(
+                "error: --connect runs on the daemon; drop --dump-pts/--symbolic/--simulate\n"
+            );
+            eprintln!("{USAGE}");
+            return ExitCode::from(1);
+        }
+        return run_connected_file(&sock, &source, &opts);
+    }
     let pts = match qava_lang::compile(&source, &opts.params) {
         Ok(p) => p,
         Err(e) => {

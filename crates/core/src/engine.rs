@@ -656,6 +656,33 @@ pub fn race(
     req: &AnalysisRequest<'_>,
     backend: BackendChoice,
 ) -> RaceOutcome {
+    race_with(engines, req, backend, Arc::new(AtomicBool::new(false)), &|_| {})
+}
+
+/// [`race`] with the two hooks a resident service needs.
+///
+/// * `cancel` is the race's shared cancellation flag, supplied by the
+///   caller instead of freshly allocated: raising it externally (a
+///   client disconnect monitor, a server shutting down) winds down
+///   *every* racer at its next LP-solve boundary, exactly as the winner
+///   normally winds down the losers. A race whose flag was raised before
+///   any engine certified ends with `winner == None` and all-Cancelled
+///   reports. (The winner still raises this same flag on certifying, so
+///   a caller-observed `true` does not by itself mean the race was
+///   aborted — check `winner`.)
+/// * `configure` runs on each racer's freshly created private session
+///   before the engine starts — the seam for installing process-wide
+///   state such as a [`qava_lp::SharedBasisCache`], a deadline, or a
+///   non-default cache capacity. It must not install anything that could
+///   change a certified *verdict* (shared warm-start bases are advisory
+///   by construction, so they are safe).
+pub fn race_with(
+    engines: &[&dyn BoundEngine],
+    req: &AnalysisRequest<'_>,
+    backend: BackendChoice,
+    cancel: Arc<AtomicBool>,
+    configure: &(dyn Fn(&mut LpSolver) + Sync),
+) -> RaceOutcome {
     let mut skipped = Vec::new();
     let racers: Vec<&dyn BoundEngine> = engines
         .iter()
@@ -669,7 +696,6 @@ pub fn race(
         })
         .collect();
 
-    let cancel = Arc::new(AtomicBool::new(false));
     let first_certified = Arc::new(AtomicUsize::new(usize::MAX));
     let tasks: Vec<(usize, &dyn BoundEngine)> = racers.into_iter().enumerate().collect();
     let reports: Vec<AnalysisReport> = tasks
@@ -677,6 +703,7 @@ pub fn race(
         .map(|&(i, engine)| {
             let mut solver = LpSolver::with_choice(backend);
             solver.set_cancel_flag(cancel.clone());
+            configure(&mut solver);
             let started = Instant::now();
             // Panic boundary: a racer that panics becomes an ordinary
             // loser (Err(Panicked), no stats) instead of poisoning the
@@ -887,5 +914,132 @@ mod tests {
         assert!(outcome.winner.is_none());
         assert_eq!(outcome.reports.len(), 0, "absorbing initial: everything screened out");
         assert_eq!(outcome.skipped.len(), 4);
+    }
+
+    #[test]
+    fn race_with_externally_raised_flag_cancels_every_racer() {
+        let pts = race_pts();
+        let reg = EngineRegistry::with_builtins();
+        let req = AnalysisRequest::upper(&pts);
+        let engines = reg.for_direction(Direction::Upper);
+        // The daemon's client-disconnect path in miniature: the flag is
+        // up before the race starts (a disconnect observed between
+        // admission and launch), so no engine may certify.
+        let cancel = Arc::new(AtomicBool::new(true));
+        let outcome = race_with(&engines, &req, BackendChoice::default(), cancel, &|_| {});
+        assert!(outcome.winner.is_none(), "a cancelled race has no winner");
+        for report in &outcome.reports {
+            assert!(
+                matches!(report.outcome, Err(EngineError::Cancelled)),
+                "{}: {:?}",
+                report.engine,
+                report.outcome.as_ref().err()
+            );
+        }
+    }
+
+    #[test]
+    fn race_with_configure_shares_warmth_across_races() {
+        let pts = race_pts();
+        let reg = EngineRegistry::with_builtins();
+        let req = AnalysisRequest::upper(&pts);
+        let engines = reg.for_direction(Direction::Upper);
+        let shared = Arc::new(qava_lp::SharedBasisCache::default());
+        let run = |shared: &Arc<qava_lp::SharedBasisCache>| {
+            let shared = shared.clone();
+            race_with(
+                &engines,
+                &req,
+                BackendChoice::default(),
+                Arc::new(AtomicBool::new(false)),
+                &move |solver| solver.set_shared_cache(shared.clone()),
+            )
+        };
+        let first = run(&shared);
+        let second = run(&shared);
+        let baseline = race(&engines, &req, BackendChoice::default());
+        let ln = |o: &RaceOutcome| o.winning_report().unwrap().bound().unwrap().ln();
+        // Shared warmth may change which LPs run warm, never a verdict.
+        assert_eq!(ln(&first), ln(&baseline), "shared cache must not change the bound");
+        assert_eq!(ln(&second), ln(&baseline));
+        let persistent: usize = second
+            .reports
+            .iter()
+            .map(|r| r.lp.persistent_warm_hits)
+            .chain(std::iter::once(second.abandoned.persistent_warm_hits))
+            .sum();
+        assert!(persistent > 0, "second race must inherit first-race bases");
+    }
+
+    /// Pins the accounting contract a resident daemon relies on: with one
+    /// private session per concurrent request, the per-request
+    /// [`scoped_stats`] slices **partition** the process totals — every
+    /// solve, pivot and wall-clock second lands in exactly one slice, and
+    /// merging the slices reproduces merging the session totals. Without
+    /// this, concurrent requests could double-count (or lose) work in the
+    /// daemon's `stats` response.
+    #[test]
+    fn scoped_stats_slices_partition_process_totals_under_concurrency() {
+        use qava_lp::{Cmp, LinExpr, LpBuilder};
+        let slices = std::sync::Mutex::new(Vec::new());
+        let sessions = std::sync::Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for t in 0..8usize {
+                let slices = &slices;
+                let sessions = &sessions;
+                s.spawn(move || {
+                    let mut solver = LpSolver::default();
+                    for i in 0..6usize {
+                        let (_, slice) = scoped_stats(&mut solver, |solver| {
+                            let mut lp = LpBuilder::new();
+                            let x = lp.add_var_nonneg("x");
+                            let y = lp.add_var_nonneg("y");
+                            lp.constrain(
+                                LinExpr::new().term(x, 1.0).term(y, 1.0),
+                                Cmp::Le,
+                                1.0 + (t * 6 + i) as f64,
+                            );
+                            lp.maximize(LinExpr::new().term(x, 2.0).term(y, 1.0));
+                            solver.solve(&lp).unwrap()
+                        });
+                        assert!(slice.solves >= 1, "a slice sees its own work");
+                        assert!(slice.wall_seconds >= 0.0);
+                        slices.lock().unwrap().push(slice);
+                    }
+                    sessions.lock().unwrap().push(solver.take_stats());
+                });
+            }
+        });
+        let fold = |parts: &[LpStats]| {
+            let mut total = LpStats::default();
+            for p in parts {
+                total.merge(p);
+            }
+            total
+        };
+        let from_slices = fold(&slices.lock().unwrap());
+        let from_sessions = fold(&sessions.lock().unwrap());
+        // Counters must match *exactly*; wall time is f64 so the two
+        // merge orders may round differently in the last bits.
+        let strip = |mut s: LpStats| {
+            s.wall_seconds = 0.0;
+            s.backends.sort_by_key(|t| t.name);
+            for t in &mut s.backends {
+                t.wall_seconds = 0.0;
+            }
+            s
+        };
+        assert_eq!(
+            strip(from_slices.clone()),
+            strip(from_sessions.clone()),
+            "slices must partition session totals"
+        );
+        assert!(
+            (from_slices.wall_seconds - from_sessions.wall_seconds).abs() < 1e-6,
+            "every wall-clock second lands in exactly one slice: {} vs {}",
+            from_slices.wall_seconds,
+            from_sessions.wall_seconds
+        );
+        assert_eq!(from_slices.solves, 48, "6 solves per each of 8 threads");
     }
 }

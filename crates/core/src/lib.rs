@@ -170,8 +170,8 @@ pub mod template;
 pub mod verify;
 
 pub use engine::{
-    race, AnalysisReport, AnalysisRequest, BoundEngine, Certificate, Certified, Direction,
-    EngineError, EngineRegistry, RaceOutcome,
+    race, race_with, AnalysisReport, AnalysisRequest, BoundEngine, Certificate, Certified,
+    Direction, EngineError, EngineRegistry, RaceOutcome,
 };
 pub use explinsyn::ExpLinSynResult;
 pub use explowsyn::ExpLowSynResult;

@@ -172,6 +172,7 @@
 //! ```
 
 mod bg;
+mod cache;
 mod csc;
 mod eta;
 mod expr;
@@ -183,6 +184,11 @@ mod revised;
 mod simplex;
 mod solver;
 
+pub use cache::{SharedBasisCache, DEFAULT_SHARED_CACHE_CAPACITY};
+/// The process-wide SIMD kernel provenance string ([`LpStats`] footers
+/// embed it; re-exported so stats consumers one layer up don't need a
+/// direct `qava-linalg` dependency to label their own reports).
+pub use qava_linalg::kernel::provenance as kernel_provenance;
 pub use csc::CscMatrix;
 pub use expr::{LinExpr, VarId};
 pub use faults::{FaultKind, FaultPlan};

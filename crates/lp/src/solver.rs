@@ -32,11 +32,11 @@
 //! parametric-sweep fast path, with unchanged verdict certification and
 //! an unconditional cold fallback on any doubt.
 
+use crate::cache::{BasisCache, SharedBasisCache};
 use crate::csc::CscMatrix;
 use crate::faults::{self, FaultPlan, Site};
 use crate::presolve::{self, StdRows};
 use crate::{revised, simplex, LpBuilder, LpError, LpSolution};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -514,6 +514,12 @@ pub struct LpStats {
     pub warm_start_misses: usize,
     /// Warm-start cache entries evicted by the LRU capacity bound.
     pub cache_evictions: usize,
+    /// Warm-start hits served from an attached **process-wide**
+    /// [`SharedBasisCache`] rather than this session's own cache — the
+    /// cross-request (and, when the store was loaded from disk,
+    /// cross-process) warmth a resident daemon exists to provide. Always
+    /// a subset of `warm_start_hits`.
+    pub persistent_warm_hits: usize,
     /// Feasibility-watchdog refactor-backstop trips across all solves: a
     /// refactorization exposed a corrupted `x_B` (or failed outright on
     /// a singular basis where incremental state cannot be trusted) and
@@ -579,6 +585,7 @@ impl LpStats {
             warm_start_hits,
             warm_start_misses,
             cache_evictions,
+            persistent_warm_hits,
             watchdog_restarts,
             watchdog_singular,
             watchdog_infeasible,
@@ -600,6 +607,7 @@ impl LpStats {
         self.warm_start_hits += warm_start_hits;
         self.warm_start_misses += warm_start_misses;
         self.cache_evictions += cache_evictions;
+        self.persistent_warm_hits += persistent_warm_hits;
         self.watchdog_restarts += watchdog_restarts;
         self.watchdog_singular += watchdog_singular;
         self.watchdog_infeasible += watchdog_infeasible;
@@ -632,7 +640,7 @@ impl std::fmt::Display for LpStats {
         writeln!(
             f,
             "lp: {} solves, {} pivots, {:.3}s; presolve removed {} rows / {} cols; \
-             warm start {} hits / {} misses, {} evictions; \
+             warm start {} hits / {} misses, {} evictions, {} persistent; \
              {} watchdog restarts ({} singular / {} infeasible), {} bland retries; \
              {} failovers / {} rescues; {} dual reopts ({} fell back cold); \
              {} accuracy refactors, {} bg interchanges (growth {:.2}); \
@@ -645,6 +653,7 @@ impl std::fmt::Display for LpStats {
             self.warm_start_hits,
             self.warm_start_misses,
             self.cache_evictions,
+            self.persistent_warm_hits,
             self.watchdog_restarts,
             self.watchdog_singular,
             self.watchdog_infeasible,
@@ -672,75 +681,6 @@ impl std::fmt::Display for LpStats {
     }
 }
 
-/// Bounded LRU map from LP sparsity pattern to final basis.
-#[derive(Debug, Default)]
-struct BasisCache {
-    capacity: usize,
-    /// Logical clock for recency; bumped on every touch.
-    tick: u64,
-    map: HashMap<u64, (Vec<usize>, u64)>,
-}
-
-impl BasisCache {
-    fn new(capacity: usize) -> Self {
-        BasisCache { capacity, tick: 0, map: HashMap::new() }
-    }
-
-    fn get(&mut self, key: u64) -> Option<Vec<usize>> {
-        self.tick += 1;
-        let tick = self.tick;
-        self.map.get_mut(&key).map(|(basis, used)| {
-            *used = tick;
-            basis.clone()
-        })
-    }
-
-    /// Inserts, returning the number of entries evicted to stay bounded.
-    ///
-    /// Evicts in a loop, not once: if the map is ever above capacity
-    /// (e.g. after the bound shrank between touches), a single insert
-    /// restores the invariant instead of leaving the cache permanently
-    /// oversized. The existing entry for `key` is dropped up front —
-    /// the insert overwrites it anyway — so the loop only ever has to
-    /// make room for exactly one addition.
-    fn put(&mut self, key: u64, basis: Vec<usize>) -> usize {
-        if self.capacity == 0 {
-            return 0;
-        }
-        self.tick += 1;
-        self.map.remove(&key);
-        let mut evicted = 0;
-        while self.map.len() >= self.capacity && self.evict_lru() {
-            evicted += 1;
-        }
-        self.map.insert(key, (basis, self.tick));
-        evicted
-    }
-
-    /// Removes the least-recently-used entry (linear scan: the cache is
-    /// small by construction). Returns `false` when empty.
-    fn evict_lru(&mut self) -> bool {
-        match self.map.iter().min_by_key(|(_, (_, used))| *used).map(|(&k, _)| k) {
-            Some(victim) => {
-                self.map.remove(&victim);
-                true
-            }
-            None => false,
-        }
-    }
-
-    /// Drops one entry (failover invalidation: a basis that led a
-    /// backend into the ladder must not seed the next solve of the same
-    /// pattern). Returns whether an entry existed.
-    fn remove(&mut self, key: u64) -> bool {
-        self.map.remove(&key).is_some()
-    }
-
-    fn clear(&mut self) {
-        self.map.clear();
-    }
-}
-
 /// An LP solver **session**: backend registry and selection policy, the
 /// warm-start basis cache, and cumulative statistics.
 ///
@@ -760,6 +700,10 @@ pub struct LpSolver {
     lu_ft_idx: usize,
     lu_bg_idx: usize,
     cache: BasisCache,
+    /// Optional process-wide warm-start store consulted read-through on
+    /// session-cache misses and written write-through on every cache
+    /// update; see [`set_shared_cache`](Self::set_shared_cache).
+    shared: Option<Arc<SharedBasisCache>>,
     stats: LpStats,
     /// Shared cooperative-cancellation flag, polled once at every solve
     /// boundary; see [`set_cancel_flag`](Self::set_cancel_flag).
@@ -825,6 +769,7 @@ impl LpSolver {
             lu_ft_idx: 3,
             lu_bg_idx: 4,
             cache: BasisCache::new(DEFAULT_CACHE_CAPACITY),
+            shared: None,
             stats: LpStats::default(),
             cancel: None,
             deadline: None,
@@ -1032,6 +977,38 @@ impl LpSolver {
         self.cache.clear();
     }
 
+    /// Attaches a process-wide [`SharedBasisCache`]. The session then
+    /// consults it **read-through** — its own cache first, the shared
+    /// store on a miss — and writes every reusable final basis
+    /// **write-through** to both, so concurrent sessions (one per daemon
+    /// request) seed each other without sharing any other state. Hits
+    /// served from the shared store are counted in
+    /// [`LpStats::persistent_warm_hits`].
+    ///
+    /// A shared basis is advisory exactly like a session-cached one:
+    /// shape-validated before use, re-validated by the backend's
+    /// refactorization, and invalidated in *both* stores when it sends a
+    /// solve down the failover ladder — so a stale or even corrupted
+    /// entry can cost a cold solve, never an answer.
+    pub fn set_shared_cache(&mut self, shared: Arc<SharedBasisCache>) {
+        self.shared = Some(shared);
+    }
+
+    /// Detaches the shared store; the session is back to private warmth.
+    pub fn clear_shared_cache(&mut self) {
+        self.shared = None;
+    }
+
+    /// Failover invalidation, reaching both stores: a basis that sent a
+    /// solve down the ladder must not seed the next solve of the same
+    /// pattern in *any* session.
+    fn invalidate_warm(&mut self, key: u64) {
+        self.cache.remove(key);
+        if let Some(shared) = &self.shared {
+            shared.remove(key);
+        }
+    }
+
     /// Solves a built model; the session-threaded equivalent of
     /// [`LpBuilder::solve`].
     ///
@@ -1140,7 +1117,7 @@ impl LpSolver {
         // solve of this pattern (nor the rungs below, which share the
         // cache key).
         if let Some(key) = first.warm_key {
-            self.cache.remove(key);
+            self.invalidate_warm(key);
         }
         let ladder =
             [self.lu_ft_idx, self.lu_bg_idx, self.lu_idx, self.sparse_idx, self.dense_idx];
@@ -1161,7 +1138,7 @@ impl LpSolver {
             match retry.result {
                 Err(LpError::PivotLimit) => {
                     if let Some(key) = retry.warm_key {
-                        self.cache.remove(key);
+                        self.invalidate_warm(key);
                     }
                 }
                 Ok(x) => {
@@ -1252,6 +1229,24 @@ impl LpSolver {
         let warm_capable = self.backends[idx].supports_warm_start();
         let key = if warm_capable { sa.pattern_hash() } else { 0 };
         let mut warm = if warm_capable { self.cache.get(key) } else { None };
+        // Read-through to the process-wide store on a session miss. A
+        // shared entry may come from another request — or from a spill
+        // file on disk — so it gets a shape check a session entry never
+        // needs (`len == m`, indices `< n`); anything malformed is
+        // treated as a miss, never offered to a backend.
+        let mut warm_from_shared = false;
+        if warm.is_none() && warm_capable {
+            if let Some(shared) = &self.shared {
+                if let Some(basis) = shared.get(key) {
+                    if basis.len() == m && basis.iter().all(|&j| j < n) {
+                        warm_from_shared = true;
+                        warm = Some(basis);
+                    } else {
+                        shared.remove(key);
+                    }
+                }
+            }
+        }
         if let Some(basis) = warm.as_mut() {
             if self.fault_trip(Site::WarmLookup) {
                 // Poison: duplicate the first slot everywhere, making the
@@ -1330,12 +1325,20 @@ impl LpSolver {
         if warm_capable {
             if core.warm_start_used {
                 self.stats.warm_start_hits += 1;
+                if warm_from_shared {
+                    self.stats.persistent_warm_hits += 1;
+                }
             } else {
                 self.stats.warm_start_misses += 1;
             }
             if let Some(basis) = core.basis {
-                // Only artificial-free bases are reusable.
+                // Only artificial-free bases are reusable. Write-through:
+                // the final basis seeds both this session's next solve
+                // and, via the shared store, every other session's.
                 if basis.iter().all(|&j| j < n) {
+                    if let Some(shared) = &self.shared {
+                        shared.put(key, basis.clone());
+                    }
                     self.stats.cache_evictions += self.cache.put(key, basis);
                 }
             }
@@ -1539,6 +1542,79 @@ mod tests {
         assert!(solver.cache.map.len() >= 2, "distinct patterns fill the cache");
         solver.set_cache_capacity(1);
         assert!(solver.cache.map.len() <= 1);
+    }
+
+    #[test]
+    fn shared_cache_seeds_a_fresh_session() {
+        let shared = Arc::new(SharedBasisCache::new(16));
+
+        // Session A runs cold and publishes its final basis write-through.
+        let mut a = LpSolver::with_choice(BackendChoice::Sparse);
+        a.set_shared_cache(shared.clone());
+        a.solve(&simple_lp(3.0)).unwrap();
+        assert_eq!(a.stats().persistent_warm_hits, 0, "nothing to inherit yet");
+        assert!(!shared.is_empty(), "write-through populates the shared store");
+
+        // Session B has an empty *session* cache but the same shared
+        // store: its very first solve of the pattern starts warm.
+        let mut b = LpSolver::with_choice(BackendChoice::Sparse);
+        b.set_shared_cache(shared.clone());
+        let sol = b.solve(&simple_lp(4.0)).unwrap();
+        assert!((sol.objective - 8.0).abs() < 1e-7, "{}", sol.objective);
+        assert!(b.stats().warm_start_hits >= 1, "shared basis must be accepted");
+        assert!(b.stats().persistent_warm_hits >= 1, "…and attributed to the shared store");
+        assert!(
+            b.stats().persistent_warm_hits <= b.stats().warm_start_hits,
+            "persistent hits are a subset of warm hits"
+        );
+    }
+
+    #[test]
+    fn shared_cache_survives_a_spill_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("qava-solver-spill-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.warm");
+
+        let shared = Arc::new(SharedBasisCache::new(16));
+        let mut a = LpSolver::with_choice(BackendChoice::Sparse);
+        a.set_shared_cache(shared.clone());
+        a.solve(&simple_lp(3.0)).unwrap();
+        shared.save(&path).unwrap();
+
+        // "Daemon restart": a freshly loaded store, a fresh session — the
+        // first solve of the pattern is still warm.
+        let reloaded = Arc::new(SharedBasisCache::load(&path, 16).unwrap());
+        let mut b = LpSolver::with_choice(BackendChoice::Sparse);
+        b.set_shared_cache(reloaded);
+        let sol = b.solve(&simple_lp(5.0)).unwrap();
+        assert!((sol.objective - 10.0).abs() < 1e-7, "{}", sol.objective);
+        assert!(b.stats().persistent_warm_hits >= 1, "spilled warmth must survive reload");
+    }
+
+    #[test]
+    fn poisoned_shared_entries_cannot_break_solves() {
+        let shared = Arc::new(SharedBasisCache::new(16));
+        let mut a = LpSolver::with_choice(BackendChoice::Sparse);
+        a.set_shared_cache(shared.clone());
+        a.solve(&simple_lp(3.0)).unwrap();
+
+        // Overwrite every shared entry with garbage a corrupted (but
+        // checksum-valid) spill file could have produced: out-of-range
+        // column indices at a plausible length.
+        for key in shared.keys() {
+            shared.put(key, vec![usize::MAX, usize::MAX, usize::MAX]);
+        }
+        let mut b = LpSolver::with_choice(BackendChoice::Sparse);
+        b.set_shared_cache(shared.clone());
+        let sol = b.solve(&simple_lp(3.0)).unwrap();
+        assert!((sol.objective - 6.0).abs() < 1e-7, "poison must cost warmth, not the answer");
+        assert_eq!(b.stats().persistent_warm_hits, 0, "garbage is never a hit");
+        // The rejected entries were dropped, and B's own cold solve
+        // re-published a good basis — a third session warm-starts again.
+        let mut c = LpSolver::with_choice(BackendChoice::Sparse);
+        c.set_shared_cache(shared);
+        c.solve(&simple_lp(3.0)).unwrap();
+        assert!(c.stats().persistent_warm_hits >= 1, "self-heals after poison");
     }
 
     proptest::proptest! {

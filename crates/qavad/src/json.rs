@@ -1,0 +1,446 @@
+//! A minimal, dependency-free JSON value type for the daemon's
+//! line-oriented wire protocol.
+//!
+//! The build environment is offline (no serde), and the protocol needs
+//! only a small, well-behaved subset: objects, arrays, strings, numbers,
+//! booleans, null. Two deliberate deviations from RFC 8259, both on the
+//! *writer* side and both round-tripped by this reader:
+//!
+//! * Non-finite numbers — JSON has no `inf`/`nan` literals, but LP wall
+//!   times and `ln`-domain bounds legitimately produce them (`ln 0 =
+//!   -inf`). [`Json::from_f64`] encodes them as the strings `"inf"`,
+//!   `"-inf"`, `"nan"`, and [`Json::as_f64`] decodes those strings back,
+//!   so numeric fields survive a round trip without inventing syntax a
+//!   foreign client couldn't parse.
+//! * Object keys keep insertion order (a `Vec` of pairs, not a map):
+//!   responses render deterministically, which the conformance tests
+//!   diff textually.
+//!
+//! The parser is recursive-descent with an explicit depth limit, so a
+//! hostile request line can neither overflow the stack nor allocate
+//! unboundedly past its own length.
+
+/// Maximum nesting depth [`parse`] accepts (far above anything the
+/// protocol produces; a guard, not a format parameter).
+const MAX_DEPTH: usize = 64;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// Always finite — non-finite floats travel as strings (see the
+    /// module docs).
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Insertion-ordered key/value pairs. Duplicate keys: first wins on
+    /// [`get`](Json::get).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds a number, routing non-finite values through their string
+    /// encodings.
+    pub fn from_f64(v: f64) -> Json {
+        if v.is_finite() {
+            Json::Num(v)
+        } else if v.is_nan() {
+            Json::Str("nan".to_string())
+        } else if v > 0.0 {
+            Json::Str("inf".to_string())
+        } else {
+            Json::Str("-inf".to_string())
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, accepting the non-finite string encodings.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            Json::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer (rejects fractional and
+    /// negative numbers — protocol counters and ids are exact).
+    pub fn as_usize(&self) -> Option<usize> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u32::MAX as f64 * 4096.0 => {
+                Some(*v as usize)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Serializes to a single line (no interior newlines, ever — the
+    /// wire protocol is newline-delimited).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out);
+        out
+    }
+
+    fn write(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(v) => {
+                debug_assert!(v.is_finite(), "non-finite Num; use Json::from_f64");
+                // `{:?}` prints round-trippable f64 (shortest form that
+                // parses back exactly), unlike `{}` which drops the
+                // fractional part of whole floats.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    out.push_str(&format!("{}", *v as i64));
+                } else {
+                    out.push_str(&format!("{v:?}"));
+                }
+            }
+            Json::Str(s) => {
+                out.push('"');
+                for c in s.chars() {
+                    match c {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        '\n' => out.push_str("\\n"),
+                        '\r' => out.push_str("\\r"),
+                        '\t' => out.push_str("\\t"),
+                        c if (c as u32) < 0x20 => {
+                            out.push_str(&format!("\\u{:04x}", c as u32));
+                        }
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(pairs) => {
+                out.push('{');
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).write(out);
+                    out.push(':');
+                    v.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to span the whole input
+/// (trailing whitespace allowed).
+///
+/// # Errors
+///
+/// A human-readable description with a byte offset; never panics on any
+/// input.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let bytes = input.as_bytes();
+    let mut p = Parser { bytes, pos: 0 };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(format!("unexpected '{}' at byte {}", other as char, self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        let v: f64 =
+            text.parse().map_err(|_| format!("bad number '{text}' at byte {start}"))?;
+        if !v.is_finite() {
+            return Err(format!("non-finite number at byte {start}"));
+        }
+        Ok(Json::Num(v))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            // Surrogates (paired or lone) are replaced:
+                            // protocol strings are program sources and
+                            // engine names, never astral-plane text.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at byte {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid utf-8".to_string())?;
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value(depth + 1)?;
+            pairs.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Convenience constructor for object literals.
+pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_the_protocol_subset() {
+        let doc = obj(vec![
+            ("cmd", Json::Str("analyze".into())),
+            ("id", Json::Num(7.0)),
+            ("race", Json::Bool(true)),
+            ("none", Json::Null),
+            ("params", obj(vec![("n", Json::Num(0.5)), ("k", Json::Num(-3.0))])),
+            ("engines", Json::Arr(vec![Json::Str("explinsyn".into())])),
+            ("source", Json::Str("x := 1;\nassert \"q\\\\\" != \"\";\t".into())),
+        ]);
+        let line = doc.render();
+        assert!(!line.contains('\n'), "wire format is one line: {line}");
+        assert_eq!(parse(&line).unwrap(), doc);
+    }
+
+    #[test]
+    fn nonfinite_numbers_roundtrip_as_strings() {
+        for v in [f64::INFINITY, f64::NEG_INFINITY, f64::NAN, -0.0, 1.5e-300] {
+            let enc = Json::from_f64(v);
+            let back = parse(&enc.render()).unwrap().as_f64().unwrap();
+            assert!(back == v || (back.is_nan() && v.is_nan()), "{v} -> {back}");
+        }
+    }
+
+    #[test]
+    fn integers_render_without_fraction() {
+        assert_eq!(Json::Num(36.0).render(), "36");
+        assert_eq!(Json::Num(0.25).render(), "0.25");
+        let tricky = 0.1 + 0.2;
+        assert_eq!(parse(&Json::Num(tricky).render()).unwrap().as_f64(), Some(tricky));
+    }
+
+    #[test]
+    fn rejects_malformed_input_without_panicking() {
+        for bad in [
+            "", "{", "}", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "01x", "\"unterminated",
+            "{\"a\":1}garbage", "nan", "--1", "\u{1f980}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(parse(&deep).is_err(), "depth limit must trip");
+    }
+
+    #[test]
+    fn duplicate_keys_first_wins_and_order_is_stable() {
+        let doc = parse(r#"{"b":1,"a":2,"b":3}"#).unwrap();
+        assert_eq!(doc.get("b"), Some(&Json::Num(1.0)));
+        assert_eq!(doc.render(), r#"{"b":1,"a":2,"b":3}"#);
+    }
+
+    #[test]
+    fn as_usize_is_exact() {
+        assert_eq!(Json::Num(12.0).as_usize(), Some(12));
+        assert_eq!(Json::Num(12.5).as_usize(), None);
+        assert_eq!(Json::Num(-1.0).as_usize(), None);
+        assert_eq!(Json::Str("12".into()).as_usize(), None);
+    }
+}
